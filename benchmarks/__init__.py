@@ -1,0 +1,1 @@
+"""Benchmark suite for the Section 6 experiments."""

@@ -1,0 +1,29 @@
+"""Figure 10: runtime vs path density (δ=1%, d=5).
+
+Swept by the number of distinct location sequences — few sequences means
+dense paths and many frequent path segments.  Paper shape: expensive on
+the dense end for both, but Shared gains a large advantage there because
+Cubing re-mines the same dense segment space inside every frequent cell.
+Basic is not runnable in this regime at all.
+"""
+
+import pytest
+
+from benchmarks.conftest import BASE, run_once
+from repro.mining import cubing_mine, shared_mine
+
+SEQUENCE_COUNTS = [5, 20, 50]
+
+
+@pytest.mark.parametrize("n_sequences", SEQUENCE_COUNTS)
+def test_shared(benchmark, db_cache, n_sequences):
+    db = db_cache(BASE.with_(n_sequences=n_sequences))
+    result = run_once(benchmark, lambda: shared_mine(db, min_support=0.01))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("n_sequences", SEQUENCE_COUNTS)
+def test_cubing(benchmark, db_cache, n_sequences):
+    db = db_cache(BASE.with_(n_sequences=n_sequences))
+    result = run_once(benchmark, lambda: cubing_mine(db, min_support=0.01))
+    assert len(result) > 0

@@ -1,0 +1,51 @@
+"""Figure 11: pruning power — candidates counted per pattern length.
+
+Benchmarks Shared and Basic on the same database at a δ where Basic can
+finish, then asserts the figure's two claims: Basic counts far more
+candidates at every length, and keeps generating candidates to much
+greater lengths (the ancestor-polluted transactions stretch patterns out).
+"""
+
+import pytest
+
+from benchmarks.conftest import BASE, run_once
+from repro.mining import basic_mine, shared_mine
+
+#: δ high enough for Basic to complete at this size (see the fig11 docs).
+MIN_SUPPORT = 0.1
+CONFIG = BASE.with_(n_paths=300)
+
+
+@pytest.fixture(scope="module")
+def fig11_db(db_cache):
+    return db_cache(CONFIG)
+
+
+def test_shared(benchmark, fig11_db):
+    result = run_once(
+        benchmark, lambda: shared_mine(fig11_db, min_support=MIN_SUPPORT)
+    )
+    assert result.stats.total_candidates > 0
+
+
+def test_basic(benchmark, fig11_db):
+    result = run_once(
+        benchmark,
+        lambda: basic_mine(
+            fig11_db, min_support=MIN_SUPPORT, candidate_limit=3_000_000
+        ),
+    )
+    assert not result.stats.pruned.get("truncated"), "raise δ: basic truncated"
+
+
+def test_pruning_claims(fig11_db):
+    """The figure's claims, independent of wall-clock."""
+    shared = shared_mine(fig11_db, min_support=MIN_SUPPORT)
+    basic = basic_mine(
+        fig11_db, min_support=MIN_SUPPORT, candidate_limit=3_000_000
+    )
+    assert basic.stats.total_candidates > 3 * shared.stats.total_candidates
+    assert basic.stats.max_length > shared.stats.max_length
+    # And despite all that extra work, no extra knowledge:
+    assert shared.frequent_cells() == basic.frequent_cells()
+    assert shared.frequent_segments() == basic.frequent_segments()

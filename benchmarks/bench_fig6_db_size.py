@@ -1,0 +1,37 @@
+"""Figure 6: runtime vs path-database size (δ=1%, d=5).
+
+Paper shape: Shared and Cubing start close; as N grows, Shared's runtime
+rises with a smaller slope than Cubing's.  Basic only runs at the smallest
+size (the paper could not run it past 200k of 1M paths).
+"""
+
+import pytest
+
+from benchmarks.conftest import BASE, run_once
+from repro.mining import basic_mine, cubing_mine, shared_mine
+
+SIZES = [200, 400, 800]
+
+
+@pytest.mark.parametrize("n_paths", SIZES)
+def test_shared(benchmark, db_cache, n_paths):
+    db = db_cache(BASE.with_(n_paths=n_paths))
+    result = run_once(benchmark, lambda: shared_mine(db, min_support=0.01))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("n_paths", SIZES)
+def test_cubing(benchmark, db_cache, n_paths):
+    db = db_cache(BASE.with_(n_paths=n_paths))
+    result = run_once(benchmark, lambda: cubing_mine(db, min_support=0.01))
+    assert len(result) > 0
+
+
+def test_basic_smallest_size_only(benchmark, db_cache):
+    """Basic at the smallest N, with the blow-up guard armed."""
+    db = db_cache(BASE.with_(n_paths=SIZES[0]))
+    result = run_once(
+        benchmark,
+        lambda: basic_mine(db, min_support=0.01, candidate_limit=200_000),
+    )
+    assert len(result) > 0

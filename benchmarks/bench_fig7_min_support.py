@@ -1,0 +1,39 @@
+"""Figure 7: runtime vs minimum support (N fixed, d=5).
+
+Paper shape: all algorithms get faster as δ rises; Shared stays fastest
+and improves faster than Cubing (high δ lets it prune whole path-lattice
+regions once, where Cubing re-checks them per cell).  Basic improves the
+fastest of all — with few candidates its missing pruning stops mattering —
+but from the worst starting point.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.mining import basic_mine, cubing_mine, shared_mine
+
+SUPPORTS = [0.003, 0.01, 0.02]
+
+
+@pytest.mark.parametrize("min_support", SUPPORTS)
+def test_shared(benchmark, base_db, min_support):
+    result = run_once(benchmark, lambda: shared_mine(base_db, min_support=min_support))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("min_support", SUPPORTS)
+def test_cubing(benchmark, base_db, min_support):
+    result = run_once(benchmark, lambda: cubing_mine(base_db, min_support=min_support))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("min_support", [0.02, 0.05])
+def test_basic_high_support_only(benchmark, base_db, min_support):
+    """Basic is only tractable at the high-δ end of the sweep."""
+    result = run_once(
+        benchmark,
+        lambda: basic_mine(
+            base_db, min_support=min_support, candidate_limit=200_000
+        ),
+    )
+    assert len(result) > 0

@@ -1,0 +1,38 @@
+"""Figure 9: runtime vs item-dimension density (δ=1%, d=5).
+
+Datasets a (2,2,5), b (4,4,6), c (5,5,10) distinct values per hierarchy
+level.  Paper shape: sparser data (more distinct values → fewer frequent
+cells) is faster for everyone; Basic could not run on the densest dataset
+a at all — mirrored here by benchmarking it on b and c only.
+"""
+
+import pytest
+
+from benchmarks.conftest import BASE, run_once
+from repro.mining import basic_mine, cubing_mine, shared_mine
+
+DATASETS = {"a": (2, 2, 5), "b": (4, 4, 6), "c": (5, 5, 10)}
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_shared(benchmark, db_cache, dataset):
+    db = db_cache(BASE.with_(dim_fanouts=DATASETS[dataset]))
+    result = run_once(benchmark, lambda: shared_mine(db, min_support=0.01))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_cubing(benchmark, db_cache, dataset):
+    db = db_cache(BASE.with_(dim_fanouts=DATASETS[dataset]))
+    result = run_once(benchmark, lambda: cubing_mine(db, min_support=0.01))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("dataset", ["b", "c"])
+def test_basic_sparse_datasets_only(benchmark, db_cache, dataset):
+    db = db_cache(BASE.with_(dim_fanouts=DATASETS[dataset]))
+    result = run_once(
+        benchmark,
+        lambda: basic_mine(db, min_support=0.01, candidate_limit=200_000),
+    )
+    assert len(result) > 0

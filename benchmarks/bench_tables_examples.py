@@ -1,0 +1,66 @@
+"""Tables 1–4 / Figures 3–4: regeneration cost of the paper's artifacts.
+
+These benchmarks time the building blocks the running example exercises —
+transaction encoding (Table 3), shared mining at δ=3 (Table 4), flowgraph
+construction (Figure 3), and a full flowcube build with exceptions — so
+regressions in the core pipeline show up even without the big sweeps.
+"""
+
+import pytest
+
+from repro.core import FlowCube, FlowGraph, PathLattice, aggregate_path
+from repro.core import example_path_database
+from repro.encoding import TransactionDatabase
+from repro.mining import shared_mine
+from repro.synth import GeneratorConfig, generate_path_database
+
+
+@pytest.fixture(scope="module")
+def paper_db():
+    return example_path_database()
+
+
+@pytest.fixture(scope="module")
+def paper_lattice(paper_db):
+    return PathLattice.paper_default(paper_db.schema.location)
+
+
+@pytest.fixture(scope="module")
+def medium_db():
+    return generate_path_database(
+        GeneratorConfig(n_paths=500, n_dims=3, dim_fanouts=(3, 3, 4),
+                        n_sequences=15, seed=5)
+    )
+
+
+def test_table3_transaction_encoding(benchmark, paper_db, paper_lattice):
+    tdb = benchmark(lambda: TransactionDatabase(paper_db, paper_lattice))
+    assert len(tdb) == 8
+
+
+def test_table4_shared_mining(benchmark, paper_db):
+    result = benchmark(lambda: shared_mine(paper_db, min_support=3))
+    assert len(result) > 0
+
+
+def test_figure3_flowgraph_build(benchmark, paper_db, paper_lattice):
+    paths = [aggregate_path(r.path, paper_lattice[0]) for r in paper_db]
+    graph = benchmark(lambda: FlowGraph(paths))
+    assert graph.n_paths == 8
+
+
+def test_flowgraph_build_scales(benchmark, medium_db, paper_lattice):
+    lattice = PathLattice.paper_default(medium_db.schema.location)
+    paths = [aggregate_path(r.path, lattice[0]) for r in medium_db]
+    graph = benchmark(lambda: FlowGraph(paths))
+    assert graph.n_paths == len(medium_db)
+
+
+def test_full_flowcube_build(benchmark, medium_db):
+    cube = benchmark.pedantic(
+        lambda: FlowCube.build(medium_db, min_support=0.02, min_deviation=0.1),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert cube.n_cells() > 0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks mirror the Section 6 experiments at pytest-friendly sizes
+(a few hundred paths — pure Python is ~100× the paper's C++, and a CI run
+should finish in minutes).  The same sweeps at larger scale are available
+through ``flowcube-bench`` / ``python -m repro.bench``, which is what
+EXPERIMENTS.md's numbers come from.
+
+Databases are generated once per session and shared across benchmarks;
+every generator config pins a seed, so timings compare like against like.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import GeneratorConfig, generate_path_database
+
+#: The d=5 baseline configuration every figure sweeps around.
+BASE = GeneratorConfig(
+    n_paths=400,
+    n_dims=5,
+    dim_fanouts=(4, 4, 6),
+    dim_skew=0.8,
+    n_sequences=30,
+    sequence_skew=0.8,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def base_db():
+    """The N=400, d=5 reference database."""
+    return generate_path_database(BASE)
+
+
+@pytest.fixture(scope="session")
+def db_cache():
+    """Config-keyed database cache shared across the whole bench session."""
+    cache: dict[GeneratorConfig, object] = {}
+
+    def get(config: GeneratorConfig):
+        if config not in cache:
+            cache[config] = generate_path_database(config)
+        return cache[config]
+
+    return get
+
+
+def run_once(benchmark, fn):
+    """Benchmark a multi-second miner honestly: one round, no warmup."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,85 @@
+"""Year-over-year flow comparison (intro question 3) + PDFA similarity.
+
+Builds flowcubes for two simulated "years" of the same operation — the
+second year with a deliberately degraded transportation leg — contrasts
+the flowgraphs (largest distribution shifts), renders a full analyst
+report, and shows the PDFA-based φ agreeing with the built-in metrics
+about which cells changed.
+
+Run:  python examples/historic_comparison.py
+"""
+
+from repro.core import (
+    FlowCube,
+    Path,
+    PathDatabase,
+    PathRecord,
+    kl_similarity,
+    tv_similarity,
+)
+from repro.pdfa import flowgraph_pdfa_similarity
+from repro.query import FlowCubeQuery, flow_report
+from repro.synth import GeneratorConfig, generate_path_database
+
+
+def degrade_transport(db: PathDatabase, extra_hours: float) -> PathDatabase:
+    """Next year's data: every area_1 (transport) stay takes longer, and
+    ~the same routes otherwise."""
+    records = []
+    for record in db:
+        stages = [
+            (s.location, s.duration + extra_hours)
+            if s.location.startswith("loc_1_")
+            else (s.location, s.duration)
+            for s in record.path
+        ]
+        records.append(PathRecord(record.record_id, record.dims, Path(stages)))
+    return PathDatabase(db.schema, records, validate=False)
+
+
+def main() -> None:
+    config = GeneratorConfig(
+        n_paths=800,
+        n_dims=2,
+        dim_fanouts=(3, 3, 3),
+        n_sequences=12,
+        max_duration=8,
+        seed=2025,
+    )
+    year_2025 = generate_path_database(config)
+    year_2026 = degrade_transport(year_2025, extra_hours=4)
+
+    cube_2025 = FlowCube.build(year_2025, min_support=0.02, min_deviation=0.15)
+    cube_2026 = FlowCube.build(year_2026, min_support=0.02, min_deviation=0.15)
+
+    q_2025 = FlowCubeQuery(cube_2025)
+    q_2026 = FlowCubeQuery(cube_2026)
+
+    print("=== Analyst report: 2026 apex cell vs 2025 baseline ===")
+    print(
+        flow_report(
+            q_2026.cell(),
+            baseline=q_2025.flowgraph(),
+            top_k=3,
+        )
+    )
+
+    print("=== Similarity of 2026 vs 2025 apex flowgraphs, by metric ===")
+    g_2025 = q_2025.flowgraph()
+    g_2026 = q_2026.flowgraph()
+    for name, metric in (
+        ("KL-based", kl_similarity),
+        ("total-variation", tv_similarity),
+        ("PDFA (ALERGIA)", flowgraph_pdfa_similarity),
+    ):
+        print(f"  {name:<16} {metric(g_2026, g_2025):.3f}")
+    identity = kl_similarity(g_2026, g_2026)
+    print(f"  (self-similarity sanity check: {identity:.3f})")
+
+    print("\nNote: locations are unchanged year over year, so the PDFA view")
+    print("(routes only) stays near 1.0 while the duration-sensitive metrics")
+    print("drop — exactly the distinction §4.3 leaves to the analyst's φ.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Inject measured results/<fig>.csv tables into EXPERIMENTS.md.
+
+Replaces each ``<!--FIGX-->`` placeholder with a markdown table rendered
+from the matching CSV written by ``flowcube-bench --all --out results``.
+
+Usage:  python scripts/fill_experiments.py [results_dir] [experiments_md]
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+PLACEHOLDERS = {
+    "<!--FIG6-->": "fig6.csv",
+    "<!--FIG7-->": "fig7.csv",
+    "<!--FIG8-->": "fig8.csv",
+    "<!--FIG9-->": "fig9.csv",
+    "<!--FIG10-->": "fig10.csv",
+    "<!--FIG11-->": "fig11.csv",
+    "<!--COMPRESSION-->": "compression.csv",
+}
+
+
+def csv_to_markdown(path: Path) -> str:
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    header, *body = rows
+    unit = header[-1]
+    header = header[:-1]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for row in body:
+        unit_value = row[-1]
+        cells = []
+        for i, cell in enumerate(row[:-1]):
+            if i == 0 or not cell:
+                cells.append(cell if cell else "—")
+            elif unit_value == "s":
+                cells.append(f"{float(cell):.2f}s")
+            else:
+                cells.append(f"{float(cell):g}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    results = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    target = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("EXPERIMENTS.md")
+    text = target.read_text()
+    missing = []
+    for placeholder, filename in PLACEHOLDERS.items():
+        csv_path = results / filename
+        if placeholder not in text:
+            continue
+        if not csv_path.exists():
+            missing.append(filename)
+            continue
+        text = text.replace(placeholder, csv_to_markdown(csv_path))
+    target.write_text(text)
+    if missing:
+        print(f"missing CSVs (placeholders left in place): {missing}")
+        return 1
+    print(f"filled {target} from {results}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

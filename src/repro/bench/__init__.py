@@ -1,0 +1,29 @@
+"""Section 6 experiment harness: figure sweeps, runner, CLI."""
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig6_database_size,
+    fig7_minimum_support,
+    fig8_dimensions,
+    fig9_item_density,
+    fig10_path_density,
+    fig11_pruning_power,
+    run_algorithms,
+)
+from repro.bench.harness import result_to_csv, run_experiments, write_results
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "fig6_database_size",
+    "fig7_minimum_support",
+    "fig8_dimensions",
+    "fig9_item_density",
+    "fig10_path_density",
+    "fig11_pruning_power",
+    "result_to_csv",
+    "run_algorithms",
+    "run_experiments",
+    "write_results",
+]

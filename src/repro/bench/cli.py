@@ -1,0 +1,82 @@
+"""Command-line entry point: ``flowcube-bench`` / ``python -m repro.bench``.
+
+Examples::
+
+    flowcube-bench fig6 fig11          # two figures at laptop scale
+    flowcube-bench --scale 5 fig10     # 5x larger databases
+    flowcube-bench --all --out results # everything, CSVs persisted
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import run_experiments, write_results
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flowcube-bench",
+        description=(
+            "Reproduce the FlowCube paper's Section 6 experiments "
+            "(figures 6-11)."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIG",
+        help=f"experiments to run: {', '.join(ALL_EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help=(
+            "database-size multiplier (1.0 = laptop defaults; the paper's "
+            "C++ scale is roughly --scale 100)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write one CSV per experiment into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI body; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.all:
+        names = list(ALL_EXPERIMENTS)
+    elif args.figures:
+        unknown = [f for f in args.figures if f not in ALL_EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown figures: {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_EXPERIMENTS)})",
+                file=sys.stderr,
+            )
+            return 2
+        names = args.figures
+    else:
+        _build_parser().print_help()
+        return 0
+    results = run_experiments(names, scale=args.scale)
+    if args.out:
+        for path in write_results(results, args.out):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,341 @@
+"""Flowgraph exceptions (Section 3, Definition 3.1's ``X`` component).
+
+An *exception* records that, conditioned on a frequent path prefix (a set of
+``(location prefix, duration)`` constraints with support ≥ δ), a node's
+transition or duration distribution deviates by more than ε from its
+unconditional distribution.  The paper's two motivating examples:
+
+* *transition*: "the truck→warehouse probability is 33% in general but 50%
+  when the item stayed only 1 hour at the truck" — the condition includes
+  the node's own duration;
+* *duration*: "items spend 2 hours at the distribution center with
+  probability 80%, but 100% if they spent 5 hours at the factory" — the
+  condition constrains an ancestor stage.
+
+Exceptions are a *holistic* measure (Lemma 4.3): they require the frequent
+path segments of the cell.  :func:`mine_exceptions` accepts those segments
+from the Shared algorithm's output, or mines them locally with the built-in
+level-wise miner (:func:`mine_frequent_segments`) when none are supplied.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.aggregation import DURATION_ANY_LABEL, AggregatedPath
+from repro.core.flowgraph import FlowGraph
+
+__all__ = [
+    "SegmentConstraint",
+    "Segment",
+    "FlowException",
+    "resolve_min_support",
+    "mine_frequent_segments",
+    "mine_exceptions",
+]
+
+#: One constraint: the stage at this location prefix had this duration label.
+SegmentConstraint = tuple[tuple[str, ...], str]
+
+#: A path segment: constraints with nested prefixes, shortest first.
+Segment = tuple[SegmentConstraint, ...]
+
+
+@dataclass(frozen=True)
+class FlowException:
+    """A recorded deviation from a node's unconditional distribution.
+
+    Attributes:
+        node_prefix: The node whose distribution deviates.
+        condition: The frequent segment being conditioned on.
+        kind: ``"transition"`` or ``"duration"``.
+        support: Number of cell paths satisfying the condition (and, for
+            duration exceptions, reaching the node).
+        baseline: The node's unconditional distribution.
+        conditional: The distribution under the condition.
+        deviation: Largest absolute probability change across outcomes.
+    """
+
+    node_prefix: tuple[str, ...]
+    condition: Segment
+    kind: str
+    support: int
+    baseline: dict[str, float]
+    conditional: dict[str, float]
+    deviation: float
+
+    def __str__(self) -> str:
+        condition = ", ".join(
+            f"({'→'.join(p)}={d})" for p, d in self.condition
+        )
+        return (
+            f"{self.kind} exception at {'→'.join(self.node_prefix)} "
+            f"given [{condition}] (Δ={self.deviation:.2f}, n={self.support})"
+        )
+
+
+def resolve_min_support(min_support: float, n_paths: int) -> int:
+    """Turn a δ given as a fraction (<1) or absolute count into a count.
+
+    A fractional δ of 0.01 over 250 paths resolves to ``ceil(2.5) = 3``;
+    absolute values pass through (floored at 1).
+    """
+    if min_support <= 0:
+        return 1
+    if min_support < 1:
+        return max(1, math.ceil(min_support * n_paths))
+    return int(min_support)
+
+
+def _stage_items(path: AggregatedPath) -> list[SegmentConstraint]:
+    """The exact-duration stage constraints a path satisfies."""
+    items: list[SegmentConstraint] = []
+    prefix: tuple[str, ...] = ()
+    for location, duration in path:
+        prefix = prefix + (location,)
+        items.append((prefix, duration))
+    return items
+
+
+def _satisfies(path: AggregatedPath, segment: Segment) -> bool:
+    """Whether *path* meets every constraint of *segment*."""
+    locations = tuple(location for location, _ in path)
+    for constraint_prefix, duration in segment:
+        index = len(constraint_prefix) - 1
+        if index >= len(path):
+            return False
+        if locations[: index + 1] != constraint_prefix:
+            return False
+        if duration != DURATION_ANY_LABEL and path[index][1] != duration:
+            return False
+    return True
+
+
+def mine_frequent_segments(
+    paths: Sequence[AggregatedPath],
+    min_support: float,
+    max_length: int = 4,
+) -> dict[Segment, int]:
+    """Level-wise mining of frequent path segments within one cell.
+
+    Items are exact-duration stage constraints; candidate itemsets only ever
+    join constraints with *nested* prefixes, because the stages of a single
+    path form a chain of prefixes — the unlinkable-stage pruning of
+    Section 5 specialised to one cell.
+
+    Args:
+        paths: The cell's aggregated paths.
+        min_support: δ — fraction of the cell (<1) or absolute count.
+        max_length: Longest segment to mine (bounds the level-wise loop).
+
+    Returns:
+        Mapping segment → absolute support, for all segments with
+        support ≥ δ.
+    """
+    threshold = resolve_min_support(min_support, len(paths))
+    transactions = [frozenset(_stage_items(p)) for p in paths]
+
+    counts: Counter[SegmentConstraint] = Counter()
+    for transaction in transactions:
+        counts.update(transaction)
+    frequent: dict[Segment, int] = {
+        (item,): n for item, n in counts.items() if n >= threshold
+    }
+    result = dict(frequent)
+
+    length = 1
+    while frequent and length < max_length:
+        candidates = _join_segments(list(frequent))
+        if not candidates:
+            break
+        support: Counter[Segment] = Counter()
+        candidate_sets = {c: frozenset(c) for c in candidates}
+        for transaction in transactions:
+            for candidate, item_set in candidate_sets.items():
+                if item_set <= transaction:
+                    support[candidate] += 1
+        frequent = {c: n for c, n in support.items() if n >= threshold}
+        result.update(frequent)
+        length += 1
+    return result
+
+
+def _join_segments(segments: list[Segment]) -> list[Segment]:
+    """Apriori join of equal-length segments sharing all but the last item."""
+    by_prefix: dict[Segment, list[SegmentConstraint]] = {}
+    for segment in segments:
+        by_prefix.setdefault(segment[:-1], []).append(segment[-1])
+    out: list[Segment] = []
+    seen: set[Segment] = set()
+    frequent_set = set(segments)
+    for head, tails in by_prefix.items():
+        tails.sort(key=lambda c: (len(c[0]), c[0], c[1]))
+        for i, a in enumerate(tails):
+            for b in tails[i + 1 :]:
+                if a[0] == b[0]:
+                    continue  # same stage, two durations: unsatisfiable
+                if not _nested(a[0], b[0]):
+                    continue  # unlinkable stages
+                candidate = tuple(
+                    sorted(head + (a, b), key=lambda c: (len(c[0]), c[1]))
+                )
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if all(
+                    _drop(candidate, j) in frequent_set
+                    for j in range(len(candidate))
+                ):
+                    out.append(candidate)
+    return out
+
+
+def _nested(a: tuple[str, ...], b: tuple[str, ...]) -> bool:
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    return longer[: len(shorter)] == shorter
+
+
+def _drop(segment: Segment, index: int) -> Segment:
+    return segment[:index] + segment[index + 1 :]
+
+
+def mine_exceptions(
+    graph: FlowGraph,
+    paths: Sequence[AggregatedPath],
+    min_support: float,
+    min_deviation: float,
+    segments: Iterable[Segment] | None = None,
+    max_segment_length: int = 4,
+) -> list[FlowException]:
+    """Find all (ε, δ) exceptions of *graph* over the cell's *paths*.
+
+    Args:
+        graph: The cell's flowgraph (distributions already counted).
+        paths: The aggregated paths the graph was built from.
+        min_support: δ — fraction (<1) or absolute count.
+        min_deviation: ε — minimum absolute probability change to record.
+        segments: Frequent segments from a shared mining run; mined locally
+            when omitted.
+        max_segment_length: Bound for the local miner.
+
+    The exceptions are also attached to ``graph.exceptions``.
+    """
+    threshold = resolve_min_support(min_support, len(paths))
+    if segments is None:
+        segments = mine_frequent_segments(
+            paths, min_support, max_length=max_segment_length
+        )
+    exceptions: list[FlowException] = []
+    for segment in segments:
+        if not segment:
+            continue
+        ordered = tuple(sorted(segment, key=lambda c: len(c[0])))
+        deepest_prefix = ordered[-1][0]
+        if not graph.has_node(deepest_prefix):
+            continue
+        satisfying = [p for p in paths if _satisfies(p, ordered)]
+        if len(satisfying) < threshold:
+            continue
+        exceptions.extend(
+            _transition_exception(graph, ordered, deepest_prefix, satisfying,
+                                  min_deviation)
+        )
+        exceptions.extend(
+            _duration_exceptions(graph, ordered, deepest_prefix, satisfying,
+                                 threshold, min_deviation)
+        )
+    graph.exceptions = exceptions
+    return exceptions
+
+
+def _transition_exception(
+    graph: FlowGraph,
+    segment: Segment,
+    node_prefix: tuple[str, ...],
+    satisfying: list[AggregatedPath],
+    min_deviation: float,
+) -> list[FlowException]:
+    """Conditional next-location distribution at the deepest node."""
+    from repro.core.flowgraph import TERMINATE
+
+    node = graph.node(node_prefix)
+    baseline = node.transition_distribution()
+    counts: Counter[str] = Counter()
+    depth = len(node_prefix)
+    for path in satisfying:
+        if len(path) > depth:
+            counts[path[depth][0]] += 1
+        else:
+            counts[TERMINATE] += 1
+    conditional = _normalise(counts)
+    deviation = _max_deviation(baseline, conditional)
+    if deviation > min_deviation:
+        return [
+            FlowException(
+                node_prefix=node_prefix,
+                condition=segment,
+                kind="transition",
+                support=len(satisfying),
+                baseline=baseline,
+                conditional=conditional,
+                deviation=deviation,
+            )
+        ]
+    return []
+
+
+def _duration_exceptions(
+    graph: FlowGraph,
+    segment: Segment,
+    node_prefix: tuple[str, ...],
+    satisfying: list[AggregatedPath],
+    threshold: int,
+    min_deviation: float,
+) -> list[FlowException]:
+    """Conditional duration distributions at the children of the node."""
+    node = graph.node(node_prefix)
+    out: list[FlowException] = []
+    depth = len(node_prefix)
+    for location, child in node.children.items():
+        counts: Counter[str] = Counter()
+        for path in satisfying:
+            if len(path) > depth and path[depth][0] == location:
+                counts[path[depth][1]] += 1
+        support = sum(counts.values())
+        if support < threshold:
+            continue
+        baseline = child.duration_distribution()
+        conditional = _normalise(counts)
+        deviation = _max_deviation(baseline, conditional)
+        if deviation > min_deviation:
+            out.append(
+                FlowException(
+                    node_prefix=child.prefix,
+                    condition=segment,
+                    kind="duration",
+                    support=support,
+                    baseline=baseline,
+                    conditional=conditional,
+                    deviation=deviation,
+                )
+            )
+    return out
+
+
+def _normalise(counts: Counter[str]) -> dict[str, float]:
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {key: n / total for key, n in counts.items()}
+
+
+def _max_deviation(baseline: dict[str, float], conditional: dict[str, float]) -> float:
+    keys = set(baseline) | set(conditional)
+    if not keys:
+        return 0.0
+    return max(
+        abs(baseline.get(k, 0.0) - conditional.get(k, 0.0)) for k in keys
+    )

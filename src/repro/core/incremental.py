@@ -1,0 +1,135 @@
+"""Incremental flowcube maintenance (an extension enabled by Lemma 4.2).
+
+RFID data arrives continuously; rebuilding the cube per batch is wasteful.
+Lemma 4.2 says the algebraic part of the measure — the per-node duration
+and transition counts — supports additive updates, so appending a batch of
+new paths touches only the affected cells' counters.  The holistic part
+(exceptions) must be re-mined, but only in the cells the batch touched.
+
+Limits, faithfully inherited from the paper's analysis:
+
+* the *iceberg frontier* can move: a cell that was below δ before the
+  batch may cross it.  :func:`append_batch` detects those cells and
+  materialises them from scratch (it keeps the cube's `database` as the
+  source of truth);
+* redundancy marks are invalidated in touched cells (a cell may stop —
+  or start — matching its parents) and are recomputed there.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.aggregation import aggregate_path
+from repro.core.flowcube import Cell, FlowCube
+from repro.core.flowgraph import FlowGraph
+from repro.core.flowgraph_exceptions import mine_exceptions, resolve_min_support
+from repro.core.path import PathRecord
+from repro.core.path_database import PathDatabase
+from repro.errors import CubeError
+
+__all__ = ["append_batch"]
+
+
+def append_batch(
+    cube: FlowCube,
+    batch: Sequence[PathRecord],
+    recompute_exceptions: bool = True,
+) -> dict[str, int]:
+    """Fold a batch of new path records into a materialised cube.
+
+    Args:
+        cube: The cube to update (its ``database`` is extended in place).
+        batch: New records; ids must not collide with existing ones.
+        recompute_exceptions: Re-mine (ε, δ) exceptions in touched cells.
+
+    Returns:
+        Update statistics: ``{"updated": ..., "created": ...,
+        "still_below_delta": ...}`` cell counts.
+
+    Raises:
+        CubeError: On record-id collisions or schema mismatch.
+    """
+    if not batch:
+        return {"updated": 0, "created": 0, "still_below_delta": 0}
+    database = cube.database
+    existing_ids = {record.record_id for record in database}
+    for record in batch:
+        if record.record_id in existing_ids:
+            raise CubeError(f"record id {record.record_id} already in the cube")
+        if len(record.dims) != database.schema.n_dimensions:
+            raise CubeError(
+                f"record {record.record_id} has {len(record.dims)} dimensions, "
+                f"schema defines {database.schema.n_dimensions}"
+            )
+
+    # Extend the backing database (source of truth for from-scratch cells).
+    database._records.extend(batch)  # noqa: SLF001 - cube owns its database
+    threshold = resolve_min_support(cube.min_support, len(database))
+    hierarchies = database.schema.dimensions
+
+    updated = created = below = 0
+    for cuboid in cube.cuboids:
+        # Group the batch by this cuboid's cell keys.
+        groups: dict[tuple[str, ...], list[PathRecord]] = {}
+        for record in batch:
+            key = tuple(
+                h.ancestor_at_level(value, level)
+                for h, value, level in zip(
+                    hierarchies, record.dims, cuboid.item_level
+                )
+            )
+            groups.setdefault(key, []).append(record)
+        for key, records in groups.items():
+            new_paths = tuple(
+                aggregate_path(r.path, cuboid.path_level) for r in records
+            )
+            cell = cuboid.cells.get(key)
+            if cell is not None:
+                for path in new_paths:
+                    cell.flowgraph.add_path(path)
+                cell.record_ids = cell.record_ids + tuple(
+                    r.record_id for r in records
+                )
+                cell.paths = cell.paths + new_paths
+                cell.redundant = False  # marks are stale for touched cells
+                updated += 1
+            else:
+                # The cell may have just crossed the iceberg frontier:
+                # count its full membership in the extended database.
+                member_ids = [
+                    r.record_id
+                    for r in database
+                    if tuple(
+                        h.ancestor_at_level(v, lv)
+                        for h, v, lv in zip(
+                            hierarchies, r.dims, cuboid.item_level
+                        )
+                    )
+                    == key
+                ]
+                if len(member_ids) < threshold:
+                    below += 1
+                    continue
+                paths = tuple(
+                    aggregate_path(database[rid].path, cuboid.path_level)
+                    for rid in member_ids
+                )
+                cell = Cell(
+                    key=key,
+                    item_level=cuboid.item_level,
+                    path_level=cuboid.path_level,
+                    record_ids=tuple(member_ids),
+                    flowgraph=FlowGraph(paths),
+                    paths=paths,
+                )
+                cuboid.cells[key] = cell
+                created += 1
+            if recompute_exceptions:
+                mine_exceptions(
+                    cell.flowgraph,
+                    list(cell.paths),
+                    min_support=cube.min_support,
+                    min_deviation=cube.min_deviation,
+                )
+    return {"updated": updated, "created": created, "still_below_delta": below}

@@ -1,0 +1,87 @@
+"""Algebraic and holistic measure machinery (Section 4.2).
+
+Lemma 4.2: the duration and transition distributions of a flowgraph are
+*algebraic* — the flowgraph of a union of disjoint path sets is obtained by
+summing a bounded number of per-node counts from each part.
+:func:`merge_flowgraphs` implements exactly that, which lets a flowcube
+derive high-item-level flowgraphs from already-materialised low-level ones
+without another pass over the path database.
+
+Lemma 4.3: the exception set is *holistic* — it cannot be merged upward from
+per-part summaries, because frequent-in-the-union segments may be
+infrequent in every part.  :func:`exceptions_are_mergeable` demonstrates the
+failure mode constructively (it is used by the test-suite to document the
+lemma); real exception computation goes through the shared mining pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.aggregation import AggregatedPath
+from repro.core.flowgraph import FlowGraph
+from repro.core.flowgraph_exceptions import mine_frequent_segments
+
+__all__ = ["merge_flowgraphs", "exceptions_are_mergeable"]
+
+
+def merge_flowgraphs(graphs: Iterable[FlowGraph]) -> FlowGraph:
+    """Merge flowgraphs over disjoint path sets by summing node counts.
+
+    The merged graph's distributions equal those of a flowgraph built
+    directly over the union of the underlying paths (Lemma 4.2).  Exceptions
+    are *not* merged — they are holistic (Lemma 4.3) and must be re-mined.
+
+    Returns:
+        A new :class:`FlowGraph`; inputs are left untouched.
+    """
+    merged = FlowGraph()
+    for graph in graphs:
+        merged.n_paths += graph.n_paths
+        for node in graph.nodes():
+            target = merged._index.get(node.prefix)  # noqa: SLF001 - same class
+            if target is None:
+                target = _clone_structure(merged, node.prefix)
+            target.count += node.count
+            target.duration_counts.update(node.duration_counts)
+            target.transition_counts.update(node.transition_counts)
+    return merged
+
+
+def _clone_structure(graph: FlowGraph, prefix: tuple[str, ...]):
+    """Create (and index) the node chain for *prefix* inside *graph*."""
+    from repro.core.flowgraph import FlowGraphNode
+
+    node = None
+    for end in range(1, len(prefix) + 1):
+        partial = prefix[:end]
+        existing = graph._index.get(partial)  # noqa: SLF001 - same class
+        if existing is None:
+            existing = FlowGraphNode(partial)
+            graph._index[partial] = existing  # noqa: SLF001
+            if end == 1:
+                graph._roots[partial[0]] = existing  # noqa: SLF001
+            else:
+                graph._index[partial[:-1]].children[partial[-1]] = existing  # noqa: SLF001
+        node = existing
+    assert node is not None
+    return node
+
+
+def exceptions_are_mergeable(
+    parts: Sequence[Sequence[AggregatedPath]], min_support: float
+) -> bool:
+    """Check whether per-part frequent segments suffice for the union.
+
+    Returns ``True`` only when every segment frequent in the union is
+    frequent in at least one part — in which case part-local mining would
+    have surfaced it.  Lemma 4.3 says this fails in general; the property
+    tests use this function to exhibit concrete counterexamples.
+    """
+    union: list[AggregatedPath] = [path for part in parts for path in part]
+    union_frequent = set(mine_frequent_segments(union, min_support))
+    part_frequent: set = set()
+    for part in parts:
+        if part:
+            part_frequent |= set(mine_frequent_segments(list(part), min_support))
+    return union_frequent <= part_frequent

@@ -1,0 +1,108 @@
+"""Paths and path-database records (Section 2, Table 1).
+
+A *path* is the ordered sequence of stages one item traversed.  A *path
+record* couples a path with the item's path-independent dimension values
+(product, brand, ... — values that do not change as the item moves).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.stage import Stage
+from repro.errors import PathDatabaseError
+
+__all__ = ["Path", "PathRecord"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """An immutable sequence of :class:`~repro.core.stage.Stage` objects."""
+
+    stages: tuple[Stage, ...]
+
+    def __init__(self, stages: Iterable[Stage | tuple[str, float]]) -> None:
+        normalised = tuple(
+            s if isinstance(s, Stage) else Stage(s[0], s[1]) for s in stages
+        )
+        object.__setattr__(self, "stages", normalised)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def __getitem__(self, index: int) -> Stage:
+        return self.stages[index]
+
+    def __str__(self) -> str:
+        return "".join(str(s) for s in self.stages)
+
+    @property
+    def locations(self) -> tuple[str, ...]:
+        """The location sequence of the path, in travel order."""
+        return tuple(s.location for s in self.stages)
+
+    @property
+    def durations(self) -> tuple[float, ...]:
+        """The duration of each stage, aligned with :attr:`locations`."""
+        return tuple(s.duration for s in self.stages)
+
+    @property
+    def total_duration(self) -> float:
+        """End-to-end lead time: the sum of all stage durations."""
+        return sum(s.duration for s in self.stages)
+
+    def prefix(self, length: int) -> "Path":
+        """The first *length* stages as a new path."""
+        return Path(self.stages[:length])
+
+    def location_prefix(self, length: int) -> tuple[str, ...]:
+        """The first *length* locations (used by stage encodings)."""
+        return self.locations[:length]
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """One row of a path database: dimensions + the traversed path.
+
+    Attributes:
+        record_id: Stable integer id (the ``id`` column of Table 1).
+        dims: Path-independent dimension values, positionally aligned with
+            the database schema (e.g. ``("tennis", "nike")``).
+        path: The traversed :class:`Path`.
+    """
+
+    record_id: int
+    dims: tuple[str, ...]
+    path: Path
+
+    def __init__(
+        self,
+        record_id: int,
+        dims: Sequence[str],
+        path: Path | Iterable[Stage | tuple[str, float]],
+    ) -> None:
+        object.__setattr__(self, "record_id", int(record_id))
+        object.__setattr__(self, "dims", tuple(dims))
+        object.__setattr__(
+            self, "path", path if isinstance(path, Path) else Path(path)
+        )
+        if not self.path.stages:
+            raise PathDatabaseError(f"record {record_id} has an empty path")
+
+    def dim(self, index: int) -> str:
+        """Value of the *index*-th path-independent dimension."""
+        try:
+            return self.dims[index]
+        except IndexError:
+            raise PathDatabaseError(
+                f"record {self.record_id} has {len(self.dims)} dimensions, "
+                f"index {index} requested"
+            ) from None
+
+    def __str__(self) -> str:
+        dims = ", ".join(self.dims)
+        return f"<{dims} : {self.path}>"

@@ -1,0 +1,277 @@
+"""The path database (Section 2, Table 1).
+
+A :class:`PathDatabase` is a collection of :class:`~repro.core.path.PathRecord`
+rows together with a :class:`PathSchema` that names the path-independent
+dimensions and binds each of them — plus the stage location and duration
+dimensions — to a concept hierarchy.
+
+The module also ships :func:`example_path_database`, the eight-row running
+example of Table 1, with the product/location hierarchies of Figures 2 and 5;
+the paper-example tests and the quickstart build on it.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.path import Path, PathRecord
+from repro.core.stage import Stage
+from repro.errors import PathDatabaseError
+
+__all__ = [
+    "PathSchema",
+    "PathDatabase",
+    "example_path_database",
+    "example_duration_hierarchy",
+]
+
+
+@dataclass(frozen=True)
+class PathSchema:
+    """Schema of a path database.
+
+    Attributes:
+        dimensions: Concept hierarchies of the path-independent dimensions,
+            in column order (their ``name`` attributes are the column names).
+        location: Concept hierarchy over stage locations (Figure 5).
+        duration: Concept hierarchy over stage durations.  Durations are
+            numeric; this hierarchy's leaves are the string forms of the
+            discretised values (see :mod:`repro.core.aggregation`).
+    """
+
+    dimensions: tuple[ConceptHierarchy, ...]
+    location: ConceptHierarchy
+    duration: ConceptHierarchy
+
+    def __init__(
+        self,
+        dimensions: Sequence[ConceptHierarchy],
+        location: ConceptHierarchy,
+        duration: ConceptHierarchy,
+    ) -> None:
+        object.__setattr__(self, "dimensions", tuple(dimensions))
+        object.__setattr__(self, "location", location)
+        object.__setattr__(self, "duration", duration)
+
+    @property
+    def dimension_names(self) -> tuple[str, ...]:
+        """Column names of the path-independent dimensions."""
+        return tuple(h.name for h in self.dimensions)
+
+    @property
+    def n_dimensions(self) -> int:
+        """Number of path-independent dimensions."""
+        return len(self.dimensions)
+
+    def dimension(self, name: str) -> ConceptHierarchy:
+        """Hierarchy of the dimension called *name*."""
+        for hierarchy in self.dimensions:
+            if hierarchy.name == name:
+                return hierarchy
+        raise PathDatabaseError(f"no dimension named {name!r} in schema")
+
+    def dimension_index(self, name: str) -> int:
+        """Column position of the dimension called *name*."""
+        for i, hierarchy in enumerate(self.dimensions):
+            if hierarchy.name == name:
+                return i
+        raise PathDatabaseError(f"no dimension named {name!r} in schema")
+
+
+class PathDatabase:
+    """An in-memory path database: a schema plus a list of records.
+
+    The database validates on construction that every record has the right
+    number of dimension values and that every dimension value / stage
+    location is a concept known to the corresponding hierarchy, so that the
+    downstream encoders never meet an unknown value.
+
+    Args:
+        schema: The :class:`PathSchema`.
+        records: The rows.
+        validate: Set to ``False`` to skip per-record hierarchy membership
+            checks (useful for very large synthetic databases whose values
+            are correct by construction).
+    """
+
+    def __init__(
+        self,
+        schema: PathSchema,
+        records: Iterable[PathRecord],
+        validate: bool = True,
+    ) -> None:
+        self.schema = schema
+        self._records: list[PathRecord] = list(records)
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n_dims = self.schema.n_dimensions
+        for record in self._records:
+            if len(record.dims) != n_dims:
+                raise PathDatabaseError(
+                    f"record {record.record_id} has {len(record.dims)} dimension "
+                    f"values, schema defines {n_dims}"
+                )
+            for hierarchy, value in zip(self.schema.dimensions, record.dims):
+                if value not in hierarchy:
+                    raise PathDatabaseError(
+                        f"record {record.record_id}: value {value!r} is not in "
+                        f"the {hierarchy.name!r} hierarchy"
+                    )
+            for stage in record.path:
+                if stage.location not in self.schema.location:
+                    raise PathDatabaseError(
+                        f"record {record.record_id}: location {stage.location!r} "
+                        f"is not in the location hierarchy"
+                    )
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[PathRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: int) -> PathRecord:
+        for record in self._records:
+            if record.record_id == record_id:
+                return record
+        raise PathDatabaseError(f"no record with id {record_id}")
+
+    @property
+    def records(self) -> tuple[PathRecord, ...]:
+        """All rows, in insertion order."""
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def distinct_location_sequences(self) -> set[tuple[str, ...]]:
+        """The set of distinct location sequences present in the data."""
+        return {record.path.locations for record in self._records}
+
+    def max_path_length(self) -> int:
+        """Length of the longest path, 0 for an empty database."""
+        return max((len(r.path) for r in self._records), default=0)
+
+    def describe(self) -> dict[str, object]:
+        """Summary statistics used by the benchmark harness."""
+        lengths = [len(r.path) for r in self._records]
+        return {
+            "records": len(self._records),
+            "dimensions": self.schema.n_dimensions,
+            "distinct_sequences": len(self.distinct_location_sequences()),
+            "avg_path_length": sum(lengths) / len(lengths) if lengths else 0.0,
+            "max_path_length": max(lengths, default=0),
+        }
+
+    # ------------------------------------------------------------------
+    # (de)serialisation — simple CSV interchange format
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Serialise the rows (not the schema) to CSV.
+
+        Columns: ``id``, one column per dimension, then ``path`` holding
+        ``loc:dur`` steps joined by ``|``.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["id", *self.schema.dimension_names, "path"])
+        for record in self._records:
+            path = "|".join(f"{s.location}:{s.duration:g}" for s in record.path)
+            writer.writerow([record.record_id, *record.dims, path])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, schema: PathSchema, text: str) -> "PathDatabase":
+        """Inverse of :meth:`to_csv` for the given schema."""
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        expected = ["id", *schema.dimension_names, "path"]
+        if header != expected:
+            raise PathDatabaseError(f"bad CSV header {header!r}; expected {expected!r}")
+        records: list[PathRecord] = []
+        for row in reader:
+            if not row:
+                continue
+            record_id, *dims, path_text = row
+            stages = []
+            for step in path_text.split("|"):
+                location, _, duration = step.rpartition(":")
+                if not location:
+                    raise PathDatabaseError(f"malformed path step {step!r}")
+                stages.append(Stage(location, float(duration)))
+            records.append(PathRecord(int(record_id), dims, Path(stages)))
+        return cls(schema, records)
+
+
+# ----------------------------------------------------------------------
+# The paper's running example (Tables 1-4, Figures 2-5)
+# ----------------------------------------------------------------------
+
+def example_duration_hierarchy(max_duration: int = 24) -> ConceptHierarchy:
+    """A flat duration hierarchy over integer hours ``0..max_duration``."""
+    return ConceptHierarchy.flat(
+        "duration", [str(h) for h in range(max_duration + 1)]
+    )
+
+
+def example_path_database() -> PathDatabase:
+    """The eight-row path database of Table 1.
+
+    Dimensions: *product* with the three-level hierarchy of Figure 2
+    (clothing→{outerwear→{shirt,jacket}, shoes→{tennis,sandals}}) and *brand*
+    (flat: nike, adidas).  Locations follow Figure 5's hierarchy:
+    transportation→{dist center, truck, warehouse} and
+    store→{backroom, shelf, checkout}, plus factory.
+    """
+    product = ConceptHierarchy.from_nested(
+        "product",
+        {
+            "clothing": {
+                "outerwear": {"shirt": {}, "jacket": {}},
+                "shoes": {"tennis": {}, "sandals": {}},
+            }
+        },
+    )
+    brand = ConceptHierarchy.flat("brand", ["nike", "adidas"])
+    location = ConceptHierarchy.from_nested(
+        "location",
+        {
+            "transportation": {"dist center": {}, "truck": {}, "warehouse": {}},
+            "factory": {},
+            "store": {"backroom": {}, "shelf": {}, "checkout": {}},
+        },
+    )
+    schema = PathSchema(
+        dimensions=(product, brand),
+        location=location,
+        duration=example_duration_hierarchy(),
+    )
+    f, d, t, w, s, c = (
+        "factory",
+        "dist center",
+        "truck",
+        "warehouse",
+        "shelf",
+        "checkout",
+    )
+    rows: list[tuple[int, tuple[str, str], list[tuple[str, float]]]] = [
+        (1, ("tennis", "nike"), [(f, 10), (d, 2), (t, 1), (s, 5), (c, 0)]),
+        (2, ("tennis", "nike"), [(f, 5), (d, 2), (t, 1), (s, 10), (c, 0)]),
+        (3, ("sandals", "nike"), [(f, 10), (d, 1), (t, 2), (s, 5), (c, 0)]),
+        (4, ("shirt", "nike"), [(f, 10), (t, 1), (s, 5), (c, 0)]),
+        (5, ("jacket", "nike"), [(f, 10), (t, 2), (s, 5), (c, 1)]),
+        (6, ("jacket", "nike"), [(f, 10), (t, 1), (w, 5)]),
+        (7, ("tennis", "adidas"), [(f, 5), (d, 2), (t, 2), (s, 20)]),
+        (8, ("tennis", "adidas"), [(f, 5), (d, 2), (t, 3), (s, 10), (d, 5)]),
+    ]
+    records = [PathRecord(rid, dims, Path(path)) for rid, dims, path in rows]
+    return PathDatabase(schema, records)

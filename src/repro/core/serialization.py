@@ -1,0 +1,181 @@
+"""JSON (de)serialisation of flowgraphs and flowcubes.
+
+A data-warehouse artifact is only useful if it can be persisted and shipped
+to the analysts' tools.  This module provides a stable, human-inspectable
+JSON format:
+
+* :func:`flowgraph_to_dict` / :func:`flowgraph_from_dict` — raw counts (so
+  round-tripped graphs keep merging algebraically) plus exceptions;
+* :func:`cube_to_json` / :func:`cube_from_json` — cells with coordinates
+  and measures.  The cube format stores the path lattice structurally
+  (view concepts + duration level) and rebinds it against the schema's
+  location hierarchy on load; the path database itself is serialised
+  separately via :meth:`~repro.core.path_database.PathDatabase.to_csv`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.flowcube import Cell, Cuboid, FlowCube
+from repro.core.flowgraph import FlowGraph
+from repro.core.flowgraph_exceptions import FlowException
+from repro.core.lattice import ItemLattice, ItemLevel, LocationView, PathLattice, PathLevel
+from repro.core.path_database import PathDatabase
+from repro.errors import CubeError
+
+__all__ = [
+    "flowgraph_to_dict",
+    "flowgraph_from_dict",
+    "cube_to_json",
+    "cube_from_json",
+]
+
+
+def flowgraph_to_dict(graph: FlowGraph) -> dict:
+    """Serialise a flowgraph (raw counts + exceptions) to plain data."""
+    return {
+        "n_paths": graph.n_paths,
+        "nodes": [
+            {
+                "prefix": list(node.prefix),
+                "count": node.count,
+                "durations": dict(node.duration_counts),
+                "transitions": dict(node.transition_counts),
+            }
+            for node in graph.nodes()
+        ],
+        "exceptions": [
+            {
+                "node_prefix": list(exc.node_prefix),
+                "condition": [
+                    {"prefix": list(prefix), "duration": duration}
+                    for prefix, duration in exc.condition
+                ],
+                "kind": exc.kind,
+                "support": exc.support,
+                "baseline": exc.baseline,
+                "conditional": exc.conditional,
+                "deviation": exc.deviation,
+            }
+            for exc in graph.exceptions
+        ],
+    }
+
+
+def flowgraph_from_dict(data: dict) -> FlowGraph:
+    """Inverse of :func:`flowgraph_to_dict`."""
+    graph = FlowGraph()
+    graph.n_paths = int(data["n_paths"])
+    # Nodes arrive shortest-prefix first, so parents always exist.
+    for node_data in sorted(data["nodes"], key=lambda n: len(n["prefix"])):
+        prefix = tuple(node_data["prefix"])
+        from repro.core.flowgraph import FlowGraphNode
+
+        node = FlowGraphNode(prefix)
+        node.count = int(node_data["count"])
+        node.duration_counts.update(node_data["durations"])
+        node.transition_counts.update(node_data["transitions"])
+        graph._index[prefix] = node  # noqa: SLF001 - same-package rebuild
+        if len(prefix) == 1:
+            graph._roots[prefix[0]] = node  # noqa: SLF001
+        else:
+            graph._index[prefix[:-1]].children[prefix[-1]] = node  # noqa: SLF001
+    graph.exceptions = [
+        FlowException(
+            node_prefix=tuple(exc["node_prefix"]),
+            condition=tuple(
+                (tuple(c["prefix"]), c["duration"]) for c in exc["condition"]
+            ),
+            kind=exc["kind"],
+            support=int(exc["support"]),
+            baseline=dict(exc["baseline"]),
+            conditional=dict(exc["conditional"]),
+            deviation=float(exc["deviation"]),
+        )
+        for exc in data.get("exceptions", [])
+    ]
+    return graph
+
+
+def _path_level_to_dict(level: PathLevel) -> dict:
+    return {
+        "view": sorted(level.view.concepts),
+        "duration_level": level.duration_level,
+    }
+
+
+def cube_to_json(cube: FlowCube) -> str:
+    """Serialise a materialised flowcube (without its path database)."""
+    payload = {
+        "min_support": cube.min_support,
+        "min_deviation": cube.min_deviation,
+        "path_lattice": [
+            _path_level_to_dict(level) for level in cube.path_lattice
+        ],
+        "cuboids": [
+            {
+                "item_level": list(cuboid.item_level.levels),
+                "path_level": cube.path_lattice.index_of(cuboid.path_level),
+                "cells": [
+                    {
+                        "key": list(cell.key),
+                        "record_ids": list(cell.record_ids),
+                        "redundant": cell.redundant,
+                        "flowgraph": flowgraph_to_dict(cell.flowgraph),
+                    }
+                    for cell in cuboid
+                ],
+            }
+            for cuboid in cube.cuboids
+        ],
+    }
+    return json.dumps(payload)
+
+
+def cube_from_json(text: str, database: PathDatabase) -> FlowCube:
+    """Rebuild a flowcube against its path database.
+
+    The database must be the one (or an equal copy of the one) the cube was
+    built from; cell ``record_ids`` index into it.
+    """
+    payload = json.loads(text)
+    known_ids = {record.record_id for record in database}
+    location = database.schema.location
+    path_lattice = PathLattice(
+        PathLevel(
+            LocationView(location, level["view"]), int(level["duration_level"])
+        )
+        for level in payload["path_lattice"]
+    )
+    cube = FlowCube(
+        database=database,
+        item_lattice=ItemLattice([h.depth for h in database.schema.dimensions]),
+        path_lattice=path_lattice,
+        min_support=payload["min_support"],
+        min_deviation=payload["min_deviation"],
+    )
+    for cuboid_data in payload["cuboids"]:
+        item_level = ItemLevel(cuboid_data["item_level"])
+        path_level = path_lattice[int(cuboid_data["path_level"])]
+        cuboid = Cuboid(item_level, path_level)
+        for cell_data in cuboid_data["cells"]:
+            key = tuple(cell_data["key"])
+            record_ids = tuple(int(i) for i in cell_data["record_ids"])
+            missing = [i for i in record_ids if i not in known_ids]
+            if missing:
+                raise CubeError(
+                    f"cube references record ids {missing!r} absent from "
+                    "the supplied database"
+                )
+            cuboid.cells[key] = Cell(
+                key=key,
+                item_level=item_level,
+                path_level=path_level,
+                record_ids=record_ids,
+                flowgraph=flowgraph_from_dict(cell_data["flowgraph"]),
+                paths=(),
+                redundant=bool(cell_data["redundant"]),
+            )
+        cube._cuboids[(item_level, path_level)] = cuboid  # noqa: SLF001
+    return cube

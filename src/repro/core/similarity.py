@@ -1,0 +1,154 @@
+"""Flowgraph similarity metrics φ (Section 4.3).
+
+Redundancy pruning needs a function ``φ(G1, G2) → R`` that is *large when the
+graphs are similar*.  The paper suggests KL divergence of the induced
+probability distributions, and notes PDFA-style distances also work; φ is
+explicitly pluggable and need not satisfy the triangle inequality.
+
+Three metrics are provided, all returning values in ``[0, 1]`` with 1 =
+identical:
+
+* :func:`kl_similarity` — ``exp(-KL)`` of the per-node duration and
+  transition distributions (Laplace-smoothed, so unseen outcomes don't send
+  the divergence to ∞), weighted by how much traffic each node carries;
+* :func:`tv_similarity` — 1 minus the traffic-weighted total-variation
+  distance, a bounded and symmetric alternative;
+* :func:`path_distribution_similarity` — compares the distributions the two
+  graphs induce over *complete location sequences* (the PDFA view), which is
+  sensitive to structural differences deep in the tree.
+
+Nodes present in only one graph compare against a degenerate "missing"
+distribution, so a graph with extra branches is penalised in proportion to
+the probability mass those branches carry.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from repro.core.flowgraph import FlowGraph, FlowGraphNode
+
+__all__ = [
+    "SimilarityMetric",
+    "kl_divergence",
+    "total_variation",
+    "kl_similarity",
+    "tv_similarity",
+    "path_distribution_similarity",
+]
+
+#: Signature every φ shares: two flowgraphs in, similarity in [0, 1] out.
+SimilarityMetric = Callable[[FlowGraph, FlowGraph], float]
+
+_SMOOTHING = 1e-3
+
+
+def kl_divergence(
+    p: dict[str, float], q: dict[str, float], smoothing: float = _SMOOTHING
+) -> float:
+    """Smoothed Kullback–Leibler divergence ``KL(p ‖ q)``.
+
+    Both distributions are re-normalised over the union of their supports
+    after adding *smoothing* to every outcome, keeping the divergence finite
+    when ``q`` lacks an outcome of ``p``.
+    """
+    keys = set(p) | set(q)
+    if not keys:
+        return 0.0
+    p_total = sum(p.get(k, 0.0) + smoothing for k in keys)
+    q_total = sum(q.get(k, 0.0) + smoothing for k in keys)
+    divergence = 0.0
+    for key in keys:
+        p_k = (p.get(key, 0.0) + smoothing) / p_total
+        q_k = (q.get(key, 0.0) + smoothing) / q_total
+        divergence += p_k * math.log(p_k / q_k)
+    return max(divergence, 0.0)
+
+
+def total_variation(p: dict[str, float], q: dict[str, float]) -> float:
+    """Total-variation distance ``0.5 * Σ |p - q|`` (in ``[0, 1]``)."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def _node_weights(graph: FlowGraph) -> dict[tuple[str, ...], float]:
+    """Traffic share of every node: count / total paths."""
+    if graph.n_paths == 0:
+        return {}
+    return {node.prefix: node.count / graph.n_paths for node in graph.nodes()}
+
+
+def _weighted_node_score(
+    g1: FlowGraph,
+    g2: FlowGraph,
+    node_score: Callable[[FlowGraphNode | None, FlowGraphNode | None], float],
+) -> float:
+    """Average *node_score* over the union of node prefixes, traffic-weighted.
+
+    Weights come from both graphs so a branch that only exists in one of
+    them still contributes (with a score of 0 from the side that lacks it).
+    """
+    w1 = _node_weights(g1)
+    w2 = _node_weights(g2)
+    prefixes = set(w1) | set(w2)
+    if not prefixes:
+        return 1.0
+    total_weight = 0.0
+    total_score = 0.0
+    for prefix in prefixes:
+        weight = w1.get(prefix, 0.0) + w2.get(prefix, 0.0)
+        n1 = g1.node(prefix) if g1.has_node(prefix) else None
+        n2 = g2.node(prefix) if g2.has_node(prefix) else None
+        total_weight += weight
+        total_score += weight * node_score(n1, n2)
+    return total_score / total_weight if total_weight else 1.0
+
+
+def kl_similarity(g1: FlowGraph, g2: FlowGraph) -> float:
+    """φ based on ``exp(-KL)`` of per-node distributions (paper's suggestion).
+
+    Each node contributes ``exp(-(KL_dur + KL_trans))``; a node missing from
+    one graph contributes 0.  Scores average with traffic weights.
+    """
+
+    def score(n1: FlowGraphNode | None, n2: FlowGraphNode | None) -> float:
+        if n1 is None or n2 is None:
+            return 0.0
+        divergence = kl_divergence(
+            n1.duration_distribution(), n2.duration_distribution()
+        ) + kl_divergence(
+            n1.transition_distribution(), n2.transition_distribution()
+        )
+        return math.exp(-divergence)
+
+    return _weighted_node_score(g1, g2, score)
+
+
+def tv_similarity(g1: FlowGraph, g2: FlowGraph) -> float:
+    """φ based on total-variation distance of per-node distributions."""
+
+    def score(n1: FlowGraphNode | None, n2: FlowGraphNode | None) -> float:
+        if n1 is None or n2 is None:
+            return 0.0
+        distance = 0.5 * (
+            total_variation(n1.duration_distribution(), n2.duration_distribution())
+            + total_variation(
+                n1.transition_distribution(), n2.transition_distribution()
+            )
+        )
+        return 1.0 - distance
+
+    return _weighted_node_score(g1, g2, score)
+
+
+def path_distribution_similarity(g1: FlowGraph, g2: FlowGraph) -> float:
+    """φ comparing the induced distributions over complete location paths.
+
+    This is the PDFA-distance flavour: 1 minus the total-variation distance
+    between the two graphs' path-completion distributions (durations
+    marginalised out).
+    """
+    p1 = dict(g1.enumerate_paths())
+    p2 = dict(g2.enumerate_paths())
+    return 1.0 - total_variation(p1, p2)

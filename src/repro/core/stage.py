@@ -1,0 +1,78 @@
+"""Path stages and raw RFID readings (Section 2 of the paper).
+
+An RFID deployment emits a stream of ``(EPC, location, time)`` readings.
+After cleaning, the readings of one item collapse into *stages* of the form
+``(location, time_in, time_out)``; for flow analysis absolute time is dropped
+and each stage becomes a ``(location, duration)`` pair.  This module defines
+those three representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RawReading", "StageRecord", "Stage"]
+
+
+@dataclass(frozen=True, order=True)
+class RawReading:
+    """One raw tag read: *epc* seen at *location* at absolute *time*.
+
+    Ordering is by ``(epc, time, location)`` so a sorted stream groups the
+    readings of each item chronologically, which is what the cleaning step
+    consumes.
+    """
+
+    epc: str
+    time: float
+    location: str
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """A cleaned stay: the item was at *location* from *time_in* to *time_out*.
+
+    Produced by :mod:`repro.warehouse.cleaning`; the flow model proper only
+    uses the relative-duration view (:class:`Stage`).
+    """
+
+    location: str
+    time_in: float
+    time_out: float
+
+    def __post_init__(self) -> None:
+        if self.time_out < self.time_in:
+            raise ValueError(
+                f"stage at {self.location!r} ends before it starts "
+                f"({self.time_out} < {self.time_in})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the stay in the stream's time unit."""
+        return self.time_out - self.time_in
+
+    def to_stage(self) -> "Stage":
+        """Drop absolute time, keeping ``(location, duration)``."""
+        return Stage(self.location, self.duration)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A ``(location, duration)`` pair — one step of a path.
+
+    ``duration`` is whatever unit the path database uses (the paper's
+    examples use hours).  Durations may be discretised to coarser values by
+    :mod:`repro.core.aggregation`.
+    """
+
+    location: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative duration {self.duration} at {self.location!r}")
+
+    def __str__(self) -> str:
+        dur = int(self.duration) if float(self.duration).is_integer() else self.duration
+        return f"({self.location}, {dur})"

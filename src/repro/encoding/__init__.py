@@ -1,0 +1,31 @@
+"""Section 5 encodings: dimension items, stage items, transaction transform."""
+
+from repro.encoding.item_encoding import (
+    DimItem,
+    decode_dim_item,
+    encode_dimension_value,
+    render_dim_item,
+)
+from repro.encoding.stage_encoding import (
+    StageItem,
+    aggregate_prefix,
+    is_stage_ancestor,
+    render_stage_item,
+    stages_linkable,
+)
+from repro.encoding.transactions import Item, Transaction, TransactionDatabase
+
+__all__ = [
+    "DimItem",
+    "Item",
+    "StageItem",
+    "Transaction",
+    "TransactionDatabase",
+    "aggregate_prefix",
+    "decode_dim_item",
+    "encode_dimension_value",
+    "is_stage_ancestor",
+    "render_dim_item",
+    "render_stage_item",
+    "stages_linkable",
+]

@@ -1,0 +1,93 @@
+"""Dimension-value encoding (Section 5).
+
+A path-independent dimension value is encoded as an item that carries its
+whole concept-hierarchy coordinate: the paper writes "jacket" as ``112`` —
+first digit the dimension, then one digit per hierarchy level.  Here the
+item is a small frozen dataclass ``DimItem(dim, code)`` whose ``code`` is
+the digit-path of :meth:`repro.core.hierarchy.ConceptHierarchy.code_of`;
+ancestors are simply code prefixes, so multi-level shared counting needs no
+lookups.
+
+The top-of-hierarchy item (``1**`` — "any value of dimension 1") is pruned
+from Shared's transactions per Section 5's third optimisation; the Basic
+baseline keeps it, which is one reason its candidate space blows up
+(Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.errors import EncodingError
+
+__all__ = ["DimItem", "encode_dimension_value", "decode_dim_item", "render_dim_item"]
+
+
+@dataclass(frozen=True, order=True)
+class DimItem:
+    """An encoded dimension value at some abstraction level.
+
+    Attributes:
+        dim: Zero-based index of the path-independent dimension.
+        code: Digit-path in that dimension's hierarchy; its length is the
+            abstraction level.  Never empty — the apex is not an item.
+    """
+
+    dim: int
+    code: str
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise EncodingError("the apex '*' is not encodable as a DimItem")
+
+    @property
+    def level(self) -> int:
+        """Abstraction level of the encoded concept (1 = most general).
+
+        The pseudo-code ``"*"`` (apex items kept only by the Basic
+        baseline) is level 0.
+        """
+        return 0 if self.code == "*" else len(self.code)
+
+    def ancestors(self, include_top: bool = True) -> tuple["DimItem", ...]:
+        """Ancestor items, nearest first, optionally down to level 1."""
+        lowest = 1 if include_top else 2
+        return tuple(
+            DimItem(self.dim, self.code[:length])
+            for length in range(len(self.code) - 1, lowest - 1, -1)
+        )
+
+    def is_ancestor_of(self, other: "DimItem") -> bool:
+        """True when this item subsumes *other* (strict code prefix)."""
+        return (
+            self.dim == other.dim
+            and len(self.code) < len(other.code)
+            and other.code.startswith(self.code)
+        )
+
+
+def encode_dimension_value(
+    dim: int, value: str, hierarchy: ConceptHierarchy
+) -> DimItem:
+    """Encode *value* of dimension *dim* at its native hierarchy level."""
+    code = hierarchy.code_of(value)
+    if not code:
+        raise EncodingError(
+            f"value {value!r} is the apex of {hierarchy.name!r}; "
+            "apex values carry no information and are not encoded"
+        )
+    return DimItem(dim, code)
+
+
+def decode_dim_item(item: DimItem, hierarchy: ConceptHierarchy) -> str:
+    """The concept name an item encodes."""
+    return hierarchy.concept_for_code(item.code)
+
+
+def render_dim_item(item: DimItem, hierarchy: ConceptHierarchy) -> str:
+    """Paper-style rendering: dimension digit + padded code, e.g. ``12*``.
+
+    The dimension digit is 1-based to match Table 3.
+    """
+    return f"{item.dim + 1}{hierarchy.padded_code(decode_dim_item(item, hierarchy))}"

@@ -1,0 +1,142 @@
+"""Stage encoding (Section 5).
+
+A path stage is encoded with the *path prefix leading to it*: the third
+stage of path factory → dist center → truck with duration 1 becomes
+``(fdt, 1)`` in the paper's notation.  Here the item is
+``StageItem(level_id, prefix, duration)``:
+
+* ``level_id`` indexes the interesting path abstraction level
+  (:class:`~repro.core.lattice.PathLattice`) the stage was aggregated to —
+  stages aggregated to different levels are distinct items, which is how a
+  single transaction carries every level at once (shared counting);
+* ``prefix`` is the aggregated location sequence up to and including the
+  stage;
+* ``duration`` is the stage's duration label (``*`` at the any level).
+
+The encoding makes the two stage-pruning rules of Section 5 cheap:
+*unlinkable* stages are those whose prefixes are not nested
+(:func:`stages_linkable`), and stage *ancestors* are recognised by
+re-aggregating a prefix to the coarser view (:func:`is_stage_ancestor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import DURATION_ANY_LABEL
+from repro.core.lattice import DURATION_ANY, PathLattice, PathLevel
+from repro.errors import EncodingError
+
+__all__ = [
+    "StageItem",
+    "stages_linkable",
+    "aggregate_prefix",
+    "is_stage_ancestor",
+    "render_stage_item",
+]
+
+
+@dataclass(frozen=True, order=True)
+class StageItem:
+    """An encoded path stage at one path abstraction level."""
+
+    level_id: int
+    prefix: tuple[str, ...]
+    duration: str
+
+    def __post_init__(self) -> None:
+        if not self.prefix:
+            raise EncodingError("a stage item needs a non-empty location prefix")
+
+    @property
+    def location(self) -> str:
+        """The stage's own (aggregated) location."""
+        return self.prefix[-1]
+
+    @property
+    def position(self) -> int:
+        """One-based position of the stage within the aggregated path."""
+        return len(self.prefix)
+
+
+def stages_linkable(a: StageItem, b: StageItem) -> bool:
+    """Can the two stages appear in one path? (Section 5, pruning rule 2.)
+
+    Within one path the stages form a chain of prefixes, so two stage
+    items at the same level co-occur only when one prefix extends the
+    other; equal prefixes with different durations never co-occur (a stage
+    has a single duration).  Items at different levels are judged by
+    :func:`is_stage_ancestor` instead and are conservatively unlinkable
+    here.
+    """
+    if a.level_id != b.level_id:
+        return False
+    if a.prefix == b.prefix:
+        return False  # same stage: either identical item or contradictory
+    shorter, longer = (a, b) if len(a.prefix) <= len(b.prefix) else (b, a)
+    return longer.prefix[: len(shorter.prefix)] == shorter.prefix
+
+
+def aggregate_prefix(
+    prefix: tuple[str, ...], level: PathLevel
+) -> tuple[str, ...]:
+    """Roll a location prefix up to *level*'s view, merging repeats."""
+    out: list[str] = []
+    for location in prefix:
+        aggregated = level.view.aggregate(location)
+        if not out or out[-1] != aggregated:
+            out.append(aggregated)
+    return tuple(out)
+
+
+def is_stage_ancestor(
+    ancestor: StageItem,
+    item: StageItem,
+    lattice: PathLattice,
+) -> bool:
+    """Does *ancestor* always co-occur with *item*? (Pruning rule 4.)
+
+    True when the ancestor's level is at-or-above the item's level on the
+    path lattice, the item's prefix aggregates to the ancestor's prefix,
+    and the duration is implied — the ancestor's duration is ``*``, or the
+    views coincide and the durations are equal (then the only difference
+    is the duration level).  Conservative: only returns True when the
+    implication is certain.
+    """
+    if ancestor == item:
+        return False
+    ancestor_level = lattice[ancestor.level_id]
+    item_level = lattice[item.level_id]
+    if not ancestor_level.is_higher_or_equal(item_level):
+        return False
+    if aggregate_prefix(item.prefix, ancestor_level) != ancestor.prefix:
+        return False
+    if ancestor.duration == DURATION_ANY_LABEL:
+        return True
+    # Concrete ancestor duration: implied only if nothing changed it —
+    # same location view (no merging) and the same duration label.
+    return (
+        ancestor_level.view == item_level.view
+        and ancestor.duration == item.duration
+    )
+
+
+def render_stage_item(
+    item: StageItem, short_names: dict[str, str] | None = None
+) -> str:
+    """Paper-style rendering, e.g. ``(fdt,1)`` (Table 3).
+
+    Args:
+        item: The stage item.
+        short_names: Optional location → single-letter map; defaults to
+            each location's first character.
+    """
+    letters = "".join(
+        (short_names or {}).get(loc, loc[:1]) for loc in item.prefix
+    )
+    duration = item.duration if item.duration else DURATION_ANY_LABEL
+    return f"({letters},{duration})"
+
+
+def _duration_is_any(level: PathLevel) -> bool:
+    return level.duration_level == DURATION_ANY

@@ -1,0 +1,112 @@
+"""The Basic baseline (Section 6): Shared without candidate pruning.
+
+Basic scans the same multi-level transaction database but generates
+candidates with the plain Apriori join — no pre-counting, no unlinkable-
+stage pruning, no ancestor pruning — and its transactions keep the
+top-of-hierarchy ``*`` items.  The result is the same set of frequent
+patterns (plus the vacuous ancestor-polluted ones), at the cost of the
+candidate blow-up Figure 11 documents: Basic counts candidates out to
+length ~12 where Shared stops near 8, and on dense data its candidate sets
+no longer fit in memory (the paper could not run it past 200k paths).
+
+A ``candidate_limit`` safety valve truncates runaway runs so benchmark
+sweeps terminate; a truncated run is flagged in the stats.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.core.flowgraph_exceptions import resolve_min_support
+from repro.core.lattice import PathLattice
+from repro.core.path_database import PathDatabase
+from repro.encoding.transactions import TransactionDatabase
+from repro.mining.apriori import (
+    count_candidates_tidset,
+    generate_candidates,
+    tid_lists,
+)
+from repro.mining.result import FlowMiningResult, item_sort_key
+from repro.mining.stats import MiningStats
+
+__all__ = ["basic_mine"]
+
+
+def basic_mine(
+    database: PathDatabase,
+    path_lattice: PathLattice | None = None,
+    min_support: float = 0.01,
+    max_length: int | None = None,
+    candidate_limit: int | None = 2_000_000,
+    transaction_db: TransactionDatabase | None = None,
+) -> FlowMiningResult:
+    """Run the unpruned baseline over *database*.
+
+    Args:
+        database: The path database.
+        path_lattice: Interesting path levels (defaults to the paper's 4).
+        min_support: δ, fractional (<1) or absolute.
+        max_length: Optional bound on pattern length.
+        candidate_limit: Abort candidate generation past this many pending
+            candidates in one level — the in-memory blow-up guard.  The
+            truncation is recorded in ``stats.pruned["truncated"]``.
+        transaction_db: Reuse an encoded database (must have been built
+            with ``include_top_level=True`` to match the baseline).
+    """
+    stats = MiningStats()
+    started = time.perf_counter()
+    if path_lattice is None:
+        path_lattice = PathLattice.paper_default(database.schema.location)
+    if transaction_db is None:
+        transaction_db = TransactionDatabase(
+            database, path_lattice, include_top_level=True
+        )
+    transactions = [t.items for t in transaction_db.transactions]
+    threshold = resolve_min_support(min_support, len(transactions))
+
+    counts: Counter = Counter()
+    for transaction in transactions:
+        counts.update(transaction)
+    stats.scans += 1
+    stats.candidates_per_length[1] = len(counts)
+    frequent_sorted = sorted(
+        ((item,) for item, n in counts.items() if n >= threshold),
+        key=lambda t: item_sort_key(t[0]),
+    )
+    stats.frequent_per_length[1] = len(frequent_sorted)
+    supports: dict[frozenset, int] = {
+        frozenset(t): counts[t[0]] for t in frequent_sorted
+    }
+    item_tids = tid_lists(transactions)
+    tids: dict[tuple, set[int]] = {t: item_tids[t[0]] for t in frequent_sorted}
+
+    length = 1
+    while frequent_sorted and (max_length is None or length < max_length):
+        candidates = generate_candidates(
+            frequent_sorted, pair_filter=None, stats=stats, key=item_sort_key
+        )
+        if candidate_limit is not None and len(candidates) > candidate_limit:
+            stats.pruned["truncated"] += len(candidates)
+            break
+        if not candidates:
+            break
+        candidate_tids = count_candidates_tidset(candidates, tids, stats)
+        length += 1
+        frequent_sorted = [
+            c for c, t in candidate_tids.items() if len(t) >= threshold
+        ]
+        tids = {c: candidate_tids[c] for c in frequent_sorted}
+        stats.frequent_per_length[length] += len(frequent_sorted)
+        for itemset in frequent_sorted:
+            supports[frozenset(itemset)] = len(candidate_tids[itemset])
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return FlowMiningResult(
+        supports=supports,
+        threshold=threshold,
+        n_transactions=len(transactions),
+        schema=database.schema,
+        path_lattice=path_lattice,
+        stats=stats,
+    )

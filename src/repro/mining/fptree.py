@@ -1,0 +1,174 @@
+"""FP-growth frequent-itemset mining (Han, Pei & Yin).
+
+Section 3 notes that flowgraph exception mining can use "any existing
+frequent pattern mining algorithm"; the Cubing baseline likewise only needs
+*some* per-cell miner.  This module provides FP-growth as the candidate-free
+alternative to :mod:`repro.mining.apriori` — useful on the dense cells where
+Apriori's candidate sets explode (Figure 10's regime).
+
+The implementation is the textbook one: build an FP-tree over
+frequency-ordered transactions, then recursively mine conditional trees.
+It returns the same ``{frozenset: support}`` mapping as :func:`apriori`,
+so the two are interchangeable (and the tests cross-check them).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Hashable, Sequence
+
+__all__ = ["FPTree", "fp_growth"]
+
+ItemT = Hashable
+
+
+class _FPNode:
+    """One FP-tree node: an item, its count, and tree links."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_link")
+
+    def __init__(self, item: ItemT, parent: "_FPNode | None") -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[ItemT, _FPNode] = {}
+        self.next_link: _FPNode | None = None
+
+
+class FPTree:
+    """An FP-tree with header links, built from weighted transactions."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(None, None)
+        self.header: dict[ItemT, _FPNode] = {}
+        self.item_counts: Counter = Counter()
+
+    def insert(self, items: Sequence[ItemT], count: int = 1) -> None:
+        """Insert one frequency-ordered transaction with multiplicity."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                # Thread the new node onto the header chain for its item.
+                child.next_link = self.header.get(item)
+                self.header[item] = child
+            child.count += count
+            node = child
+            self.item_counts[item] += count
+
+    def prefix_paths(self, item: ItemT) -> list[tuple[list[ItemT], int]]:
+        """All root paths ending just above occurrences of *item*."""
+        paths: list[tuple[list[ItemT], int]] = []
+        node = self.header.get(item)
+        while node is not None:
+            path: list[ItemT] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            path.reverse()
+            if path:
+                paths.append((path, node.count))
+            node = node.next_link
+        return paths
+
+
+def fp_growth(
+    transactions: Sequence[frozenset],
+    min_support: int,
+    max_length: int | None = None,
+    key: Callable[[ItemT], object] | None = None,
+) -> dict[frozenset, int]:
+    """Mine all frequent itemsets with absolute support ≥ *min_support*.
+
+    Drop-in equivalent of :func:`repro.mining.apriori.apriori` (without the
+    candidate-pruning hooks, which FP-growth does not need).
+
+    Args:
+        transactions: The database.
+        min_support: Absolute threshold (≥ 1).
+        max_length: Bound on itemset size (None = unbounded).
+        key: Tie-breaking sort key for equal-frequency items; defaults to
+            a stable ``(type name, repr)`` key so mixed item types order.
+    """
+    if key is None:
+        key = lambda item: (type(item).__name__, repr(item))  # noqa: E731
+
+    counts: Counter = Counter()
+    for transaction in transactions:
+        counts.update(transaction)
+    frequent_items = {i for i, n in counts.items() if n >= min_support}
+
+    def order(items) -> list[ItemT]:
+        kept = [i for i in items if i in frequent_items]
+        kept.sort(key=lambda i: (-counts[i], key(i)))
+        return kept
+
+    tree = FPTree()
+    for transaction in transactions:
+        ordered = order(transaction)
+        if ordered:
+            tree.insert(ordered)
+
+    result: dict[frozenset, int] = {}
+    _mine(tree, min_support, (), result, max_length, key)
+    return result
+
+
+def _mine(
+    tree: FPTree,
+    min_support: int,
+    suffix: tuple,
+    result: dict[frozenset, int],
+    max_length: int | None,
+    key: Callable[[ItemT], object],
+) -> None:
+    """Recursive FP-growth over conditional trees."""
+    if max_length is not None and len(suffix) >= max_length:
+        return
+    # Visit items least-frequent-first so conditional trees stay small.
+    items = sorted(
+        (i for i, n in tree.item_counts.items() if n >= min_support),
+        key=lambda i: (tree.item_counts[i], key(i)),
+    )
+    for item in items:
+        support = tree.item_counts[item]
+        new_suffix = suffix + (item,)
+        result[frozenset(new_suffix)] = support
+        conditional = FPTree()
+        for path, count in tree.prefix_paths(item):
+            conditional.insert(path, count)
+        # Re-filter the conditional tree by support before recursing.
+        if conditional.item_counts:
+            pruned = _prune_tree(conditional, min_support)
+            if pruned.item_counts:
+                _mine(pruned, min_support, new_suffix, result, max_length, key)
+
+
+def _prune_tree(tree: FPTree, min_support: int) -> FPTree:
+    """Rebuild a conditional tree keeping only locally-frequent items."""
+    keep = {i for i, n in tree.item_counts.items() if n >= min_support}
+    if len(keep) == len(tree.item_counts):
+        return tree
+    rebuilt = FPTree()
+    _copy_paths(tree.root, [], rebuilt, keep)
+    return rebuilt
+
+
+def _copy_paths(
+    node: _FPNode, path: list, rebuilt: FPTree, keep: set
+) -> None:
+    """Re-insert surviving items of every root-to-node path.
+
+    Each node's *own* count minus its children's counts is the number of
+    transactions ending exactly there; re-inserting with that multiplicity
+    preserves path multiplicities exactly.
+    """
+    for child in node.children.values():
+        kept_path = path + ([child.item] if child.item in keep else [])
+        ended_here = child.count - sum(g.count for g in child.children.values())
+        if ended_here > 0 and kept_path:
+            rebuilt.insert(kept_path, ended_here)
+        _copy_paths(child, kept_path, rebuilt, keep)

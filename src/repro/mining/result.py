@@ -1,0 +1,169 @@
+"""Result container for the multi-level miners (Shared, Basic, Cubing).
+
+All three algorithms produce the same thing — supports for itemsets over
+the mixed dimension-item / stage-item alphabet — wrapped in a
+:class:`FlowMiningResult` that knows how to decode itemsets back into
+flowcube coordinates:
+
+* a **dimension-only** itemset is a frequent *cell*: each present dimension
+  pins a concept at some level, absent dimensions are ``*``;
+* a **cell + stage items** itemset is a frequent *path segment* of that
+  cell at the stage items' path abstraction level.
+
+:meth:`FlowMiningResult.segments_by_cell` packages the segments in the
+shape :meth:`repro.core.flowcube.FlowCube.build` consumes, closing the loop
+from shared mining to flowgraph exceptions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.flowgraph_exceptions import Segment
+from repro.core.lattice import ItemLevel, PathLattice
+from repro.core.path_database import PathSchema
+from repro.encoding.item_encoding import DimItem
+from repro.encoding.stage_encoding import StageItem
+from repro.encoding.transactions import Item
+from repro.mining.stats import MiningStats
+
+__all__ = ["item_sort_key", "FlowMiningResult"]
+
+CellCoordinates = tuple[ItemLevel, tuple[str, ...]]
+
+
+def item_sort_key(item: Item) -> tuple:
+    """Deterministic total order over the mixed mining alphabet.
+
+    Dimension items sort before stage items; within each kind the order is
+    by coordinates, so candidate generation's sorted-prefix join works.
+    """
+    if isinstance(item, DimItem):
+        return (0, item.dim, len(item.code), item.code)
+    return (1, item.level_id, len(item.prefix), item.prefix, item.duration)
+
+
+class FlowMiningResult:
+    """Frequent cells and frequent path segments, as mined.
+
+    Attributes:
+        supports: Itemset → absolute support.
+        threshold: The resolved absolute δ.
+        n_transactions: Size of the scanned transaction database.
+        schema: The source path schema (needed to decode item codes).
+        path_lattice: The interesting path levels.
+        stats: Run statistics.
+    """
+
+    def __init__(
+        self,
+        supports: Mapping[frozenset, int],
+        threshold: int,
+        n_transactions: int,
+        schema: PathSchema,
+        path_lattice: PathLattice,
+        stats: MiningStats,
+    ) -> None:
+        self.supports = dict(supports)
+        self.threshold = threshold
+        self.n_transactions = n_transactions
+        self.schema = schema
+        self.path_lattice = path_lattice
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.supports)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _decode_cell(self, dim_items: list[DimItem]) -> CellCoordinates | None:
+        """Itemset's dimension part → (item level, cell key).
+
+        Returns ``None`` for itemsets that do not describe a single cell
+        (two items on the same dimension — only the Basic baseline
+        produces those).
+        """
+        n_dims = self.schema.n_dimensions
+        levels = [0] * n_dims
+        key = ["*"] * n_dims
+        for item in dim_items:
+            if item.code == "*":
+                continue  # apex pseudo-items add no constraint
+            if levels[item.dim] != 0:
+                return None
+            levels[item.dim] = item.level
+            key[item.dim] = self.schema.dimensions[item.dim].concept_for_code(
+                item.code
+            )
+        return ItemLevel(levels), tuple(key)
+
+    @staticmethod
+    def _decode_segment(stage_items: list[StageItem]) -> tuple[int, Segment] | None:
+        """Itemset's stage part → (path level id, segment constraints).
+
+        Returns ``None`` when the stages span multiple path levels or are
+        not a nested chain (Basic can produce such sets before pruning).
+        """
+        level_ids = {item.level_id for item in stage_items}
+        if len(level_ids) != 1:
+            return None
+        ordered = sorted(stage_items, key=lambda s: len(s.prefix))
+        for shorter, longer in zip(ordered, ordered[1:]):
+            if longer.prefix[: len(shorter.prefix)] != shorter.prefix:
+                return None
+        segment: Segment = tuple((s.prefix, s.duration) for s in ordered)
+        return level_ids.pop(), segment
+
+    def frequent_cells(self) -> dict[CellCoordinates, int]:
+        """All frequent cells: (item level, key) → support.
+
+        Includes the all-``*`` apex cell with support = |D|.
+        """
+        cells: dict[CellCoordinates, int] = {
+            (
+                ItemLevel([0] * self.schema.n_dimensions),
+                tuple(["*"] * self.schema.n_dimensions),
+            ): self.n_transactions
+        }
+        for itemset, support in self.supports.items():
+            items = list(itemset)
+            if not all(isinstance(i, DimItem) for i in items):
+                continue
+            decoded = self._decode_cell(items)
+            if decoded is not None:
+                cells[decoded] = support
+        return cells
+
+    def frequent_segments(
+        self,
+    ) -> dict[tuple[ItemLevel, tuple[str, ...], int], dict[Segment, int]]:
+        """Frequent segments grouped by (item level, cell key, path level id)."""
+        out: dict[tuple[ItemLevel, tuple[str, ...], int], dict[Segment, int]] = {}
+        for itemset, support in self.supports.items():
+            dim_items = [i for i in itemset if isinstance(i, DimItem)]
+            stage_items = [i for i in itemset if isinstance(i, StageItem)]
+            if not stage_items:
+                continue
+            cell = self._decode_cell(dim_items)
+            decoded = self._decode_segment(stage_items)
+            if cell is None or decoded is None:
+                continue
+            level_id, segment = decoded
+            item_level, key = cell
+            out.setdefault((item_level, key, level_id), {})[segment] = support
+        return out
+
+    def segments_by_cell(
+        self,
+    ) -> dict[tuple, list[Segment]]:
+        """Segments keyed the way :meth:`FlowCube.build` expects.
+
+        Keys are ``(item level, path level, cell key)``; values list each
+        cell's frequent segments (at that path level).
+        """
+        packaged: dict[tuple, list[Segment]] = {}
+        for (item_level, key, level_id), segments in self.frequent_segments().items():
+            path_level = self.path_lattice[level_id]
+            packaged[(item_level, path_level, key)] = list(segments)
+        return packaged

@@ -1,0 +1,75 @@
+"""Mining run statistics (Section 6.7's pruning-power measurements).
+
+Every miner in :mod:`repro.mining` fills a :class:`MiningStats` so the
+benchmark harness can reproduce Figure 11 (candidates counted per pattern
+length, Shared vs Basic) and report scan counts and pruning effectiveness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["MiningStats"]
+
+
+@dataclass
+class MiningStats:
+    """Counters collected during one mining run.
+
+    Attributes:
+        candidates_per_length: Candidates whose support was *counted*
+            against the database, per pattern length — the Figure 11 series.
+        frequent_per_length: Patterns that met the threshold, per length.
+        pruned: How many candidates each pruning rule removed before
+            counting (keys: ``"subset"``, ``"unlinkable"``, ``"ancestor"``,
+            ``"precount"``, ``"duplicate_dim"``).
+        scans: Passes over the transaction database.
+        precounted_patterns: High-level patterns pre-counted opportunistically.
+        elapsed_seconds: Wall-clock time of the run.
+    """
+
+    candidates_per_length: Counter = field(default_factory=Counter)
+    frequent_per_length: Counter = field(default_factory=Counter)
+    pruned: Counter = field(default_factory=Counter)
+    scans: int = 0
+    precounted_patterns: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_candidates(self) -> int:
+        """Total candidates counted across all lengths."""
+        return sum(self.candidates_per_length.values())
+
+    @property
+    def total_frequent(self) -> int:
+        """Total frequent patterns found across all lengths."""
+        return sum(self.frequent_per_length.values())
+
+    @property
+    def max_length(self) -> int:
+        """Longest pattern length for which candidates were counted."""
+        return max(self.candidates_per_length, default=0)
+
+    def merge(self, other: "MiningStats") -> None:
+        """Fold another run's counters into this one (Cubing sums per-cell)."""
+        self.candidates_per_length.update(other.candidates_per_length)
+        self.frequent_per_length.update(other.frequent_per_length)
+        self.pruned.update(other.pruned)
+        self.scans += other.scans
+        self.precounted_patterns += other.precounted_patterns
+        self.elapsed_seconds += other.elapsed_seconds
+
+    def as_rows(self) -> list[tuple[int, int, int]]:
+        """(length, candidates, frequent) rows, length ascending."""
+        lengths = sorted(
+            set(self.candidates_per_length) | set(self.frequent_per_length)
+        )
+        return [
+            (
+                k,
+                self.candidates_per_length.get(k, 0),
+                self.frequent_per_length.get(k, 0),
+            )
+            for k in lengths
+        ]

@@ -1,0 +1,21 @@
+"""PDFA induction (ALERGIA) and PDFA-based flowgraph similarity (§4.3, §7)."""
+
+from repro.pdfa.alergia import alergia, hoeffding_compatible
+from repro.pdfa.automaton import PDFA, prefix_tree_acceptor
+from repro.pdfa.distance import (
+    flowgraph_pdfa_similarity,
+    flowgraph_to_pdfa,
+    pdfa_similarity,
+    string_distribution_distance,
+)
+
+__all__ = [
+    "PDFA",
+    "alergia",
+    "flowgraph_pdfa_similarity",
+    "flowgraph_to_pdfa",
+    "hoeffding_compatible",
+    "pdfa_similarity",
+    "prefix_tree_acceptor",
+    "string_distribution_distance",
+]

@@ -1,0 +1,165 @@
+"""Probabilistic deterministic finite automata (PDFA).
+
+Section 4.3 suggests PDFA distance as an alternative flowgraph-similarity
+φ, and the related work (§7) contrasts flowgraph induction with grammar
+induction [5, 18]: learn the PDFA that generated a set of strings.  This
+package implements that comparator line end to end — the automaton, the
+prefix-tree acceptor, ALERGIA state merging, and a distance usable as φ.
+
+A PDFA here is:
+
+* a set of integer states with a single start state;
+* deterministic transitions ``state → {symbol: successor}`` carrying
+  traversal counts;
+* per-state termination counts.
+
+Counts (not probabilities) are stored so merging states is exact; the
+probability view normalises on demand.  Strings are tuples of hashable
+symbols — for flow analysis, location sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import FlowCubeError
+
+__all__ = ["PDFA", "prefix_tree_acceptor"]
+
+
+class PDFA:
+    """A probabilistic DFA with count-weighted transitions."""
+
+    def __init__(self) -> None:
+        self.start = 0
+        self._next_state = 1
+        #: state → {symbol: successor state}.
+        self.delta: dict[int, dict[object, int]] = {0: {}}
+        #: state → {symbol: traversal count}.
+        self.transition_counts: dict[int, Counter] = {0: Counter()}
+        #: state → termination count.
+        self.termination_counts: Counter = Counter()
+        #: state → total arrivals (strings passing through or ending here).
+        self.state_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def new_state(self) -> int:
+        """Allocate a fresh state id."""
+        state = self._next_state
+        self._next_state += 1
+        self.delta[state] = {}
+        self.transition_counts[state] = Counter()
+        return state
+
+    def add_string(self, symbols: Sequence, count: int = 1) -> None:
+        """Thread one string through the automaton, creating states."""
+        state = self.start
+        self.state_counts[state] += count
+        for symbol in symbols:
+            successor = self.delta[state].get(symbol)
+            if successor is None:
+                successor = self.new_state()
+                self.delta[state][symbol] = successor
+            self.transition_counts[state][symbol] += count
+            state = successor
+            self.state_counts[state] += count
+        self.termination_counts[state] += count
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> set[int]:
+        """All states reachable from the start state."""
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            for successor in self.delta[stack.pop()].values():
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return seen
+
+    def successors(self, state: int) -> dict[object, int]:
+        """Outgoing ``symbol → state`` map of *state*."""
+        return dict(self.delta[state])
+
+    def out_distribution(self, state: int) -> dict[object, float]:
+        """Outgoing probabilities of *state*, termination under ``None``."""
+        total = self.state_counts[state]
+        if total == 0:
+            return {}
+        dist: dict[object, float] = {
+            symbol: count / total
+            for symbol, count in self.transition_counts[state].items()
+        }
+        termination = self.termination_counts[state]
+        if termination:
+            dist[None] = termination / total
+        return dist
+
+    def string_probability(self, symbols: Sequence) -> float:
+        """Probability the PDFA generates exactly *symbols* and stops."""
+        state = self.start
+        probability = 1.0
+        for symbol in symbols:
+            total = self.state_counts[state]
+            count = self.transition_counts[state].get(symbol, 0)
+            if total == 0 or count == 0:
+                return 0.0
+            probability *= count / total
+            state = self.delta[state][symbol]
+        total = self.state_counts[state]
+        if total == 0:
+            return 0.0
+        return probability * self.termination_counts[state] / total
+
+    def enumerate_strings(
+        self, min_probability: float = 1e-6
+    ) -> Iterator[tuple[tuple, float]]:
+        """All strings with generation probability ≥ *min_probability*.
+
+        Depth-first over the transition graph; terminates even on merged
+        (cyclic) automata because extending a string never raises its
+        probability and every branch below the floor is cut.
+        """
+        if min_probability <= 0:
+            raise FlowCubeError("min_probability must be positive")
+        stack: list[tuple[int, tuple, float]] = [(self.start, (), 1.0)]
+        while stack:
+            state, prefix, probability = stack.pop()
+            total = self.state_counts[state]
+            if total == 0:
+                continue
+            termination = self.termination_counts[state]
+            if termination:
+                p = probability * termination / total
+                if p >= min_probability:
+                    yield prefix, p
+            for symbol, count in self.transition_counts[state].items():
+                p = probability * count / total
+                if p >= min_probability:
+                    stack.append((self.delta[state][symbol], prefix + (symbol,), p))
+
+    def n_states(self) -> int:
+        """Number of reachable states."""
+        return len(self.states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        n_transitions = sum(len(d) for d in self.delta.values())
+        return f"PDFA(states={self.n_states()}, transitions={n_transitions})"
+
+
+def prefix_tree_acceptor(strings: Iterable[Sequence]) -> PDFA:
+    """The prefix-tree acceptor (PTA): one state per distinct prefix.
+
+    The PTA reproduces the empirical distribution exactly; ALERGIA
+    generalises it by merging compatible states.
+    """
+    pdfa = PDFA()
+    for string in strings:
+        pdfa.add_string(tuple(string))
+    return pdfa

@@ -1,0 +1,24 @@
+"""OLAP querying, flow analysis, and rendering over flowcubes."""
+
+from repro.query.analysis import (
+    TypicalPath,
+    compare_flowgraphs,
+    duration_outcome_correlation,
+    lead_time_deviations,
+    typical_paths,
+)
+from repro.query.api import FlowCubeQuery
+from repro.query.render import render_dot, render_text
+from repro.query.report import flow_report
+
+__all__ = [
+    "FlowCubeQuery",
+    "TypicalPath",
+    "compare_flowgraphs",
+    "duration_outcome_correlation",
+    "flow_report",
+    "lead_time_deviations",
+    "render_dot",
+    "render_text",
+    "typical_paths",
+]

@@ -1,0 +1,198 @@
+"""Flow analysis on flowgraphs — the intro's motivating questions.
+
+Question 1: "the most typical paths, with average duration at each stage
+... and the most notable deviations that significantly increase total lead
+time" → :func:`typical_paths`, :func:`lead_time_deviations`.
+
+Question 2: correlations between stage durations and downstream outcomes →
+:func:`duration_outcome_correlation` (the flowgraph's exceptions are
+precisely these conditional shifts; this function quantifies one pair).
+
+Question 3: contrasting two flowgraphs (e.g. 2006 vs 2005) →
+:func:`compare_flowgraphs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import AggregatedPath
+from repro.core.flowgraph import TERMINATE, FlowGraph
+from repro.core.similarity import total_variation
+from repro.errors import QueryError
+
+__all__ = [
+    "TypicalPath",
+    "typical_paths",
+    "lead_time_deviations",
+    "duration_outcome_correlation",
+    "compare_flowgraphs",
+]
+
+
+@dataclass(frozen=True)
+class TypicalPath:
+    """One complete route through a flowgraph with its statistics."""
+
+    locations: tuple[str, ...]
+    probability: float
+    expected_durations: tuple[float, ...]
+
+    @property
+    def expected_lead_time(self) -> float:
+        """Expected end-to-end duration along this route."""
+        return sum(self.expected_durations)
+
+
+def _expected_duration(graph: FlowGraph, prefix: tuple[str, ...]) -> float:
+    node = graph.node(prefix)
+    expectation = 0.0
+    for label, probability in node.duration_distribution().items():
+        if label != "*":
+            expectation += float(label) * probability
+    return expectation
+
+
+def typical_paths(graph: FlowGraph, top_k: int = 5) -> list[TypicalPath]:
+    """The *top_k* most probable complete routes, most probable first."""
+    if top_k < 1:
+        raise QueryError(f"top_k must be >= 1, got {top_k}")
+    routes = sorted(
+        graph.enumerate_paths(), key=lambda pair: -pair[1]
+    )[:top_k]
+    return [
+        TypicalPath(
+            locations=locations,
+            probability=probability,
+            expected_durations=tuple(
+                _expected_duration(graph, locations[: i + 1])
+                for i in range(len(locations))
+            ),
+        )
+        for locations, probability in routes
+    ]
+
+
+def lead_time_deviations(
+    graph: FlowGraph,
+    paths: list[AggregatedPath],
+    z_threshold: float = 2.0,
+) -> list[tuple[AggregatedPath, float]]:
+    """Paths whose total lead time is an outlier for the cell.
+
+    Returns ``(path, z_score)`` pairs with |z| ≥ *z_threshold*, most
+    extreme first.  Requires numeric duration labels (a path level that
+    keeps durations).
+    """
+    totals = []
+    for path in paths:
+        try:
+            totals.append(sum(float(d) for _, d in path))
+        except ValueError as exc:
+            raise QueryError(
+                "lead-time analysis needs numeric duration labels; "
+                "use a path level that keeps durations"
+            ) from exc
+    n = len(totals)
+    if n < 2:
+        return []
+    mean = sum(totals) / n
+    variance = sum((t - mean) ** 2 for t in totals) / (n - 1)
+    if variance == 0:
+        return []
+    std = variance ** 0.5
+    flagged = [
+        (path, (total - mean) / std)
+        for path, total in zip(paths, totals)
+        if abs(total - mean) / std >= z_threshold
+    ]
+    flagged.sort(key=lambda pair: -abs(pair[1]))
+    return flagged
+
+
+def duration_outcome_correlation(
+    paths: list[AggregatedPath],
+    at_location: str,
+    long_stay: float,
+    outcome_location: str,
+) -> dict[str, float]:
+    """P(outcome | long stay) vs P(outcome | short stay) at a location.
+
+    Quantifies intro question 2's pattern ("time at quality control vs
+    probability of return"): partitions the cell's paths by whether the
+    stay at *at_location* exceeded *long_stay*, and compares the rate at
+    which *outcome_location* is subsequently visited.
+
+    Returns a dict with ``p_long``, ``p_short``, ``lift``, ``n_long``,
+    ``n_short``.  Paths that never visit *at_location* are ignored.
+    """
+    n_long = n_short = hit_long = hit_short = 0
+    for path in paths:
+        for i, (location, duration) in enumerate(path):
+            if location != at_location:
+                continue
+            try:
+                stayed_long = float(duration) > long_stay
+            except ValueError:
+                continue  # '*' labels carry no duration information
+            downstream = any(loc == outcome_location for loc, _ in path[i + 1 :])
+            if stayed_long:
+                n_long += 1
+                hit_long += downstream
+            else:
+                n_short += 1
+                hit_short += downstream
+            break
+    p_long = hit_long / n_long if n_long else 0.0
+    p_short = hit_short / n_short if n_short else 0.0
+    return {
+        "p_long": p_long,
+        "p_short": p_short,
+        "lift": (p_long / p_short) if p_short > 0 else float("inf") if p_long else 0.0,
+        "n_long": float(n_long),
+        "n_short": float(n_short),
+    }
+
+
+def compare_flowgraphs(
+    current: FlowGraph, baseline: FlowGraph, top_k: int = 10
+) -> list[dict[str, object]]:
+    """Largest per-node distribution shifts between two flowgraphs.
+
+    Intro question 3's "contrast with historic flow information": for each
+    node present in either graph, compute the total-variation shift of its
+    transition and duration distributions; return the *top_k* largest.
+    """
+    prefixes = {n.prefix for n in current.nodes()} | {
+        n.prefix for n in baseline.nodes()
+    }
+    shifts: list[dict[str, object]] = []
+    for prefix in prefixes:
+        here = current.node(prefix) if current.has_node(prefix) else None
+        there = baseline.node(prefix) if baseline.has_node(prefix) else None
+        if here is None or there is None:
+            shifts.append(
+                {
+                    "prefix": prefix,
+                    "transition_shift": 1.0,
+                    "duration_shift": 1.0,
+                    "note": "branch missing in one period",
+                }
+            )
+            continue
+        shifts.append(
+            {
+                "prefix": prefix,
+                "transition_shift": total_variation(
+                    here.transition_distribution(), there.transition_distribution()
+                ),
+                "duration_shift": total_variation(
+                    here.duration_distribution(), there.duration_distribution()
+                ),
+                "note": "",
+            }
+        )
+    shifts.sort(
+        key=lambda s: -(s["transition_shift"] + s["duration_shift"])  # type: ignore[operator]
+    )
+    return shifts[:top_k]

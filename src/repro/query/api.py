@@ -1,0 +1,180 @@
+"""OLAP queries over a materialised flowcube (Section 4 intro).
+
+:class:`FlowCubeQuery` wraps a :class:`~repro.core.flowcube.FlowCube` with
+the classic operations, phrased in flowcube terms:
+
+* **slice/dice** — fix dimension values (at any abstraction level) and get
+  the matching cells;
+* **roll-up / drill-down** — move a cell's coordinates one step along the
+  item lattice, or switch its path abstraction level (the path-lattice
+  direction is unique to flowcubes);
+* **measure access** — the flowgraph of any coordinates, with redundancy
+  inference applied.
+
+Dimension values are given by *name* (``product="outerwear"``); the query
+derives the item level from where each named value sits in its hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.flowcube import Cell, FlowCube
+from repro.core.flowgraph import FlowGraph
+from repro.core.lattice import ItemLevel, PathLevel
+from repro.errors import QueryError
+
+__all__ = ["FlowCubeQuery"]
+
+
+class FlowCubeQuery:
+    """Fluent OLAP access to a flowcube."""
+
+    def __init__(self, cube: FlowCube) -> None:
+        self.cube = cube
+        self._schema = cube.database.schema
+
+    # ------------------------------------------------------------------
+    # coordinate helpers
+    # ------------------------------------------------------------------
+    def coordinates(self, **dims: str) -> tuple[ItemLevel, tuple[str, ...]]:
+        """Resolve named dimension values into (item level, cell key).
+
+        Unmentioned dimensions are ``*``.  Example::
+
+            level, key = q.coordinates(product="outerwear", brand="nike")
+        """
+        levels = [0] * self._schema.n_dimensions
+        key = ["*"] * self._schema.n_dimensions
+        for name, value in dims.items():
+            index = self._schema.dimension_index(name)
+            hierarchy = self._schema.dimensions[index]
+            if value not in hierarchy:
+                raise QueryError(
+                    f"{value!r} is not a {name!r} concept"
+                )
+            levels[index] = hierarchy.level_of(value)
+            key[index] = value
+        return ItemLevel(levels), tuple(key)
+
+    def default_path_level(self) -> PathLevel:
+        """The most detailed materialised path level."""
+        return max(
+            self.cube.path_lattice,
+            key=lambda lv: (lv.duration_level, len(lv.view.concepts)),
+        )
+
+    # ------------------------------------------------------------------
+    # core operations
+    # ------------------------------------------------------------------
+    def cell(self, path_level: PathLevel | None = None, **dims: str) -> Cell:
+        """The cell at the named coordinates.
+
+        Raises :class:`~repro.errors.QueryError` when the cell fell below
+        the iceberg threshold (it was never materialised).
+        """
+        item_level, key = self.coordinates(**dims)
+        level = path_level or self.default_path_level()
+        if not self.cube.has_cuboid(item_level, level):
+            raise QueryError(
+                f"cuboid for levels {item_level.levels!r} was not materialised "
+                "(adjust the materialisation plan)"
+            )
+        cuboid = self.cube.cuboid(item_level, level)
+        if key not in cuboid:
+            raise QueryError(
+                f"cell {key!r} is below the iceberg threshold "
+                f"(δ={self.cube.min_support}) or outside the data"
+            )
+        return cuboid.cell(key)
+
+    def flowgraph(
+        self, path_level: PathLevel | None = None, **dims: str
+    ) -> FlowGraph:
+        """The measure at the named coordinates, with redundancy inference."""
+        item_level, key = self.coordinates(**dims)
+        level = path_level or self.default_path_level()
+        return self.cube.flowgraph_for(item_level, key, level)
+
+    def slice(
+        self, path_level: PathLevel | None = None, **dims: str
+    ) -> Iterator[Cell]:
+        """All materialised cells matching the named values.
+
+        A cell matches when, on every named dimension, its value equals the
+        given concept or is a descendant of it; other dimensions may hold
+        anything at any level.
+        """
+        level = path_level or self.default_path_level()
+        constraints: list[tuple[int, str]] = []
+        for name, value in dims.items():
+            index = self._schema.dimension_index(name)
+            if value not in self._schema.dimensions[index]:
+                raise QueryError(f"{value!r} is not a {name!r} concept")
+            constraints.append((index, value))
+        for cuboid in self.cube.cuboids:
+            if cuboid.path_level != level:
+                continue
+            for cell in cuboid:
+                if all(
+                    self._matches(index, value, cell.key[index])
+                    for index, value in constraints
+                ):
+                    yield cell
+
+    def _matches(self, dim: int, wanted: str, actual: str) -> bool:
+        if actual == "*":
+            return wanted == "*"
+        hierarchy = self._schema.dimensions[dim]
+        return actual == wanted or hierarchy.is_ancestor(wanted, actual)
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    def roll_up(self, cell: Cell, dimension: str) -> Cell:
+        """The parent cell with *dimension* one hierarchy level higher."""
+        index = self._schema.dimension_index(dimension)
+        if cell.item_level[index] == 0:
+            raise QueryError(f"dimension {dimension!r} is already at '*'")
+        hierarchy = self._schema.dimensions[index]
+        levels = list(cell.item_level.levels)
+        key = list(cell.key)
+        levels[index] -= 1
+        key[index] = (
+            "*" if levels[index] == 0
+            else hierarchy.ancestor_at_level(key[index], levels[index])
+        )
+        return self.cube.cell(
+            ItemLevel(levels), tuple(key), cell.path_level
+        )
+
+    def drill_down(self, cell: Cell, dimension: str) -> list[Cell]:
+        """All materialised children with *dimension* one level deeper."""
+        index = self._schema.dimension_index(dimension)
+        hierarchy = self._schema.dimensions[index]
+        if cell.item_level[index] >= hierarchy.depth:
+            raise QueryError(f"dimension {dimension!r} is already at leaves")
+        levels = list(cell.item_level.levels)
+        levels[index] += 1
+        child_level = ItemLevel(levels)
+        if not self.cube.has_cuboid(child_level, cell.path_level):
+            raise QueryError(
+                f"child cuboid {child_level.levels!r} was not materialised"
+            )
+        cuboid = self.cube.cuboid(child_level, cell.path_level)
+        children = (
+            hierarchy.concepts_at_level(1)
+            if cell.key[index] == "*"
+            else hierarchy.children(cell.key[index])
+        )
+        out = []
+        for child_value in children:
+            key = list(cell.key)
+            key[index] = child_value
+            if tuple(key) in cuboid:
+                out.append(cuboid.cell(tuple(key)))
+        return out
+
+    def change_path_level(self, cell: Cell, path_level: PathLevel) -> Cell:
+        """The same item coordinates at another path abstraction level."""
+        return self.cube.cell(cell.item_level, cell.key, path_level)

@@ -1,0 +1,97 @@
+"""Flowgraph rendering — the Figure 3/4 views.
+
+Two renderers: an indented ASCII tree for terminals (examples and the
+quickstart print these) and Graphviz DOT for documentation.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.flowgraph import TERMINATE, FlowGraph, FlowGraphNode
+
+__all__ = ["render_text", "render_dot"]
+
+
+def _format_distribution(dist: dict[str, float], limit: int = 4) -> str:
+    ordered = sorted(dist.items(), key=lambda kv: -kv[1])[:limit]
+    body = ", ".join(f"{k}:{v:.2f}" for k, v in ordered)
+    suffix = ", …" if len(dist) > limit else ""
+    return "{" + body + suffix + "}"
+
+
+def render_text(
+    graph: FlowGraph,
+    show_durations: bool = True,
+    show_exceptions: bool = True,
+) -> str:
+    """An indented tree with per-node transition/duration distributions.
+
+    Example output (the paper's Figure 3 data)::
+
+        factory  n=8 dur={10:0.62, 5:0.38}
+        ├─0.65→ dist center ...
+        └─0.35→ truck ...
+    """
+    out = io.StringIO()
+
+    def walk(node: FlowGraphNode, indent: str) -> None:
+        transitions = sorted(
+            node.transition_distribution().items(), key=lambda kv: -kv[1]
+        )
+        edges = [(t, p) for t, p in transitions if t != TERMINATE]
+        terminate = dict(transitions).get(TERMINATE, 0.0)
+        if terminate > 0:
+            out.write(f"{indent}  (terminate: {terminate:.2f})\n")
+        for i, (target, probability) in enumerate(edges):
+            connector = "└─" if i == len(edges) - 1 else "├─"
+            child = node.children[target]
+            duration = (
+                f" dur={_format_distribution(child.duration_distribution())}"
+                if show_durations
+                else ""
+            )
+            out.write(
+                f"{indent}{connector}{probability:.2f}→ {target} "
+                f"n={child.count}{duration}\n"
+            )
+            walk(child, indent + ("   " if i == len(edges) - 1 else "│  "))
+
+    for root in graph.roots:
+        share = root.count / graph.n_paths if graph.n_paths else 0.0
+        duration = (
+            f" dur={_format_distribution(root.duration_distribution())}"
+            if show_durations
+            else ""
+        )
+        out.write(f"{root.location}  n={root.count} start={share:.2f}{duration}\n")
+        walk(root, "")
+    if show_exceptions and graph.exceptions:
+        out.write(f"exceptions ({len(graph.exceptions)}):\n")
+        for exception in graph.exceptions:
+            out.write(f"  - {exception}\n")
+    return out.getvalue()
+
+
+def render_dot(graph: FlowGraph, name: str = "flowgraph") -> str:
+    """Graphviz DOT: nodes labelled with durations, edges with probabilities."""
+    out = io.StringIO()
+    out.write(f'digraph "{name}" {{\n  rankdir=LR;\n  node [shape=box];\n')
+
+    def node_id(prefix: tuple[str, ...]) -> str:
+        return '"' + "/".join(prefix).replace('"', "'") + '"'
+
+    for node in graph.nodes():
+        duration = _format_distribution(node.duration_distribution())
+        label = f"{node.location}\\nn={node.count}\\n{duration}"
+        out.write(f'  {node_id(node.prefix)} [label="{label}"];\n')
+        for target, probability in node.transition_distribution().items():
+            if target == TERMINATE:
+                continue
+            child = node.children[target]
+            out.write(
+                f"  {node_id(node.prefix)} -> {node_id(child.prefix)} "
+                f'[label="{probability:.2f}"];\n'
+            )
+    out.write("}\n")
+    return out.getvalue()

@@ -1,0 +1,18 @@
+"""Synthetic RFID path generation (Section 6.1)."""
+
+from repro.synth.generator import GeneratorConfig, generate_path_database
+from repro.synth.hierarchy_gen import (
+    make_dimension_hierarchy,
+    make_location_hierarchy,
+)
+from repro.synth.sequence_gen import generate_location_sequences
+from repro.synth.zipf import ZipfSampler
+
+__all__ = [
+    "GeneratorConfig",
+    "ZipfSampler",
+    "generate_location_sequences",
+    "generate_path_database",
+    "make_dimension_hierarchy",
+    "make_location_hierarchy",
+]

@@ -1,0 +1,68 @@
+"""Synthetic concept-hierarchy construction (Section 6.1).
+
+The experiments give every path-independent dimension a 3-level concept
+hierarchy and every location a 2-level one, varying the number of distinct
+values per level to control data density (Figure 9's datasets a/b/c are
+fanouts (2,2,5), (4,4,6) and (5,5,10)).  Names are deterministic
+(``d0_1_2_3``-style) so generated databases are reproducible and
+hierarchy membership is obvious when debugging.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.hierarchy import ANY, ConceptHierarchy
+from repro.errors import GenerationError
+
+__all__ = ["make_dimension_hierarchy", "make_location_hierarchy"]
+
+
+def make_dimension_hierarchy(
+    name: str, fanouts: Sequence[int]
+) -> ConceptHierarchy:
+    """A balanced hierarchy for one dimension.
+
+    Args:
+        name: Dimension name (becomes the concept-name prefix).
+        fanouts: Children per node at each level; ``(2, 2, 5)`` yields 2
+            level-1 concepts, each with 2 children, each with 5 leaves.
+
+    Concept names encode their position: level-1 ``name_i``, level-2
+    ``name_i_j``, and so on.
+    """
+    if not fanouts or any(f < 1 for f in fanouts):
+        raise GenerationError(f"fanouts must be positive, got {fanouts!r}")
+    edges: list[tuple[str, str]] = []
+
+    def expand(parent: str, level: int) -> None:
+        if level == len(fanouts):
+            return
+        for i in range(fanouts[level]):
+            child = f"{parent}_{i}" if parent != ANY else f"{name}_{i}"
+            edges.append((parent, child))
+            expand(child, level + 1)
+
+    expand(ANY, 0)
+    return ConceptHierarchy.from_edges(name, edges)
+
+
+def make_location_hierarchy(
+    n_groups: int, leaves_per_group: int
+) -> ConceptHierarchy:
+    """The 2-level location hierarchy of the experiments.
+
+    ``n_groups`` level-1 concepts (``area_g``) each own
+    ``leaves_per_group`` concrete locations (``loc_g_i``).
+    """
+    if n_groups < 1 or leaves_per_group < 1:
+        raise GenerationError(
+            f"need positive group counts, got {n_groups}x{leaves_per_group}"
+        )
+    edges: list[tuple[str, str]] = []
+    for g in range(n_groups):
+        group = f"area_{g}"
+        edges.append((ANY, group))
+        for i in range(leaves_per_group):
+            edges.append((group, f"loc_{g}_{i}"))
+    return ConceptHierarchy.from_edges("location", edges)

@@ -1,0 +1,90 @@
+"""Valid location-sequence generation (Section 6.1).
+
+The paper first generates "the set of all valid sequences of locations that
+an item can take through the system", then each synthetic path picks one.
+We model a retail-style flow: sequences move through the location groups in
+order (factory-ish areas first, store-ish areas last), choosing a concrete
+location per visited group, possibly lingering in a group for more than one
+stage.  That gives sequences the nested-prefix structure real supply chains
+have — many sequences share long prefixes, which is what makes path mining
+non-trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.errors import GenerationError
+
+__all__ = ["generate_location_sequences"]
+
+
+def generate_location_sequences(
+    hierarchy: ConceptHierarchy,
+    n_sequences: int,
+    rng: np.random.Generator,
+    min_length: int = 3,
+    max_length: int = 8,
+    max_attempts_factor: int = 50,
+) -> list[tuple[str, ...]]:
+    """Generate *n_sequences* distinct valid location sequences.
+
+    Args:
+        hierarchy: Location hierarchy (groups at level 1, leaves at 2).
+        n_sequences: How many distinct sequences to produce.
+        rng: Seeded generator.
+        min_length: Shortest sequence.
+        max_length: Longest sequence.
+        max_attempts_factor: Give up (raise) after
+            ``n_sequences * max_attempts_factor`` draws — the location
+            alphabet may be too small for the requested distinct count.
+
+    Returns:
+        Distinct sequences, each a tuple of leaf locations with no
+        immediate repeats, visiting groups in nondecreasing order.
+    """
+    groups = sorted(hierarchy.concepts_at_level(1))
+    leaves_by_group = {g: sorted(hierarchy.children(g)) for g in groups}
+    if not groups or any(not v for v in leaves_by_group.values()):
+        raise GenerationError("location hierarchy must have groups with leaves")
+
+    sequences: set[tuple[str, ...]] = set()
+    attempts = 0
+    limit = n_sequences * max_attempts_factor
+    while len(sequences) < n_sequences:
+        attempts += 1
+        if attempts > limit:
+            raise GenerationError(
+                f"could not generate {n_sequences} distinct sequences "
+                f"(got {len(sequences)}); enlarge the location hierarchy "
+                "or the length range"
+            )
+        length = int(rng.integers(min_length, max_length + 1))
+        sequence: list[str] = []
+        group_index = 0
+        while len(sequence) < length:
+            remaining = length - len(sequence)
+            remaining_groups = len(groups) - group_index
+            # Ensure we can still reach the last group: cap the stay.
+            max_stay = max(1, remaining - (remaining_groups - 1))
+            stay = int(rng.integers(1, max_stay + 1))
+            leaves = leaves_by_group[groups[group_index]]
+            grew = False
+            for _ in range(stay):
+                choices = [
+                    leaf
+                    for leaf in leaves
+                    if not sequence or leaf != sequence[-1]
+                ]
+                if not choices:
+                    break
+                sequence.append(choices[int(rng.integers(len(choices)))])
+                grew = True
+            if group_index < len(groups) - 1:
+                group_index += 1
+            elif not grew:
+                break  # last group and no non-repeating leaf: dead end
+        if len(sequence) >= min_length:
+            sequences.add(tuple(sequence))
+    return sorted(sequences)

@@ -1,0 +1,15 @@
+"""RFID warehouse substrate: reading simulation, cleaning, ETL (Section 2)."""
+
+from repro.warehouse.cleaning import clean_readings, group_by_item, sessionise
+from repro.warehouse.etl import build_path_database, round_durations
+from repro.warehouse.simulator import ReaderModel, simulate_readings
+
+__all__ = [
+    "ReaderModel",
+    "build_path_database",
+    "clean_readings",
+    "group_by_item",
+    "round_durations",
+    "sessionise",
+    "simulate_readings",
+]

@@ -1,0 +1,93 @@
+"""RFID data cleaning (Section 2).
+
+"After data cleaning, each path will have stages of the form
+``(location, time_in, time_out)``": this module implements that step.  The
+input is an arbitrary stream of raw ``(EPC, location, time)`` reads —
+unordered, with duplicates and jitter; the output is, per item, a clean
+sequence of :class:`~repro.core.stage.StageRecord` stays.
+
+The sessionisation rule: sort an item's reads by time, then group maximal
+runs of consecutive reads at the same location into one stay.  A *gap
+threshold* guards against the pathological case where an item genuinely
+left and came back faster than the reader period — a larger-than-threshold
+silence at the same location splits the stay.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.core.stage import RawReading, StageRecord
+from repro.errors import CleaningError
+
+__all__ = ["group_by_item", "sessionise", "clean_readings"]
+
+
+def group_by_item(readings: Iterable[RawReading]) -> dict[str, list[RawReading]]:
+    """Bucket a raw stream by EPC, each bucket sorted by time."""
+    buckets: dict[str, list[RawReading]] = defaultdict(list)
+    for reading in readings:
+        buckets[reading.epc].append(reading)
+    for reads in buckets.values():
+        reads.sort(key=lambda r: (r.time, r.location))
+    return dict(buckets)
+
+
+def sessionise(
+    readings: list[RawReading],
+    gap_threshold: float | None = None,
+) -> list[StageRecord]:
+    """Collapse one item's time-sorted reads into stays.
+
+    Args:
+        readings: All reads of a single EPC, sorted by time.
+        gap_threshold: If two consecutive same-location reads are further
+            apart than this, the stay splits in two (``None`` = never
+            split).
+
+    Returns:
+        The item's stays in chronological order.  A stay's duration is
+        last-read-time minus first-read-time; single-read stays have
+        duration 0.
+
+    Raises:
+        CleaningError: If the reads mention more than one EPC, or are not
+            time-sorted.
+    """
+    if not readings:
+        return []
+    epcs = {r.epc for r in readings}
+    if len(epcs) != 1:
+        raise CleaningError(f"sessionise expects a single item, got EPCs {epcs}")
+    stages: list[StageRecord] = []
+    current_location = readings[0].location
+    time_in = readings[0].time
+    last_time = readings[0].time
+    for reading in readings[1:]:
+        if reading.time < last_time:
+            raise CleaningError("readings must be sorted by time")
+        same_place = reading.location == current_location
+        gap_ok = gap_threshold is None or reading.time - last_time <= gap_threshold
+        if same_place and gap_ok:
+            last_time = reading.time
+            continue
+        stages.append(StageRecord(current_location, time_in, last_time))
+        current_location = reading.location
+        time_in = reading.time
+        last_time = reading.time
+    stages.append(StageRecord(current_location, time_in, last_time))
+    return stages
+
+
+def clean_readings(
+    readings: Iterable[RawReading],
+    gap_threshold: float | None = None,
+) -> Iterator[tuple[str, list[StageRecord]]]:
+    """Clean a whole stream: yield ``(epc, stays)`` per item.
+
+    Items come out in sorted-EPC order for determinism.
+    """
+    buckets = group_by_item(readings)
+    for epc in sorted(buckets):
+        yield epc, sessionise(buckets[epc], gap_threshold)

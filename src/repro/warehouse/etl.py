@@ -1,0 +1,88 @@
+"""ETL: raw readings + item master data → a path database (Section 2).
+
+Ties the warehouse substrate together: clean the reading stream into stays,
+convert stays into relative-duration stages (optionally discretised), join
+each EPC with its path-independent dimension values, and emit a validated
+:class:`~repro.core.path_database.PathDatabase` ready for flowcube
+construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.core.path import Path, PathRecord
+from repro.core.path_database import PathDatabase, PathSchema
+from repro.core.stage import RawReading, Stage
+from repro.errors import CleaningError
+from repro.warehouse.cleaning import clean_readings
+
+__all__ = ["build_path_database", "round_durations"]
+
+
+def round_durations(unit: float = 1.0) -> Callable[[float], float]:
+    """A duration reducer that rounds stays to multiples of *unit*.
+
+    Section 2 notes durations "may not need to be at the precision of
+    seconds" — rounding to hours (or shifts, or days) is the simplest
+    numerosity reduction.  Zero-length stays round up to one unit so a
+    visited location is never erased.
+    """
+    if unit <= 0:
+        raise CleaningError("rounding unit must be positive")
+
+    def reduce(duration: float) -> float:
+        return max(unit, round(duration / unit) * unit)
+
+    return reduce
+
+
+def build_path_database(
+    readings: Iterable[RawReading],
+    item_dimensions: Mapping[str, tuple[str, ...]],
+    schema: PathSchema,
+    gap_threshold: float | None = None,
+    duration_reducer: Callable[[float], float] | None = None,
+    record_ids: Mapping[str, int] | None = None,
+) -> PathDatabase:
+    """Run the full §2 pipeline on a raw reading stream.
+
+    Args:
+        readings: The raw ``(EPC, location, time)`` stream.
+        item_dimensions: EPC → path-independent dimension values, in the
+            schema's column order (the "item master" join).
+        schema: Target schema; locations in the stream must exist in its
+            location hierarchy (validated on construction).
+        gap_threshold: Stay-splitting threshold for sessionisation.
+        duration_reducer: Optional numerosity reduction for stage
+            durations (e.g. :func:`round_durations`).
+        record_ids: Optional EPC → record id assignment (e.g. to align
+            with an existing master database).  Default: ids 1, 2, ... in
+            sorted-EPC order.
+
+    Returns:
+        A validated path database.
+
+    Raises:
+        CleaningError: If an EPC in the stream has no master-data entry.
+    """
+    records: list[PathRecord] = []
+    next_id = 1
+    for epc, stays in clean_readings(readings, gap_threshold):
+        if epc not in item_dimensions:
+            raise CleaningError(f"no item master data for EPC {epc!r}")
+        stages = []
+        for stay in stays:
+            duration = stay.duration
+            if duration_reducer is not None:
+                duration = duration_reducer(duration)
+            stages.append(Stage(stay.location, duration))
+        if record_ids is not None:
+            if epc not in record_ids:
+                raise CleaningError(f"no record id assigned for EPC {epc!r}")
+            record_id = record_ids[epc]
+        else:
+            record_id = next_id
+            next_id += 1
+        records.append(PathRecord(record_id, item_dimensions[epc], Path(stages)))
+    return PathDatabase(schema, records)

@@ -1,0 +1,115 @@
+"""Raw RFID reading simulation (Section 1–2 substrate).
+
+The paper starts from an already-cleaned path database; a real deployment
+starts from a stream of ``(EPC, location, time)`` reads — each item read
+possibly hundreds of times per location, with duplicate reads, small clock
+jitter, and occasional missed reads.  This module produces such a stream
+from a ground-truth path database, so the cleaning pipeline
+(:mod:`repro.warehouse.cleaning`) can be exercised end to end and verified
+against known truth.
+
+This is our substitution for a physical RFID deployment (see DESIGN.md):
+the generated stream exercises exactly the code paths real readers would —
+deduplication, sessionisation into stays, duration recovery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.path_database import PathDatabase
+from repro.core.stage import RawReading
+from repro.errors import GenerationError
+
+__all__ = ["ReaderModel", "simulate_readings"]
+
+
+@dataclass(frozen=True)
+class ReaderModel:
+    """Physical characteristics of the simulated readers.
+
+    Attributes:
+        read_period: Time between successive reads of a stationary tag
+            (same unit as stage durations; a 5-hour stay with period 0.5
+            yields ~10 reads).
+        jitter: Uniform timing noise (± this much) on each read.
+        miss_rate: Probability an individual read is lost.
+        duplicate_rate: Probability an individual read is reported twice
+            (readers double-report on antenna handoff).
+        seed: Seed of the noise process.
+    """
+
+    read_period: float = 0.5
+    jitter: float = 0.05
+    miss_rate: float = 0.02
+    duplicate_rate: float = 0.05
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.read_period <= 0:
+            raise GenerationError("read_period must be positive")
+        if not 0 <= self.miss_rate < 1:
+            raise GenerationError("miss_rate must be in [0, 1)")
+        if not 0 <= self.duplicate_rate < 1:
+            raise GenerationError("duplicate_rate must be in [0, 1)")
+
+
+def simulate_readings(
+    database: PathDatabase,
+    model: ReaderModel | None = None,
+    start_time: float = 0.0,
+    inter_stage_gap: float = 0.25,
+) -> Iterator[RawReading]:
+    """Emit the raw reading stream a deployment would have produced.
+
+    Each record's path is replayed on an absolute clock: the item sits at
+    each stage for its duration and is read every ``read_period`` (with
+    jitter, misses and duplicates).  A stage always produces at least one
+    surviving read — an item that was somewhere *was* seen there — so
+    cleaning can recover every stage.
+
+    Args:
+        database: Ground-truth paths.  EPCs are ``epc-{record_id}``.
+        model: Reader noise model (defaults to :class:`ReaderModel`).
+        start_time: Clock value at which every item starts its path.
+        inter_stage_gap: Travel time inserted between consecutive stages.
+            Must exceed the model's jitter (items cannot be in two places
+            at one instant; a zero gap makes boundary reads collide in
+            time and sessionisation would split stays spuriously).
+
+    Yields:
+        :class:`~repro.core.stage.RawReading` in *unsorted* arrival order
+        (grouped by item, time-ordered within an item — real middleware
+        output is messier, which the cleaning step must not rely on).
+    """
+    model = model or ReaderModel()
+    if inter_stage_gap <= model.jitter:
+        raise GenerationError(
+            f"inter_stage_gap ({inter_stage_gap}) must exceed the reader "
+            f"jitter ({model.jitter}) or stage boundaries collide"
+        )
+    rng = np.random.default_rng(model.seed)
+    for record in database:
+        epc = f"epc-{record.record_id}"
+        clock = start_time
+        for stage in record.path:
+            n_reads = max(1, int(stage.duration / model.read_period))
+            produced = 0
+            for i in range(n_reads):
+                moment = clock + i * model.read_period
+                moment += float(rng.uniform(-model.jitter, model.jitter))
+                moment = min(max(moment, clock), clock + stage.duration)
+                is_last_chance = i == n_reads - 1 and produced == 0
+                if not is_last_chance and rng.random() < model.miss_rate:
+                    continue
+                produced += 1
+                yield RawReading(epc, moment, stage.location)
+                if rng.random() < model.duplicate_rate:
+                    yield RawReading(epc, moment, stage.location)
+            # Anchor the stay's end so durations are recoverable.
+            if stage.duration > 0:
+                yield RawReading(epc, clock + stage.duration, stage.location)
+            clock += stage.duration + inter_stage_gap

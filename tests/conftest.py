@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's running example and small synthetic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConceptHierarchy,
+    PathDatabase,
+    PathLattice,
+    example_path_database,
+)
+from repro.synth import GeneratorConfig, generate_path_database
+
+
+@pytest.fixture(scope="session")
+def paper_db() -> PathDatabase:
+    """The eight-path database of Table 1."""
+    return example_path_database()
+
+
+@pytest.fixture(scope="session")
+def paper_lattice(paper_db) -> PathLattice:
+    """The four path abstraction levels of Section 6."""
+    return PathLattice.paper_default(paper_db.schema.location)
+
+
+@pytest.fixture(scope="session")
+def product_hierarchy(paper_db) -> ConceptHierarchy:
+    """The Figure 2 product hierarchy."""
+    return paper_db.schema.dimensions[0]
+
+
+@pytest.fixture(scope="session")
+def location_hierarchy(paper_db) -> ConceptHierarchy:
+    """The Figure 5 location hierarchy."""
+    return paper_db.schema.location
+
+
+@pytest.fixture(scope="session")
+def small_synth_db() -> PathDatabase:
+    """A small deterministic synthetic database (300 paths, 3 dims)."""
+    config = GeneratorConfig(
+        n_paths=300,
+        n_dims=3,
+        dim_fanouts=(3, 3, 4),
+        n_sequences=12,
+        max_path_length=6,
+        seed=11,
+    )
+    return generate_path_database(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_synth_db() -> PathDatabase:
+    """A tiny synthetic database for the slower cross-checks (80 paths)."""
+    config = GeneratorConfig(
+        n_paths=80,
+        n_dims=2,
+        dim_fanouts=(2, 2, 3),
+        n_sequences=6,
+        max_path_length=5,
+        seed=3,
+    )
+    return generate_path_database(config)

@@ -1,0 +1,135 @@
+"""Unit tests for path aggregation (repro.core.aggregation)."""
+
+import pytest
+
+from repro.core import (
+    DURATION_ANY,
+    DURATION_VALUE,
+    LocationView,
+    Path,
+    PathLevel,
+    aggregate_locations,
+    aggregate_path,
+)
+from repro.core.aggregation import (
+    DURATION_ANY_LABEL,
+    default_discretiser,
+    max_merge,
+    sum_merge,
+)
+
+
+@pytest.fixture
+def store_path() -> Path:
+    # Figure 1's example path: dist center, truck, backroom, shelf, checkout.
+    return Path(
+        [
+            ("dist center", 2),
+            ("truck", 1),
+            ("backroom", 4),
+            ("shelf", 5),
+            ("checkout", 0),
+        ]
+    )
+
+
+def transportation_view(hierarchy) -> PathLevel:
+    view = LocationView(
+        hierarchy, ["dist center", "truck", "warehouse", "factory", "store"]
+    )
+    return PathLevel(view, DURATION_VALUE)
+
+
+def store_view(hierarchy) -> PathLevel:
+    view = LocationView(
+        hierarchy,
+        ["transportation", "factory", "backroom", "shelf", "checkout"],
+    )
+    return PathLevel(view, DURATION_VALUE)
+
+
+class TestFigure1Views:
+    def test_transportation_view_merges_store(self, location_hierarchy, store_path):
+        level = transportation_view(location_hierarchy)
+        aggregated = aggregate_path(store_path, level)
+        assert [loc for loc, _ in aggregated] == ["dist center", "truck", "store"]
+        # The merged store stage sums backroom+shelf+checkout durations.
+        assert aggregated[-1][1] == "9"
+
+    def test_store_view_merges_transportation(self, location_hierarchy, store_path):
+        level = store_view(location_hierarchy)
+        aggregated = aggregate_path(store_path, level)
+        assert [loc for loc, _ in aggregated] == [
+            "transportation",
+            "backroom",
+            "shelf",
+            "checkout",
+        ]
+        assert aggregated[0][1] == "3"  # dist center 2 + truck 1
+
+
+class TestDurationLevels:
+    def test_any_level_uses_star_label(self, location_hierarchy, store_path):
+        level = PathLevel(
+            LocationView.leaf_view(location_hierarchy), DURATION_ANY
+        )
+        aggregated = aggregate_path(store_path, level)
+        assert all(d == DURATION_ANY_LABEL for _, d in aggregated)
+
+    def test_value_level_keeps_labels(self, location_hierarchy, store_path):
+        level = PathLevel(
+            LocationView.leaf_view(location_hierarchy), DURATION_VALUE
+        )
+        aggregated = aggregate_path(store_path, level)
+        assert [d for _, d in aggregated] == ["2", "1", "4", "5", "0"]
+
+
+class TestMergers:
+    def test_max_merge(self, location_hierarchy, store_path):
+        level = store_view(location_hierarchy)
+        aggregated = aggregate_path(store_path, level, merge=max_merge)
+        assert aggregated[0][1] == "2"  # max(2, 1)
+
+    def test_sum_merge_is_default(self):
+        assert sum_merge([1.0, 2.0, 3.0]) == 6.0
+        assert max_merge([1.0, 2.0, 3.0]) == 3.0
+
+    def test_custom_discretiser(self, location_hierarchy, store_path):
+        level = PathLevel(
+            LocationView.leaf_view(location_hierarchy), DURATION_VALUE
+        )
+        bucketed = aggregate_path(
+            store_path,
+            level,
+            discretiser=lambda d: "long" if d >= 3 else "short",
+        )
+        assert [d for _, d in bucketed] == [
+            "short",
+            "short",
+            "long",
+            "long",
+            "short",
+        ]
+
+
+class TestHelpers:
+    def test_default_discretiser_integers(self):
+        assert default_discretiser(5.0) == "5"
+        assert default_discretiser(1.5) == "1.5"
+
+    def test_aggregate_locations(self, location_hierarchy, store_path):
+        level = transportation_view(location_hierarchy)
+        assert aggregate_locations(store_path, level) == (
+            "dist center",
+            "truck",
+            "store",
+        )
+
+    def test_no_merge_when_locations_alternate(self, location_hierarchy):
+        # shelf -> truck -> shelf must NOT merge the two shelf stages.
+        path = Path([("shelf", 1), ("truck", 2), ("shelf", 3)])
+        level = PathLevel(
+            LocationView.leaf_view(location_hierarchy), DURATION_VALUE
+        )
+        aggregated = aggregate_path(path, level)
+        assert [loc for loc, _ in aggregated] == ["shelf", "truck", "shelf"]

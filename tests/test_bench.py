@@ -1,0 +1,136 @@
+"""Tests for the experiment harness (repro.bench)."""
+
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    fig11_pruning_power,
+    result_to_csv,
+    run_algorithms,
+    run_experiments,
+    write_results,
+)
+from repro.bench.cli import main as cli_main
+from repro.synth import GeneratorConfig, generate_path_database
+
+
+class TestRunAlgorithms:
+    def test_all_three(self):
+        db = generate_path_database(GeneratorConfig(n_paths=60, n_dims=2, seed=1))
+        out = run_algorithms(db, 0.05)
+        assert set(out) == {"shared", "cubing", "basic"}
+        for elapsed, result in out.values():
+            assert elapsed >= 0
+            assert len(result) > 0
+
+    def test_unknown_algorithm(self):
+        db = generate_path_database(GeneratorConfig(n_paths=20, n_dims=2, seed=1))
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_algorithms(db, 0.05, algorithms=("magic",))
+
+
+class TestExperimentResult:
+    def test_table_rendering(self):
+        result = ExperimentResult(
+            name="figX",
+            title="t",
+            x_label="n",
+            series_labels=("shared", "cubing"),
+            rows=[(100, {"shared": 1.5}), (200, {"shared": 2.0, "cubing": 3.0})],
+        )
+        table = result.as_table()
+        assert "1.500s" in table
+        assert "-" in table  # missing cubing at x=100
+
+    def test_candidate_unit_rendering(self):
+        result = ExperimentResult(
+            name="fig11",
+            title="t",
+            x_label="length",
+            series_labels=("shared",),
+            rows=[(1, {"shared": 42.0})],
+            unit="candidates",
+        )
+        assert "42" in result.as_table()
+        assert "42.000s" not in result.as_table()
+
+    def test_csv(self):
+        result = ExperimentResult(
+            name="figX",
+            title="t",
+            x_label="n",
+            series_labels=("shared",),
+            rows=[(100, {"shared": 1.5})],
+        )
+        text = result_to_csv(result)
+        assert text.splitlines()[0] == "n,shared,unit"
+        assert "100,1.5,s" in text
+
+
+class TestExperiments:
+    def test_registry_covers_all_figures(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "compression",
+        }
+
+    def test_compression_experiment(self):
+        from repro.bench.compression import compression_experiment
+
+        result = compression_experiment(n_paths=80, deltas=(0.02, 0.1),
+                                        taus=(0.9,))
+        assert result.unit == "cells"
+        by_delta = {x: row for x, row in result.rows}
+        # Higher δ always materialises fewer (or equal) iceberg cells.
+        assert by_delta[10.0]["iceberg_cells"] <= by_delta[2.0]["iceberg_cells"]
+        # Non-redundant count never exceeds the iceberg count.
+        for _, row in result.rows:
+            assert row["nonredundant_tau_0.9"] <= row["iceberg_cells"]
+
+    def test_fig11_tiny_run(self):
+        result = fig11_pruning_power(scale=1.0, n_paths=60, min_support=0.2)
+        assert result.rows
+        shared_total = sum(v.get("shared", 0) for _, v in result.rows)
+        basic_total = sum(v.get("basic", 0) for _, v in result.rows)
+        assert basic_total > shared_total  # the pruning-power claim
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiments(["fig99"], verbose=False)
+
+    def test_write_results(self, tmp_path):
+        result = ExperimentResult(
+            name="figX",
+            title="t",
+            x_label="n",
+            series_labels=("shared",),
+            rows=[(1, {"shared": 0.1})],
+        )
+        paths = write_results([result], tmp_path)
+        assert paths == [tmp_path / "figX.csv"]
+        assert paths[0].read_text().startswith("n,shared,unit")
+
+
+class TestCLI:
+    def test_help_when_no_args(self, capsys):
+        assert cli_main([]) == 0
+        assert "fig6" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert cli_main(["fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_runs_and_writes(self, tmp_path, capsys, monkeypatch):
+        # Shrink fig11 so the CLI test is fast.
+        import repro.bench.cli as cli
+        import repro.bench.harness as harness
+
+        def tiny_fig11(scale=1.0):
+            return fig11_pruning_power(scale=scale, n_paths=60, min_support=0.2)
+
+        monkeypatch.setitem(harness.ALL_EXPERIMENTS, "fig11", tiny_fig11)
+        code = cli.main(["fig11", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert (tmp_path / "fig11.csv").exists()

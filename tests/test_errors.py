@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.HierarchyError,
+            errors.UnknownConceptError,
+            errors.LevelError,
+            errors.PathDatabaseError,
+            errors.EncodingError,
+            errors.MiningError,
+            errors.CubeError,
+            errors.QueryError,
+            errors.GenerationError,
+            errors.CleaningError,
+        ],
+    )
+    def test_all_derive_from_flowcube_error(self, exc):
+        assert issubclass(exc, errors.FlowCubeError)
+
+    def test_unknown_concept_message(self):
+        exc = errors.UnknownConceptError("socks", "product")
+        assert "socks" in str(exc)
+        assert "product" in str(exc)
+        assert exc.concept == "socks"
+
+    def test_unknown_concept_without_hierarchy_name(self):
+        exc = errors.UnknownConceptError("socks")
+        assert "socks" in str(exc)
+
+    def test_level_error_is_hierarchy_error(self):
+        assert issubclass(errors.LevelError, errors.HierarchyError)
+
+    def test_catching_the_family(self):
+        from repro.core import example_path_database
+
+        db = example_path_database()
+        with pytest.raises(errors.FlowCubeError):
+            db[999]  # PathDatabaseError is a FlowCubeError

@@ -1,0 +1,128 @@
+"""Unit tests for flowgraphs (repro.core.flowgraph) — incl. Figure 3 data."""
+
+import pytest
+
+from repro.core import (
+    DURATION_VALUE,
+    FlowGraph,
+    LocationView,
+    PathLevel,
+    TERMINATE,
+    aggregate_path,
+)
+from repro.errors import CubeError
+
+
+@pytest.fixture
+def paper_graph(paper_db, location_hierarchy) -> FlowGraph:
+    """Flowgraph over all eight Table 1 paths at the leaf view (Figure 3)."""
+    level = PathLevel(LocationView.leaf_view(location_hierarchy), DURATION_VALUE)
+    return FlowGraph(aggregate_path(r.path, level) for r in paper_db)
+
+
+class TestFigure3:
+    def test_factory_duration_distribution(self, paper_graph):
+        # Figure 3 annotates factory: 5 with 0.38, 10 with 0.62.
+        dist = paper_graph.node(("factory",)).duration_distribution()
+        assert dist["5"] == pytest.approx(3 / 8)
+        assert dist["10"] == pytest.approx(5 / 8)
+
+    def test_factory_transition_distribution(self, paper_graph):
+        # Figure 3: factory -> dist center 0.65 (5/8), -> truck 0.35 (3/8).
+        dist = paper_graph.node(("factory",)).transition_distribution()
+        assert dist["dist center"] == pytest.approx(5 / 8)
+        assert dist["truck"] == pytest.approx(3 / 8)
+        assert TERMINATE not in dist
+
+    def test_truck_branch_probabilities(self, paper_graph):
+        # Figure 3: factory->truck->shelf 0.67, ->warehouse 0.33.
+        dist = paper_graph.node(("factory", "truck")).transition_distribution()
+        assert dist["shelf"] == pytest.approx(2 / 3)
+        assert dist["warehouse"] == pytest.approx(1 / 3)
+
+    def test_checkout_terminates(self, paper_graph):
+        node = paper_graph.node(
+            ("factory", "dist center", "truck", "shelf", "checkout")
+        )
+        assert node.transition_distribution() == {TERMINATE: 1.0}
+
+    def test_node_counts(self, paper_graph):
+        assert paper_graph.n_paths == 8
+        assert paper_graph.node(("factory",)).count == 8
+        assert paper_graph.node(("factory", "dist center")).count == 5
+
+
+class TestConstruction:
+    def test_empty_path_rejected(self):
+        with pytest.raises(CubeError, match="empty path"):
+            FlowGraph().add_path(())
+
+    def test_weighted_add(self):
+        graph = FlowGraph()
+        graph.add_path((("a", "1"), ("b", "2")), weight=3)
+        assert graph.n_paths == 3
+        assert graph.node(("a",)).count == 3
+        assert graph.node(("a",)).transition_counts["b"] == 3
+
+    def test_multiple_roots(self):
+        graph = FlowGraph([(("a", "1"),), (("b", "1"),)])
+        assert {root.location for root in graph.roots} == {"a", "b"}
+
+    def test_common_prefixes_share_branch(self):
+        graph = FlowGraph(
+            [
+                (("f", "1"), ("t", "1")),
+                (("f", "2"), ("t", "2"), ("s", "1")),
+            ]
+        )
+        assert len(graph) == 3  # f, f/t, f/t/s — prefixes shared
+        assert graph.node(("f",)).count == 2
+
+    def test_missing_node_raises(self, paper_graph):
+        with pytest.raises(CubeError, match="no flowgraph node"):
+            paper_graph.node(("moon",))
+        assert not paper_graph.has_node(("moon",))
+
+    def test_nodes_sorted_shortest_first(self, paper_graph):
+        prefixes = [n.prefix for n in paper_graph.nodes()]
+        assert prefixes == sorted(prefixes)
+
+
+class TestDerived:
+    def test_path_probability_of_seen_path(self):
+        graph = FlowGraph(
+            [
+                (("a", "1"), ("b", "1")),
+                (("a", "1"), ("c", "1")),
+            ]
+        )
+        p = graph.path_probability((("a", "1"), ("b", "1")))
+        # start 1.0 * dur(a=1)=1.0 * trans(a->b)=0.5 * dur(b=1)=1.0 * term=1.0
+        assert p == pytest.approx(0.5)
+
+    def test_path_probability_of_unseen_path_is_zero(self, paper_graph):
+        assert paper_graph.path_probability((("shelf", "1"),)) == 0.0
+        assert paper_graph.path_probability(()) == 0.0
+
+    def test_enumerate_paths_sums_to_one(self, paper_graph):
+        total = sum(p for _, p in paper_graph.enumerate_paths())
+        assert total == pytest.approx(1.0)
+
+    def test_enumerate_paths_matches_data(self, paper_graph):
+        routes = dict(paper_graph.enumerate_paths())
+        key = ("factory", "dist center", "truck", "shelf", "checkout")
+        assert routes[key] == pytest.approx(3 / 8)
+
+    def test_expected_remaining_duration(self):
+        graph = FlowGraph(
+            [
+                (("a", "2"), ("b", "4")),
+                (("a", "2"), ("b", "6")),
+            ]
+        )
+        # a contributes 2; b's expectation is 5.
+        assert graph.expected_remaining_duration(("a",)) == pytest.approx(7.0)
+
+    def test_expected_duration_ignores_star(self):
+        graph = FlowGraph([(("a", "*"),)])
+        assert graph.expected_remaining_duration(("a",)) == 0.0

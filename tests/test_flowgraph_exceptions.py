@@ -1,0 +1,183 @@
+"""Unit tests for flowgraph exception mining (ε/δ deviations)."""
+
+import pytest
+
+from repro.core import FlowGraph, mine_exceptions, mine_frequent_segments
+from repro.core.flowgraph_exceptions import (
+    _satisfies,
+    resolve_min_support,
+)
+
+
+def make_paths(spec: list[tuple[tuple[tuple[str, str], ...], int]]):
+    """Expand (path, multiplicity) specs into a flat path list."""
+    out = []
+    for path, count in spec:
+        out.extend([path] * count)
+    return out
+
+
+@pytest.fixture
+def conditional_paths():
+    """Paths engineered so a long factory stay changes downstream behaviour.
+
+    Short factory stay (duration 1): next location splits 50/50 between
+    warehouse and store.  Long stay (duration 9): always warehouse.
+    """
+    return make_paths(
+        [
+            (((("f"), "1"), (("w"), "2")), 10),
+            ((("f", "1"), ("s", "2")), 10),
+            ((("f", "9"), ("w", "2")), 10),
+        ]
+    )
+
+
+class TestResolveMinSupport:
+    def test_fraction(self):
+        assert resolve_min_support(0.01, 250) == 3  # ceil(2.5)
+        assert resolve_min_support(0.5, 10) == 5
+
+    def test_absolute(self):
+        assert resolve_min_support(5, 1000) == 5
+        assert resolve_min_support(1, 10) == 1
+
+    def test_floor_at_one(self):
+        assert resolve_min_support(0, 100) == 1
+        assert resolve_min_support(0.0001, 10) == 1
+
+
+class TestSatisfies:
+    def test_exact_constraint(self):
+        path = (("f", "1"), ("w", "2"))
+        assert _satisfies(path, ((("f",), "1"),))
+        assert not _satisfies(path, ((("f",), "9"),))
+
+    def test_star_duration_always_matches(self):
+        path = (("f", "1"), ("w", "2"))
+        assert _satisfies(path, ((("f",), "*"),))
+
+    def test_prefix_mismatch(self):
+        path = (("f", "1"), ("w", "2"))
+        assert not _satisfies(path, ((("s",), "1"),))
+        assert not _satisfies(path, ((("f", "s"), "2"),))
+
+    def test_constraint_beyond_path(self):
+        path = (("f", "1"),)
+        assert not _satisfies(path, ((("f", "w"), "2"),))
+
+
+class TestSegmentMining:
+    def test_singletons_counted(self, paper_db, paper_lattice):
+        from repro.core import aggregate_path
+
+        paths = [aggregate_path(r.path, paper_lattice[0]) for r in paper_db]
+        segments = mine_frequent_segments(paths, min_support=5)
+        assert ((("factory",), "10"),) in segments
+        assert segments[((("factory",), "10"),)] == 5
+
+    def test_pairs_require_nesting(self):
+        paths = make_paths([((("a", "1"), ("b", "2"), ("c", "3")), 5)])
+        segments = mine_frequent_segments(paths, min_support=3)
+        # Pair of first and second stage is frequent and nested.
+        assert ((("a",), "1"), (("a", "b"), "2")) in segments
+        # Full triple too.
+        assert (
+            (("a",), "1"),
+            (("a", "b"), "2"),
+            (("a", "b", "c"), "3"),
+        ) in segments
+
+    def test_max_length_bounds_mining(self):
+        paths = make_paths([((("a", "1"), ("b", "2"), ("c", "3")), 5)])
+        segments = mine_frequent_segments(paths, min_support=3, max_length=1)
+        assert all(len(s) == 1 for s in segments)
+
+    def test_same_stage_two_durations_never_joins(self):
+        paths = make_paths(
+            [((("a", "1"),), 5), ((("a", "2"),), 5)]
+        )
+        segments = mine_frequent_segments(paths, min_support=3)
+        assert all(len(s) == 1 for s in segments)
+
+
+class TestExceptionMining:
+    def test_duration_condition_shifts_transition(self, conditional_paths):
+        graph = FlowGraph(conditional_paths)
+        exceptions = mine_exceptions(
+            graph, conditional_paths, min_support=5, min_deviation=0.15
+        )
+        transition_exceptions = [
+            e
+            for e in exceptions
+            if e.kind == "transition" and e.condition == ((("f",), "9"),)
+        ]
+        assert transition_exceptions, "long factory stay should shift transitions"
+        exc = transition_exceptions[0]
+        assert exc.conditional["w"] == pytest.approx(1.0)
+        # Baseline: 20/30 go to warehouse.
+        assert exc.baseline["w"] == pytest.approx(2 / 3)
+        assert exc.deviation == pytest.approx(1 / 3)
+
+    def test_duration_exception_at_child(self):
+        # Long stay at f forces duration 5 at w; short stay gives 1.
+        paths = make_paths(
+            [
+                ((("f", "9"), ("w", "5")), 10),
+                ((("f", "1"), ("w", "1")), 10),
+            ]
+        )
+        graph = FlowGraph(paths)
+        exceptions = mine_exceptions(graph, paths, min_support=5, min_deviation=0.2)
+        duration_exceptions = [
+            e
+            for e in exceptions
+            if e.kind == "duration" and e.condition == ((("f",), "9"),)
+        ]
+        assert duration_exceptions
+        exc = duration_exceptions[0]
+        assert exc.node_prefix == ("f", "w")
+        assert exc.conditional["5"] == pytest.approx(1.0)
+        assert exc.baseline["5"] == pytest.approx(0.5)
+
+    def test_epsilon_filters_small_deviations(self, conditional_paths):
+        graph = FlowGraph(conditional_paths)
+        strict = mine_exceptions(
+            graph, conditional_paths, min_support=5, min_deviation=0.99
+        )
+        assert strict == []
+
+    def test_delta_filters_rare_conditions(self, conditional_paths):
+        graph = FlowGraph(conditional_paths)
+        # Threshold above any condition's support: nothing qualifies.
+        exceptions = mine_exceptions(
+            graph, conditional_paths, min_support=31, min_deviation=0.1
+        )
+        assert exceptions == []
+
+    def test_exceptions_attached_to_graph(self, conditional_paths):
+        graph = FlowGraph(conditional_paths)
+        found = mine_exceptions(
+            graph, conditional_paths, min_support=5, min_deviation=0.15
+        )
+        assert graph.exceptions == found
+
+    def test_supplied_segments_are_used(self, conditional_paths):
+        graph = FlowGraph(conditional_paths)
+        only = [((("f",), "9"),)]
+        exceptions = mine_exceptions(
+            graph,
+            conditional_paths,
+            min_support=5,
+            min_deviation=0.15,
+            segments=only,
+        )
+        assert all(e.condition == only[0] for e in exceptions)
+
+    def test_str_rendering(self, conditional_paths):
+        graph = FlowGraph(conditional_paths)
+        exceptions = mine_exceptions(
+            graph, conditional_paths, min_support=5, min_deviation=0.15
+        )
+        text = str(exceptions[0])
+        assert "exception at" in text and "Δ=" in text

@@ -1,0 +1,133 @@
+"""Unit tests for concept hierarchies (repro.core.hierarchy)."""
+
+import pytest
+
+from repro.core.hierarchy import ANY, ConceptHierarchy
+from repro.errors import HierarchyError, LevelError, UnknownConceptError
+
+
+@pytest.fixture
+def tree() -> ConceptHierarchy:
+    return ConceptHierarchy.from_nested(
+        "product",
+        {
+            "clothing": {
+                "outerwear": {"shirt": {}, "jacket": {}},
+                "shoes": {"tennis": {}, "sandals": {}},
+            }
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_edges_adds_apex(self):
+        h = ConceptHierarchy.from_edges("x", [("a", "b"), ("a", "c")])
+        assert h.parent("a") == ANY
+        assert h.level_of("a") == 1
+
+    def test_flat_hierarchy(self):
+        h = ConceptHierarchy.flat("brand", ["nike", "adidas"])
+        assert h.depth == 1
+        assert set(h.leaves) == {"nike", "adidas"}
+
+    def test_rejects_two_parents(self):
+        with pytest.raises(HierarchyError, match="two parents"):
+            ConceptHierarchy.from_edges("x", [("a", "c"), ("b", "c")])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(HierarchyError):
+            ConceptHierarchy.from_edges("x", [("a", "b"), ("b", "a")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(HierarchyError, match="no edges"):
+            ConceptHierarchy.from_edges("x", [])
+
+    def test_rejects_apex_as_child(self):
+        with pytest.raises(HierarchyError):
+            ConceptHierarchy.from_edges("x", [("a", ANY)])
+
+    def test_many_siblings_encoded(self):
+        values = [f"v{i}" for i in range(40)]
+        h = ConceptHierarchy.flat("wide", values)
+        codes = {h.code_of(v) for v in values}
+        assert len(codes) == 40  # all distinct single characters
+
+
+class TestNavigation:
+    def test_levels(self, tree):
+        assert tree.level_of(ANY) == 0
+        assert tree.level_of("clothing") == 1
+        assert tree.level_of("outerwear") == 2
+        assert tree.level_of("jacket") == 3
+        assert tree.depth == 3
+
+    def test_parent_chain(self, tree):
+        assert tree.parent("jacket") == "outerwear"
+        assert tree.parent(ANY) is None
+        assert tree.ancestors("jacket") == ("outerwear", "clothing", ANY)
+        assert tree.ancestors("jacket", include_self=True)[0] == "jacket"
+
+    def test_children(self, tree):
+        assert set(tree.children("outerwear")) == {"shirt", "jacket"}
+        assert tree.children("jacket") == ()
+
+    def test_descendants(self, tree):
+        descendants = tree.descendants("outerwear")
+        assert set(descendants) == {"shirt", "jacket"}
+        assert "outerwear" in tree.descendants("outerwear", include_self=True)
+
+    def test_leaves(self, tree):
+        assert set(tree.leaves) == {"shirt", "jacket", "tennis", "sandals"}
+
+    def test_concepts_at_level(self, tree):
+        assert set(tree.concepts_at_level(2)) == {"outerwear", "shoes"}
+        with pytest.raises(LevelError):
+            tree.concepts_at_level(9)
+
+    def test_unknown_concept(self, tree):
+        with pytest.raises(UnknownConceptError):
+            tree.level_of("socks")
+
+
+class TestRollup:
+    def test_ancestor_at_level(self, tree):
+        assert tree.ancestor_at_level("jacket", 2) == "outerwear"
+        assert tree.ancestor_at_level("jacket", 1) == "clothing"
+        assert tree.ancestor_at_level("jacket", 0) == ANY
+
+    def test_ancestor_at_own_or_deeper_level_is_identity(self, tree):
+        assert tree.ancestor_at_level("jacket", 3) == "jacket"
+        assert tree.ancestor_at_level("outerwear", 3) == "outerwear"
+
+    def test_negative_level_rejected(self, tree):
+        with pytest.raises(LevelError):
+            tree.ancestor_at_level("jacket", -1)
+
+    def test_is_ancestor(self, tree):
+        assert tree.is_ancestor("clothing", "jacket")
+        assert tree.is_ancestor(ANY, "jacket")
+        assert not tree.is_ancestor("jacket", "clothing")
+        assert not tree.is_ancestor("shoes", "jacket")
+        assert not tree.is_ancestor("jacket", "jacket")
+        assert tree.is_ancestor("jacket", "jacket", strict=False)
+
+
+class TestEncoding:
+    def test_codes_are_prefix_consistent(self, tree):
+        for leaf in tree.leaves:
+            code = tree.code_of(leaf)
+            parent_code = tree.code_of(tree.parent(leaf))
+            assert code.startswith(parent_code)
+            assert len(code) == len(parent_code) + 1
+
+    def test_round_trip(self, tree):
+        for concept in tree:
+            assert tree.concept_for_code(tree.code_of(concept)) == concept
+
+    def test_padded_code(self, tree):
+        assert len(tree.padded_code("clothing")) == tree.depth
+        assert tree.padded_code("clothing").endswith("**")
+
+    def test_unknown_code(self, tree):
+        with pytest.raises(UnknownConceptError):
+            tree.concept_for_code("999")

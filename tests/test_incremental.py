@@ -1,0 +1,98 @@
+"""Tests for incremental flowcube maintenance (repro.core.incremental)."""
+
+import pytest
+
+from repro.core import (
+    FlowCube,
+    ItemLevel,
+    Path,
+    PathRecord,
+    append_batch,
+    example_path_database,
+)
+from repro.errors import CubeError
+
+
+@pytest.fixture
+def cube():
+    return FlowCube.build(example_path_database(), min_support=2)
+
+
+def new_record(record_id: int, dims=("tennis", "nike"), path=None) -> PathRecord:
+    return PathRecord(
+        record_id, dims, Path(path or [("factory", 5), ("truck", 1)])
+    )
+
+
+class TestAppendBatch:
+    def test_empty_batch_is_noop(self, cube):
+        before = cube.describe()
+        stats = append_batch(cube, [])
+        assert stats == {"updated": 0, "created": 0, "still_below_delta": 0}
+        assert cube.describe() == before
+
+    def test_updated_cell_matches_rebuild(self, cube):
+        batch = [new_record(100), new_record(101)]
+        append_batch(cube, batch)
+
+        # Rebuild from scratch over the extended database and compare the
+        # algebraic measure of a touched cell.
+        rebuilt = FlowCube.build(cube.database, min_support=2)
+        level = cube.path_lattice[0]
+        incremental_cell = cube.cell(ItemLevel((3, 1)), ("tennis", "nike"), level)
+        rebuilt_cell = rebuilt.cell(ItemLevel((3, 1)), ("tennis", "nike"), level)
+        assert incremental_cell.n_paths == rebuilt_cell.n_paths
+        for node in rebuilt_cell.flowgraph.nodes():
+            counterpart = incremental_cell.flowgraph.node(node.prefix)
+            assert counterpart.duration_counts == node.duration_counts
+            assert counterpart.transition_counts == node.transition_counts
+
+    def test_exceptions_recomputed(self, cube):
+        batch = [new_record(100 + i) for i in range(4)]
+        append_batch(cube, batch)
+        rebuilt = FlowCube.build(cube.database, min_support=2)
+        level = cube.path_lattice[0]
+        a = cube.cell(ItemLevel((3, 1)), ("tennis", "nike"), level)
+        b = rebuilt.cell(ItemLevel((3, 1)), ("tennis", "nike"), level)
+        assert set(map(str, a.flowgraph.exceptions)) == set(
+            map(str, b.flowgraph.exceptions)
+        )
+
+    def test_cell_crosses_iceberg_frontier(self, cube):
+        # (shirt, *) held 1 path (below δ=2); one more shirt materialises it.
+        level = cube.path_lattice[0]
+        assert ("shirt", "*") not in cube.cuboid(ItemLevel((3, 0)), level)
+        stats = append_batch(
+            cube,
+            [new_record(200, dims=("shirt", "adidas"))],
+        )
+        assert stats["created"] > 0
+        cell = cube.cell(ItemLevel((3, 0)), ("shirt", "*"), level)
+        assert cell.n_paths == 2
+        assert set(cell.record_ids) == {4, 200}
+
+    def test_brand_new_value_below_delta_not_created(self, cube):
+        stats = append_batch(cube, [new_record(300, dims=("sandals", "adidas"))])
+        assert stats["still_below_delta"] > 0
+        level = cube.path_lattice[0]
+        assert ("sandals", "adidas") not in cube.cuboid(ItemLevel((3, 1)), level)
+
+    def test_duplicate_id_rejected(self, cube):
+        with pytest.raises(CubeError, match="already in the cube"):
+            append_batch(cube, [new_record(1)])
+
+    def test_dimension_mismatch_rejected(self, cube):
+        bad = PathRecord(400, ("tennis",), Path([("factory", 1)]))
+        with pytest.raises(CubeError, match="dimensions"):
+            append_batch(cube, [bad])
+
+    def test_redundancy_marks_cleared_on_touched_cells(self, cube):
+        from repro.core import prune_redundant, tv_similarity
+
+        prune_redundant(cube, threshold=0.5, metric=tv_similarity)
+        level = cube.path_lattice[0]
+        target = cube.cell(ItemLevel((3, 1)), ("tennis", "nike"), level)
+        if not target.redundant:
+            pytest.skip("cell not marked at this threshold")
+        append_batch(cube, [new_record(500)])
+        assert not target.redundant

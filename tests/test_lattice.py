@@ -1,0 +1,162 @@
+"""Unit tests for item and path abstraction lattices (repro.core.lattice)."""
+
+import pytest
+
+from repro.core import (
+    DURATION_ANY,
+    DURATION_VALUE,
+    ItemLattice,
+    ItemLevel,
+    LocationView,
+    PathLattice,
+    PathLevel,
+)
+from repro.errors import LevelError
+
+
+class TestItemLevel:
+    def test_ordering_relation(self):
+        high = ItemLevel((1, 0))
+        low = ItemLevel((2, 1))
+        assert high.is_higher_or_equal(low)
+        assert not low.is_higher_or_equal(high)
+        assert high.is_higher_or_equal(high)
+
+    def test_incomparable(self):
+        a = ItemLevel((2, 0))
+        b = ItemLevel((0, 2))
+        assert not a.is_higher_or_equal(b)
+        assert not b.is_higher_or_equal(a)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(LevelError):
+            ItemLevel((1,)).is_higher_or_equal(ItemLevel((1, 2)))
+
+    def test_parents(self):
+        assert set(ItemLevel((1, 2)).parents()) == {
+            ItemLevel((0, 2)),
+            ItemLevel((1, 1)),
+        }
+        assert ItemLevel((0, 0)).parents() == ()
+
+    def test_children_within(self):
+        children = ItemLevel((1, 2)).children_within((2, 2))
+        assert children == (ItemLevel((2, 2)),)
+
+    def test_negative_rejected(self):
+        with pytest.raises(LevelError):
+            ItemLevel((-1, 0))
+
+
+class TestItemLattice:
+    def test_size(self):
+        lattice = ItemLattice((3, 1))
+        assert len(lattice) == 4 * 2
+        assert len(list(lattice)) == 8
+
+    def test_iteration_most_general_first(self):
+        lattice = ItemLattice((2, 2))
+        levels = list(lattice)
+        assert levels[0] == lattice.apex
+        totals = [sum(lv.levels) for lv in levels]
+        assert totals == sorted(totals)
+
+    def test_membership(self):
+        lattice = ItemLattice((2, 1))
+        assert ItemLevel((2, 1)) in lattice
+        assert ItemLevel((3, 0)) not in lattice
+        assert ItemLevel((1,)) not in lattice
+
+    def test_apex_and_base(self):
+        lattice = ItemLattice((2, 3))
+        assert lattice.apex == ItemLevel((0, 0))
+        assert lattice.base == ItemLevel((2, 3))
+
+    def test_rejects_depth_zero(self):
+        with pytest.raises(LevelError):
+            ItemLattice((0,))
+
+
+class TestLocationView:
+    def test_leaf_view_identity(self, location_hierarchy):
+        view = LocationView.leaf_view(location_hierarchy)
+        assert view.aggregate("truck") == "truck"
+        assert view.aggregate("shelf") == "shelf"
+
+    def test_level_view_rolls_up(self, location_hierarchy):
+        view = LocationView.level_view(location_hierarchy, 1)
+        assert view.aggregate("truck") == "transportation"
+        assert view.aggregate("shelf") == "store"
+        assert view.aggregate("factory") == "factory"
+
+    def test_mixed_view(self, location_hierarchy):
+        # Transportation manager's Figure 5 view: transport leaves kept,
+        # store rolled up.
+        view = LocationView(
+            location_hierarchy,
+            ["dist center", "truck", "warehouse", "factory", "store"],
+        )
+        assert view.aggregate("truck") == "truck"
+        assert view.aggregate("checkout") == "store"
+
+    def test_rejects_non_antichain(self, location_hierarchy):
+        with pytest.raises(LevelError, match="antichain"):
+            LocationView(location_hierarchy, ["transportation", "truck", "store", "factory"])
+
+    def test_rejects_uncovered_leaves(self, location_hierarchy):
+        with pytest.raises(LevelError, match="does not cover"):
+            LocationView(location_hierarchy, ["transportation", "store"])
+
+    def test_ordering(self, location_hierarchy):
+        coarse = LocationView.level_view(location_hierarchy, 1)
+        fine = LocationView.leaf_view(location_hierarchy)
+        assert coarse.is_higher_or_equal(fine)
+        assert not fine.is_higher_or_equal(coarse)
+        assert coarse.is_higher_or_equal(coarse)
+
+    def test_aggregate_non_leaf_input(self, location_hierarchy):
+        coarse = LocationView.level_view(location_hierarchy, 1)
+        assert coarse.aggregate("transportation") == "transportation"
+
+
+class TestPathLattice:
+    def test_paper_default_has_four_levels(self, paper_lattice):
+        assert len(paper_lattice) == 4
+        duration_levels = {lv.duration_level for lv in paper_lattice}
+        assert duration_levels == {DURATION_ANY, DURATION_VALUE}
+
+    def test_path_level_ordering(self, location_hierarchy):
+        fine = PathLevel(LocationView.leaf_view(location_hierarchy), DURATION_VALUE)
+        coarse = PathLevel(
+            LocationView.level_view(location_hierarchy, 1), DURATION_ANY
+        )
+        assert coarse.is_higher_or_equal(fine)
+        assert not fine.is_higher_or_equal(coarse)
+
+    def test_index_of(self, paper_lattice):
+        for i, level in enumerate(paper_lattice):
+            assert paper_lattice.index_of(level) == i
+        foreign = PathLevel(paper_lattice[0].view, 5)
+        with pytest.raises(LevelError):
+            paper_lattice.index_of(foreign)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LevelError):
+            PathLattice([])
+
+    def test_paper_default_on_flat_hierarchy(self):
+        """Depth-1 location hierarchy: coarse view equals leaf view, so
+        only the two duration levels remain."""
+        from repro.core import ConceptHierarchy
+
+        flat = ConceptHierarchy.flat("location", ["a", "b"])
+        lattice = PathLattice.paper_default(flat)
+        assert len(lattice) == 2
+        assert {lv.duration_level for lv in lattice} == {
+            DURATION_ANY,
+            DURATION_VALUE,
+        }
+
+    def test_negative_duration_level_rejected(self, location_hierarchy):
+        with pytest.raises(LevelError):
+            PathLevel(LocationView.leaf_view(location_hierarchy), -1)

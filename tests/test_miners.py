@@ -1,0 +1,248 @@
+"""Tests for the three flowcube miners: Shared, Basic, Cubing (and BUC).
+
+The central correctness property: all three find exactly the same frequent
+cells and frequent path segments; they differ only in *how* (and how fast).
+"""
+
+import pytest
+
+from repro.core import ItemLevel, PathLattice
+from repro.encoding import DimItem, StageItem, TransactionDatabase
+from repro.mining import (
+    basic_mine,
+    buc_iceberg_cells,
+    cubing_mine,
+    shared_mine,
+    shared_pair_filter,
+    top_path_level_id,
+)
+from repro.errors import MiningError
+
+
+@pytest.fixture(scope="module")
+def shared_result(request):
+    from repro.core import example_path_database
+
+    return shared_mine(example_path_database(), min_support=3)
+
+
+class TestSharedOnPaperExample:
+    def test_table4_length1_supports(self, shared_result, product_hierarchy):
+        """Table 4's length-1 rows, with supports recomputed from Table 1.
+
+        Table 4 as printed is partially inconsistent with Table 1 (it lists
+        {121} tennis at support 5, but tennis appears in records 1, 2, 7, 8
+        only); we assert the values derivable from Table 1: tennis 4,
+        shoes 5 (matching the printed {12*}: 5), (f,10) 5, (f,*) 8.
+        See EXPERIMENTS.md for the full reconciliation.
+        """
+        supports = shared_result.supports
+        tennis = DimItem(0, product_hierarchy.code_of("tennis"))
+        shoes = DimItem(0, product_hierarchy.code_of("shoes"))
+        assert supports[frozenset([tennis])] == 4
+        assert supports[frozenset([shoes])] == 5
+        assert supports[frozenset([StageItem(0, ("factory",), "10")])] == 5
+        assert supports[frozenset([StageItem(1, ("factory",), "*")])] == 8
+
+    def test_table4_length2_supports(self, shared_result, product_hierarchy):
+        """Table 4's length-2 rows, recomputed from Table 1.
+
+        {(f,5)(fd,2)}: 3 matches the printed table (records 2, 7, 8);
+        {12*,211} shoes∧nike: 3 matches; nike∧(f,10) is 5 from Table 1
+        (records 1, 3, 4, 5, 6) where the printed table says 4.
+        """
+        supports = shared_result.supports
+        nike = DimItem(1, "1")
+        f10 = StageItem(0, ("factory",), "10")
+        assert supports[frozenset([nike, f10])] == 5
+        shoes = DimItem(0, product_hierarchy.code_of("shoes"))
+        assert supports[frozenset([shoes, nike])] == 3
+        f5 = StageItem(0, ("factory",), "5")
+        fd2 = StageItem(0, ("factory", "dist center"), "2")
+        assert supports[frozenset([f5, fd2])] == 3
+        f_star = StageItem(1, ("factory",), "*")
+        fd_star = StageItem(1, ("factory", "dist center"), "*")
+        assert supports[frozenset([f_star, fd_star])] == 5
+
+    def test_frequent_cells_decoded(self, shared_result):
+        cells = shared_result.frequent_cells()
+        assert cells[(ItemLevel((3, 0)), ("tennis", "*"))] == 4
+        assert cells[(ItemLevel((2, 1)), ("shoes", "nike"))] == 3
+        assert cells[(ItemLevel((0, 0)), ("*", "*"))] == 8
+
+    def test_no_apex_items_counted(self, shared_result):
+        for itemset in shared_result.supports:
+            for item in itemset:
+                if isinstance(item, DimItem):
+                    assert item.code != "*"
+
+    def test_no_ancestor_pairs_in_itemsets(self, shared_result):
+        """Pruning rule 4: an itemset never holds an item and its ancestor."""
+        for itemset in shared_result.supports:
+            dims = [i for i in itemset if isinstance(i, DimItem)]
+            for a in dims:
+                for b in dims:
+                    if a is not b:
+                        assert not a.is_ancestor_of(b)
+            stages = [i for i in itemset if isinstance(i, StageItem)]
+            assert len({s.level_id for s in stages}) <= 1
+
+    def test_stage_itemsets_are_nested_chains(self, shared_result):
+        for itemset in shared_result.supports:
+            stages = sorted(
+                (i for i in itemset if isinstance(i, StageItem)),
+                key=lambda s: len(s.prefix),
+            )
+            for a, b in zip(stages, stages[1:]):
+                assert b.prefix[: len(a.prefix)] == a.prefix
+
+
+class TestPairFilter:
+    def test_same_dimension_rejected(self):
+        assert not shared_pair_filter(DimItem(0, "1"), DimItem(0, "12"))
+        assert shared_pair_filter(DimItem(0, "1"), DimItem(1, "1"))
+
+    def test_stage_rules_delegated(self):
+        a = StageItem(0, ("f",), "1")
+        b = StageItem(0, ("f", "d"), "2")
+        unrelated = StageItem(0, ("x",), "1")
+        assert shared_pair_filter(a, b)
+        assert not shared_pair_filter(b, unrelated)
+
+    def test_mixed_kinds_allowed(self):
+        assert shared_pair_filter(DimItem(0, "1"), StageItem(0, ("f",), "1"))
+
+
+class TestTopPathLevel:
+    def test_paper_lattice_has_top(self, paper_lattice):
+        top = top_path_level_id(paper_lattice)
+        assert top is not None
+        level = paper_lattice[top]
+        assert all(level.is_higher_or_equal(other) for other in paper_lattice)
+
+    def test_lattice_without_top(self, location_hierarchy):
+        from repro.core import (
+            DURATION_ANY,
+            DURATION_VALUE,
+            LocationView,
+            PathLevel,
+        )
+
+        fine = LocationView.leaf_view(location_hierarchy)
+        coarse = LocationView.level_view(location_hierarchy, 1)
+        incomparable = PathLattice(
+            [PathLevel(fine, DURATION_ANY), PathLevel(coarse, DURATION_VALUE)]
+        )
+        assert top_path_level_id(incomparable) is None
+
+
+class TestAgreement:
+    """Shared ≡ Cubing ≡ Basic (restricted to well-formed itemsets)."""
+
+    @pytest.mark.parametrize("min_support", [2, 3, 5])
+    def test_shared_equals_cubing_on_paper_example(self, paper_db, min_support):
+        shared = shared_mine(paper_db, min_support=min_support)
+        cubing = cubing_mine(paper_db, min_support=min_support)
+        assert shared.frequent_cells() == cubing.frequent_cells()
+        assert shared.frequent_segments() == cubing.frequent_segments()
+
+    def test_shared_equals_cubing_on_synthetic(self, tiny_synth_db):
+        shared = shared_mine(tiny_synth_db, min_support=0.05)
+        cubing = cubing_mine(tiny_synth_db, min_support=0.05)
+        assert shared.frequent_cells() == cubing.frequent_cells()
+        assert shared.frequent_segments() == cubing.frequent_segments()
+
+    def test_cubing_fpgrowth_matches_apriori(self, tiny_synth_db):
+        apriori_result = cubing_mine(tiny_synth_db, min_support=0.05)
+        fp_result = cubing_mine(tiny_synth_db, min_support=0.05, miner="fpgrowth")
+        assert apriori_result.supports == fp_result.supports
+
+    def test_basic_is_superset_of_shared(self, paper_db):
+        shared = shared_mine(paper_db, min_support=3)
+        basic = basic_mine(paper_db, min_support=3)
+        missing = [
+            s for s in shared.supports
+            if basic.supports.get(s) != shared.supports[s]
+        ]
+        assert missing == []
+        assert len(basic.supports) > len(shared.supports)
+
+    def test_basic_decodes_to_same_cells_and_segments(self, paper_db):
+        shared = shared_mine(paper_db, min_support=3)
+        basic = basic_mine(paper_db, min_support=3)
+        assert shared.frequent_cells() == basic.frequent_cells()
+        assert shared.frequent_segments() == basic.frequent_segments()
+
+    def test_precounting_changes_nothing(self, tiny_synth_db):
+        with_precount = shared_mine(
+            tiny_synth_db, min_support=0.05, precount_lengths=(2,)
+        )
+        without = shared_mine(tiny_synth_db, min_support=0.05, precount_lengths=())
+        assert with_precount.supports == without.supports
+
+
+class TestStats:
+    def test_shared_prunes_more_than_basic_counts(self, paper_db):
+        shared = shared_mine(paper_db, min_support=3)
+        basic = basic_mine(paper_db, min_support=3)
+        assert shared.stats.total_candidates < basic.stats.total_candidates
+        assert shared.stats.max_length <= basic.stats.max_length
+
+    def test_pruning_counters_populated(self, paper_db):
+        shared = shared_mine(paper_db, min_support=3)
+        assert shared.stats.pruned["unlinkable"] > 0
+
+    def test_basic_truncation_flagged(self, small_synth_db):
+        result = basic_mine(small_synth_db, min_support=0.01, candidate_limit=10)
+        assert result.stats.pruned["truncated"] > 0
+
+    def test_stats_rows(self, paper_db):
+        shared = shared_mine(paper_db, min_support=3)
+        rows = shared.stats.as_rows()
+        assert rows[0][0] == 1
+        assert all(candidates >= frequent for _, candidates, frequent in rows)
+
+
+class TestBUC:
+    def test_cells_match_direct_grouping(self, paper_db):
+        cells = {
+            (level, key): set(ids)
+            for level, key, ids in buc_iceberg_cells(paper_db, min_support=2)
+        }
+        assert cells[(ItemLevel((0, 0)), ("*", "*"))] == set(range(1, 9))
+        assert cells[(ItemLevel((2, 1)), ("shoes", "nike"))] == {1, 2, 3}
+        assert (ItemLevel((3, 0)), ("shirt", "*")) not in cells
+
+    def test_no_duplicate_cells(self, small_synth_db):
+        seen = set()
+        for level, key, _ in buc_iceberg_cells(small_synth_db, min_support=0.02):
+            assert (level, key) not in seen
+            seen.add((level, key))
+
+    def test_threshold_above_database_yields_nothing(self, paper_db):
+        assert list(buc_iceberg_cells(paper_db, min_support=9)) == []
+
+    def test_iceberg_counts_respect_threshold(self, small_synth_db):
+        for _, _, ids in buc_iceberg_cells(small_synth_db, min_support=0.03):
+            assert len(ids) >= 9  # ceil(0.03 * 300)
+
+
+class TestCubingOptions:
+    def test_unknown_miner_rejected(self, paper_db):
+        with pytest.raises(MiningError, match="unknown per-cell miner"):
+            cubing_mine(paper_db, miner="magic")
+
+    def test_max_length_bounds_total_pattern(self, paper_db):
+        bounded = cubing_mine(paper_db, min_support=3, max_length=2)
+        assert all(len(s) <= 2 for s in bounded.supports)
+
+    def test_transaction_db_reuse(self, paper_db, paper_lattice):
+        tdb = TransactionDatabase(paper_db, paper_lattice)
+        fresh = shared_mine(paper_db, path_lattice=paper_lattice, min_support=3)
+        reused = shared_mine(
+            paper_db,
+            path_lattice=paper_lattice,
+            min_support=3,
+            transaction_db=tdb,
+        )
+        assert fresh.supports == reused.supports

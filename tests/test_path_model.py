@@ -1,0 +1,128 @@
+"""Unit tests for stages, paths, records, and the path database."""
+
+import pytest
+
+from repro.core import Path, PathDatabase, PathRecord, Stage
+from repro.core.stage import RawReading, StageRecord
+from repro.errors import PathDatabaseError
+
+
+class TestStage:
+    def test_basic(self):
+        stage = Stage("factory", 10)
+        assert stage.location == "factory"
+        assert str(stage) == "(factory, 10)"
+
+    def test_fractional_duration_str(self):
+        assert str(Stage("truck", 1.5)) == "(truck, 1.5)"
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative duration"):
+            Stage("factory", -1)
+
+    def test_stage_record_duration(self):
+        record = StageRecord("shelf", 3.0, 8.0)
+        assert record.duration == 5.0
+        assert record.to_stage() == Stage("shelf", 5.0)
+
+    def test_stage_record_bad_interval(self):
+        with pytest.raises(ValueError, match="ends before"):
+            StageRecord("shelf", 8.0, 3.0)
+
+    def test_raw_reading_ordering(self):
+        reads = [
+            RawReading("b", 1.0, "x"),
+            RawReading("a", 2.0, "x"),
+            RawReading("a", 1.0, "y"),
+        ]
+        ordered = sorted(reads)
+        assert [r.epc for r in ordered] == ["a", "a", "b"]
+        assert ordered[0].time == 1.0
+
+
+class TestPath:
+    def test_from_tuples(self):
+        path = Path([("f", 1), ("t", 2)])
+        assert len(path) == 2
+        assert path.locations == ("f", "t")
+        assert path.durations == (1, 2)
+        assert path.total_duration == 3
+
+    def test_prefix(self):
+        path = Path([("f", 1), ("t", 2), ("s", 3)])
+        assert path.prefix(2).locations == ("f", "t")
+        assert path.location_prefix(1) == ("f",)
+
+    def test_indexing_and_iteration(self):
+        path = Path([Stage("f", 1), Stage("t", 2)])
+        assert path[1] == Stage("t", 2)
+        assert [s.location for s in path] == ["f", "t"]
+
+    def test_str(self):
+        assert str(Path([("f", 1), ("t", 2)])) == "(f, 1)(t, 2)"
+
+
+class TestPathRecord:
+    def test_dims_access(self):
+        record = PathRecord(1, ("tennis", "nike"), [("f", 1)])
+        assert record.dim(0) == "tennis"
+        assert record.dim(1) == "nike"
+        with pytest.raises(PathDatabaseError):
+            record.dim(2)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(PathDatabaseError, match="empty path"):
+            PathRecord(1, ("tennis",), [])
+
+
+class TestPathDatabase:
+    def test_paper_example_shape(self, paper_db):
+        assert len(paper_db) == 8
+        assert paper_db.schema.dimension_names == ("product", "brand")
+        assert paper_db.max_path_length() == 5
+        assert len(paper_db.distinct_location_sequences()) == 5
+
+    def test_lookup_by_id(self, paper_db):
+        record = paper_db[4]
+        assert record.dims == ("shirt", "nike")
+        with pytest.raises(PathDatabaseError):
+            paper_db[99]
+
+    def test_validation_rejects_bad_dim_count(self, paper_db):
+        bad = PathRecord(9, ("tennis",), [("factory", 1)])
+        with pytest.raises(PathDatabaseError, match="dimension values"):
+            PathDatabase(paper_db.schema, [bad])
+
+    def test_validation_rejects_unknown_value(self, paper_db):
+        bad = PathRecord(9, ("socks", "nike"), [("factory", 1)])
+        with pytest.raises(PathDatabaseError, match="socks"):
+            PathDatabase(paper_db.schema, [bad])
+
+    def test_validation_rejects_unknown_location(self, paper_db):
+        bad = PathRecord(9, ("tennis", "nike"), [("moon", 1)])
+        with pytest.raises(PathDatabaseError, match="moon"):
+            PathDatabase(paper_db.schema, [bad])
+
+    def test_validation_can_be_skipped(self, paper_db):
+        bad = PathRecord(9, ("socks", "nike"), [("factory", 1)])
+        db = PathDatabase(paper_db.schema, [bad], validate=False)
+        assert len(db) == 1
+
+    def test_csv_round_trip(self, paper_db):
+        text = paper_db.to_csv()
+        restored = PathDatabase.from_csv(paper_db.schema, text)
+        assert len(restored) == len(paper_db)
+        for original, loaded in zip(paper_db, restored):
+            assert original.dims == loaded.dims
+            assert original.path.locations == loaded.path.locations
+            assert original.path.durations == loaded.path.durations
+
+    def test_csv_rejects_bad_header(self, paper_db):
+        with pytest.raises(PathDatabaseError, match="bad CSV header"):
+            PathDatabase.from_csv(paper_db.schema, "nope\n1,2,3\n")
+
+    def test_describe(self, paper_db):
+        stats = paper_db.describe()
+        assert stats["records"] == 8
+        assert stats["dimensions"] == 2
+        assert stats["avg_path_length"] == pytest.approx(4.375)

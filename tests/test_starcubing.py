@@ -1,0 +1,85 @@
+"""Tests for the star-tree iceberg cuber (repro.mining.starcubing)."""
+
+import pytest
+
+from repro.core import ItemLevel
+from repro.core.flowgraph_exceptions import resolve_min_support
+from repro.mining import (
+    buc_iceberg_cells,
+    cubing_mine,
+    shared_mine,
+    star_iceberg_cells,
+    star_table,
+)
+
+
+def as_map(cells):
+    return {(level, key): frozenset(ids) for level, key, ids in cells}
+
+
+class TestStarTable:
+    def test_infrequent_leaves_rolled_up(self, paper_db):
+        rows = star_table(paper_db, threshold=2)
+        by_id = {rid: dims for dims, rid in rows}
+        # 'shirt' appears once: rolled to its nearest frequent ancestor
+        # 'outerwear' (3 occurrences).
+        assert by_id[4][0] == "outerwear"
+        # 'tennis' appears 4 times: kept.
+        assert by_id[1][0] == "tennis"
+
+    def test_everything_starred_at_huge_threshold(self, paper_db):
+        rows = star_table(paper_db, threshold=99)
+        assert all(dims == ("*", "*") for dims, _ in rows)
+
+    def test_nothing_starred_at_threshold_one(self, paper_db):
+        rows = star_table(paper_db, threshold=1)
+        originals = {r.record_id: r.dims for r in paper_db}
+        assert all(dims == originals[rid] for dims, rid in rows)
+
+
+class TestStarIcebergCells:
+    @pytest.mark.parametrize("min_support", [1, 2, 3, 5])
+    def test_matches_buc_on_paper_example(self, paper_db, min_support):
+        star = as_map(star_iceberg_cells(paper_db, min_support))
+        buc = as_map(buc_iceberg_cells(paper_db, min_support))
+        assert star == buc
+
+    def test_matches_buc_on_synthetic(self, small_synth_db):
+        star = as_map(star_iceberg_cells(small_synth_db, 0.02))
+        buc = as_map(buc_iceberg_cells(small_synth_db, 0.02))
+        assert star == buc
+
+    def test_matches_buc_on_skewed_data(self):
+        from repro.synth import GeneratorConfig, generate_path_database
+
+        db = generate_path_database(
+            GeneratorConfig(
+                n_paths=200, n_dims=3, dim_fanouts=(3, 3, 5),
+                dim_skew=1.6, seed=21,
+            )
+        )
+        threshold = resolve_min_support(0.03, len(db))
+        star = as_map(star_iceberg_cells(db, threshold))
+        buc = as_map(buc_iceberg_cells(db, threshold))
+        assert star == buc
+
+    def test_empty_when_threshold_exceeds_database(self, paper_db):
+        assert list(star_iceberg_cells(paper_db, 9)) == []
+
+    def test_apex_first_in_each_branch(self, paper_db):
+        cells = list(star_iceberg_cells(paper_db, 2))
+        assert cells[0][0] == ItemLevel((0, 0))
+
+
+class TestCubingWithStar:
+    def test_cubing_star_equals_shared(self, paper_db):
+        star = cubing_mine(paper_db, min_support=3, cuber="star")
+        shared = shared_mine(paper_db, min_support=3)
+        assert star.frequent_cells() == shared.frequent_cells()
+        assert star.frequent_segments() == shared.frequent_segments()
+
+    def test_unknown_cuber_rejected(self, paper_db):
+        from repro.errors import MiningError
+
+        with pytest.raises(MiningError, match="unknown iceberg cuber"):
+            cubing_mine(paper_db, cuber="magic")
