@@ -1,0 +1,188 @@
+"""Persistent-store overhead: in-memory vs out-of-core construction.
+
+Two questions the store layer has to answer honestly:
+
+* what does out-of-core construction cost over ``FlowCube.build`` as the
+  same database is split into 1 / 4 / 16 partitions (wall time + peak
+  traced allocation, which is where out-of-core should win);
+* what hit rate does the cube-store LRU cache reach once a query
+  workload re-reads cells it has already materialised.
+
+``python benchmarks/bench_store.py`` runs the full sweep and writes
+``BENCH_store.json`` at the repository root; the pytest entries below are
+CI-sized spot checks of the same paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import FlowCube
+from repro.query import FlowCubeQuery
+from repro.store import PartitionedPathStore, build_cube, BuildStats
+from repro.synth import GeneratorConfig, generate_path_database
+
+#: Sweep configuration: one database, three partitionings of it.
+CONFIG = GeneratorConfig(
+    n_paths=320,
+    n_dims=3,
+    dim_fanouts=(3, 4),
+    n_sequences=12,
+    max_path_length=5,
+    max_duration=4,
+    seed=11,
+)
+PARTITION_COUNTS = (1, 4, 16)
+MIN_SUPPORT = 0.05
+CACHE_SIZE = 64
+
+
+def _timed(fn):
+    """(wall seconds, peak traced bytes, result) of one call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return elapsed, peak, result
+
+
+def _make_store(directory: Path, database, n_partitions: int):
+    partition_size = math.ceil(len(database) / n_partitions)
+    store = PartitionedPathStore.init(
+        directory, database.schema, partition_size=partition_size
+    )
+    store.ingest(database)
+    return store
+
+
+def _cache_hit_rate(store: PartitionedPathStore) -> dict:
+    """Build into the cube store, then replay a repeated query workload."""
+    build_cube(
+        store,
+        min_support=MIN_SUPPORT,
+        compute_exceptions=False,
+        into=store.cube_store(),
+    )
+    served = store.cube_store(cache_size=CACHE_SIZE)
+    query = FlowCubeQuery(served)
+    lattice = served.path_lattice
+    for _ in range(3):  # repeated workload: apex + every path level
+        for level in lattice:
+            query.flowgraph(level)
+    return served.cache_stats()
+
+
+def run_suite() -> dict:
+    database = generate_path_database(CONFIG)
+    in_memory_seconds, in_memory_peak, cube = _timed(
+        lambda: FlowCube.build(
+            database, min_support=MIN_SUPPORT, compute_exceptions=False
+        )
+    )
+    report = {
+        "config": {
+            "n_paths": len(database),
+            "min_support": MIN_SUPPORT,
+            "cache_size": CACHE_SIZE,
+        },
+        "in_memory": {
+            "seconds": round(in_memory_seconds, 4),
+            "tracemalloc_peak_bytes": in_memory_peak,
+            "n_cells": cube.n_cells(),
+        },
+        "partitioned": [],
+    }
+    for n_partitions in PARTITION_COUNTS:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = _make_store(Path(tmp) / "wh", database, n_partitions)
+            stats = BuildStats()
+            seconds, peak, built = _timed(
+                lambda: build_cube(
+                    store,
+                    min_support=MIN_SUPPORT,
+                    compute_exceptions=False,
+                    stats=stats,
+                )
+            )
+            assert built.n_cells() == cube.n_cells()
+            cache = _cache_hit_rate(store)
+            report["partitioned"].append(
+                {
+                    "n_partitions": len(store.catalog.partitions),
+                    "seconds": round(seconds, 4),
+                    "tracemalloc_peak_bytes": peak,
+                    "partition_scans": stats.scans,
+                    "max_live_transaction_dbs": stats.max_live_transaction_dbs,
+                    "cache": cache,
+                }
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# CI-sized pytest entries (same paths, one partitioning)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def store_db():
+    return generate_path_database(CONFIG)
+
+
+def test_build_in_memory(benchmark, store_db):
+    cube = run_once(
+        benchmark,
+        lambda: FlowCube.build(
+            store_db, min_support=MIN_SUPPORT, compute_exceptions=False
+        ),
+    )
+    assert cube.n_cells() > 0
+
+
+@pytest.mark.parametrize("n_partitions", [4])
+def test_build_partitioned(benchmark, store_db, n_partitions, tmp_path):
+    store = _make_store(tmp_path / "wh", store_db, n_partitions)
+    reference = FlowCube.build(
+        store_db, min_support=MIN_SUPPORT, compute_exceptions=False
+    )
+    cube = run_once(
+        benchmark,
+        lambda: build_cube(
+            store, min_support=MIN_SUPPORT, compute_exceptions=False
+        ),
+    )
+    assert cube.n_cells() == reference.n_cells()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Store construction/cache sweep -> BENCH_store.json"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_store.json"),
+        help="output JSON path (default: repo root BENCH_store.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_suite()
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -179,13 +179,20 @@ class PathDatabase:
         """Serialise the rows (not the schema) to CSV.
 
         Columns: ``id``, one column per dimension, then ``path`` holding
-        ``loc:dur`` steps joined by ``|``.
+        ``loc:dur`` steps joined by ``|``.  The CSV layer quotes commas,
+        quotes, and newlines in dimension values; inside the path column,
+        ``\\``, ``|`` and ``:`` occurring in location names are
+        backslash-escaped so any location string round-trips losslessly
+        (the store's partition files depend on this).
         """
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(["id", *self.schema.dimension_names, "path"])
         for record in self._records:
-            path = "|".join(f"{s.location}:{s.duration:g}" for s in record.path)
+            path = "|".join(
+                f"{_escape_location(s.location)}:{s.duration!r}"
+                for s in record.path
+            )
             writer.writerow([record.record_id, *record.dims, path])
         return buffer.getvalue()
 
@@ -203,13 +210,83 @@ class PathDatabase:
                 continue
             record_id, *dims, path_text = row
             stages = []
-            for step in path_text.split("|"):
-                location, _, duration = step.rpartition(":")
-                if not location:
+            for step in _split_unescaped(path_text, "|"):
+                head, sep, duration = _rpartition_unescaped(step, ":")
+                if not sep:
                     raise PathDatabaseError(f"malformed path step {step!r}")
-                stages.append(Stage(location, float(duration)))
-            records.append(PathRecord(int(record_id), dims, Path(stages)))
+                try:
+                    stages.append(Stage(_unescape(head), float(duration)))
+                except ValueError:
+                    raise PathDatabaseError(
+                        f"malformed duration in path step {step!r}"
+                    ) from None
+            records.append(PathRecord(int(record_id), tuple(dims), Path(stages)))
         return cls(schema, records)
+
+
+# ----------------------------------------------------------------------
+# path-column escaping (locations may contain the separators themselves)
+# ----------------------------------------------------------------------
+
+def _escape_location(text: str) -> str:
+    """Backslash-escape the path-column separators inside a location."""
+    return (
+        text.replace("\\", "\\\\").replace("|", "\\|").replace(":", "\\:")
+    )
+
+
+def _unescape(text: str) -> str:
+    """Inverse of :func:`_escape_location`."""
+    out: list[str] = []
+    escaped = False
+    for ch in text:
+        if escaped:
+            out.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        else:
+            out.append(ch)
+    if escaped:
+        raise PathDatabaseError(f"dangling escape in path text {text!r}")
+    return "".join(out)
+
+
+def _split_unescaped(text: str, separator: str) -> list[str]:
+    """Split on *separator*, honouring backslash escapes (kept verbatim)."""
+    parts: list[str] = []
+    current: list[str] = []
+    escaped = False
+    for ch in text:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == separator:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _rpartition_unescaped(text: str, separator: str) -> tuple[str, str, str]:
+    """Like ``str.rpartition`` but only on unescaped separators."""
+    escaped = False
+    last = -1
+    for i, ch in enumerate(text):
+        if escaped:
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == separator:
+            last = i
+    if last < 0:
+        return text, "", ""
+    return text[:last], separator, text[last + 1 :]
 
 
 # ----------------------------------------------------------------------

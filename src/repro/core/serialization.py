@@ -19,6 +19,7 @@ import json
 
 from repro.core.flowcube import Cell, Cuboid, FlowCube
 from repro.core.flowgraph import FlowGraph
+from repro.core.hierarchy import ConceptHierarchy
 from repro.core.flowgraph_exceptions import FlowException
 from repro.core.lattice import ItemLattice, ItemLevel, LocationView, PathLattice, PathLevel
 from repro.core.path_database import PathDatabase
@@ -29,11 +30,18 @@ __all__ = [
     "flowgraph_from_dict",
     "cube_to_json",
     "cube_from_json",
+    "path_level_to_dict",
+    "path_level_from_dict",
 ]
 
 
 def flowgraph_to_dict(graph: FlowGraph) -> dict:
-    """Serialise a flowgraph (raw counts + exceptions) to plain data."""
+    """Serialise a flowgraph (raw counts + exceptions) to plain data.
+
+    Nodes are emitted in canonical (prefix-sorted) order so that
+    serialise→deserialise→serialise is byte-identical — the cube store
+    relies on this to deduplicate and diff persisted cells.
+    """
     return {
         "n_paths": graph.n_paths,
         "nodes": [
@@ -43,7 +51,9 @@ def flowgraph_to_dict(graph: FlowGraph) -> dict:
                 "durations": dict(node.duration_counts),
                 "transitions": dict(node.transition_counts),
             }
-            for node in graph.nodes()
+            for node in sorted(
+                graph.nodes(), key=lambda n: (len(n.prefix), n.prefix)
+            )
         ],
         "exceptions": [
             {
@@ -98,11 +108,19 @@ def flowgraph_from_dict(data: dict) -> FlowGraph:
     return graph
 
 
-def _path_level_to_dict(level: PathLevel) -> dict:
+def path_level_to_dict(level: PathLevel) -> dict:
+    """Structural form of a path level: view concepts + duration level."""
     return {
         "view": sorted(level.view.concepts),
         "duration_level": level.duration_level,
     }
+
+
+def path_level_from_dict(data: dict, location: "ConceptHierarchy") -> PathLevel:
+    """Rebind a :func:`path_level_to_dict` payload against *location*."""
+    return PathLevel(
+        LocationView(location, data["view"]), int(data["duration_level"])
+    )
 
 
 def cube_to_json(cube: FlowCube) -> str:
@@ -111,7 +129,7 @@ def cube_to_json(cube: FlowCube) -> str:
         "min_support": cube.min_support,
         "min_deviation": cube.min_deviation,
         "path_lattice": [
-            _path_level_to_dict(level) for level in cube.path_lattice
+            path_level_to_dict(level) for level in cube.path_lattice
         ],
         "cuboids": [
             {
@@ -143,9 +161,7 @@ def cube_from_json(text: str, database: PathDatabase) -> FlowCube:
     known_ids = {record.record_id for record in database}
     location = database.schema.location
     path_lattice = PathLattice(
-        PathLevel(
-            LocationView(location, level["view"]), int(level["duration_level"])
-        )
+        path_level_from_dict(level, location)
         for level in payload["path_lattice"]
     )
     cube = FlowCube(

@@ -20,6 +20,7 @@ __all__ = [
     "QueryError",
     "GenerationError",
     "CleaningError",
+    "StoreError",
 ]
 
 
@@ -71,3 +72,7 @@ class GenerationError(FlowCubeError):
 
 class CleaningError(FlowCubeError):
     """Raw RFID readings could not be cleaned into well-formed paths."""
+
+
+class StoreError(FlowCubeError):
+    """A persistent path/cube store is missing, corrupt, or misused."""

@@ -28,11 +28,19 @@ __all__ = ["FlowCubeQuery"]
 
 
 class FlowCubeQuery:
-    """Fluent OLAP access to a flowcube."""
+    """Fluent OLAP access to a flowcube.
+
+    Works over any cube-shaped object: the in-memory
+    :class:`~repro.core.flowcube.FlowCube` or the persistent
+    :class:`~repro.store.cube_store.CubeStore` (which has no ``database``
+    but exposes its ``schema`` directly) — both provide the same
+    ``cuboids`` / ``cell`` / ``flowgraph_for`` lookup surface.
+    """
 
     def __init__(self, cube: FlowCube) -> None:
         self.cube = cube
-        self._schema = cube.database.schema
+        database = getattr(cube, "database", None)
+        self._schema = database.schema if database is not None else cube.schema
 
     # ------------------------------------------------------------------
     # coordinate helpers

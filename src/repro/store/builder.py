@@ -1,0 +1,437 @@
+"""Out-of-core flowcube construction over a partitioned store.
+
+The in-memory pipeline (:meth:`~repro.core.flowcube.FlowCube.build`,
+:func:`~repro.mining.shared.shared_mine`) assumes the whole path database —
+and, for Shared, the whole encoded transaction database D' — fits in
+memory.  This module re-runs the same algorithms *partition at a time*
+against a :class:`~repro.store.pathstore.PartitionedPathStore`:
+
+* :func:`shared_mine_store` is Algorithm 1 with every database pass split
+  into per-partition scans.  Each scan encodes exactly one partition into
+  a :class:`~repro.encoding.transactions.TransactionDatabase`, counts
+  candidates against it with the scan-mode counter
+  (:func:`~repro.mining.apriori.count_candidates`), and merges the partial
+  supports into a running :class:`collections.Counter`.  Supports are
+  additive over a disjoint partitioning of D', so the result is *exactly*
+  :func:`shared_mine`'s — the test suite asserts equality.
+
+* :func:`build_cube` materialises the iceberg cube with two scan families:
+  a membership pass grouping record ids into cells (ids only — no paths
+  are retained), then one aggregation pass per item level that rebuilds
+  the iceberg cells' aggregated paths.  Cells come out identical to
+  ``FlowCube.build``'s because partitions preserve record order, so group
+  insertion order, ``record_ids`` tuples, path order, and the
+  ``mine_exceptions`` inputs all coincide.
+
+Peak memory is O(one partition + counters/cells), never O(database), and
+:class:`BuildStats.max_live_transaction_dbs` *proves* the one-partition
+claim: the encoder is wrapped in a live-count tracker and the recorded
+peak is asserted to be 1 in the tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.aggregation import aggregate_path
+from repro.core.flowcube import Cell, CellKey, Cuboid, FlowCube
+from repro.core.flowgraph import FlowGraph
+from repro.core.flowgraph_exceptions import (
+    Segment,
+    mine_exceptions,
+    resolve_min_support,
+)
+from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
+from repro.encoding.transactions import TransactionDatabase
+from repro.errors import CubeError
+from repro.mining.apriori import count_candidates, generate_candidates
+from repro.mining.result import FlowMiningResult, item_sort_key
+from repro.mining.shared import (
+    high_level_projection,
+    next_precount_length,
+    precount_prune,
+    shared_pair_filter,
+    top_path_level_id,
+)
+from repro.mining.stats import MiningStats
+from repro.store.pathstore import PartitionedPathStore
+
+__all__ = ["BuildStats", "build_cube", "shared_mine_store"]
+
+
+@dataclass
+class BuildStats:
+    """Counters collected during an out-of-core build.
+
+    Attributes:
+        partitions: Partition files in the store when the build started.
+        records: Total path records scanned (per full pass).
+        scans: Partition files read across the whole build.
+        max_live_transaction_dbs: Peak number of encoded
+            :class:`TransactionDatabase` instances alive at once — the
+            out-of-core invariant says this never exceeds 1.
+        cuboids: Cuboids materialised.
+        cells: Iceberg cells materialised.
+        elapsed_seconds: Wall-clock time of the build.
+    """
+
+    partitions: int = 0
+    records: int = 0
+    scans: int = 0
+    max_live_transaction_dbs: int = 0
+    cuboids: int = 0
+    cells: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class _LiveTracker:
+    """Counts concurrently-alive encoded partitions and records the peak."""
+
+    def __init__(self) -> None:
+        self.live = 0
+        self.peak = 0
+
+    def enter(self) -> None:
+        self.live += 1
+        self.peak = max(self.peak, self.live)
+
+    def exit(self) -> None:
+        self.live -= 1
+
+
+def _iter_encoded(
+    store: PartitionedPathStore,
+    path_lattice: PathLattice,
+    tracker: _LiveTracker,
+    build_stats: BuildStats | None = None,
+) -> Iterator[list[frozenset]]:
+    """Encode and yield one partition's transactions at a time.
+
+    The tracker brackets each encoded partition's lifetime: ``exit`` runs
+    when the consumer advances past the yield, before the next partition
+    is encoded, so ``tracker.peak`` stays 1 unless a consumer holds on to
+    a previous partition's transactions.
+    """
+    for _, database in store.iter_partitions():
+        tracker.enter()
+        try:
+            encoded = TransactionDatabase(
+                database, path_lattice, include_top_level=False
+            )
+            if build_stats is not None:
+                build_stats.scans += 1
+            yield [t.items for t in encoded.transactions]
+        finally:
+            tracker.exit()
+
+
+def _high_projection(
+    transaction: frozenset, path_lattice: PathLattice, top_id: int | None
+) -> tuple:
+    """One transaction's sorted high-abstraction-level item projection."""
+    projected = {
+        high_level_projection(item, path_lattice, top_id)
+        for item in transaction
+    }
+    projected.discard(None)
+    return tuple(sorted(projected, key=item_sort_key))
+
+
+def shared_mine_store(
+    store: PartitionedPathStore,
+    path_lattice: PathLattice | None = None,
+    min_support: float = 0.01,
+    max_length: int | None = None,
+    precount_lengths: tuple[int, ...] = (2,),
+    build_stats: BuildStats | None = None,
+) -> FlowMiningResult:
+    """Algorithm 1 over a partitioned store, one partition in memory at a time.
+
+    Level-wise structure, candidate generation, and every pruning rule are
+    identical to :func:`~repro.mining.shared.shared_mine`; only the
+    counting strategy differs — each logical pass over D' becomes a
+    sequence of per-partition scans whose partial supports merge by
+    Counter addition.  Supports are additive over the disjoint partition
+    of D', so the mined result is exactly the in-memory one.
+
+    Args:
+        store: The partitioned path store (the database D).
+        path_lattice: Interesting path levels (defaults to the paper's 4).
+        min_support: δ, fractional (<1) or absolute, resolved against the
+            store's total record count.
+        max_length: Optional bound on pattern length.
+        precount_lengths: As in ``shared_mine``; high-level projections
+            are recomputed per scan instead of cached per transaction, so
+            pre-counting stays O(partition) in memory.
+        build_stats: Optional :class:`BuildStats` to fill (partition scans
+            and the live-encoded-partition peak).
+
+    Returns:
+        A :class:`~repro.mining.result.FlowMiningResult`.
+    """
+    stats = MiningStats()
+    started = time.perf_counter()
+    if path_lattice is None:
+        path_lattice = PathLattice.paper_default(store.schema.location)
+    tracker = _LiveTracker()
+    if build_stats is not None:
+        build_stats.partitions = len(store.catalog.partitions)
+        build_stats.records = len(store)
+    threshold = resolve_min_support(min_support, len(store))
+    top_id = top_path_level_id(path_lattice)
+
+    # --- Scan 1: single-item counts + pre-count of length min(precount) ---
+    counts: Counter = Counter()
+    precounts: dict[int, Counter] = {}
+    next_precount = next_precount_length(precount_lengths, 1)
+    for transactions in _iter_encoded(store, path_lattice, tracker, build_stats):
+        for transaction in transactions:
+            counts.update(transaction)
+            if next_precount is not None:
+                high = _high_projection(transaction, path_lattice, top_id)
+                table = precounts.setdefault(next_precount, Counter())
+                for combo in itertools.combinations(high, next_precount):
+                    table[frozenset(combo)] += 1
+    stats.scans += 1
+    stats.candidates_per_length[1] = len(counts)
+    if next_precount in precounts:
+        stats.precounted_patterns += len(precounts[next_precount])
+
+    frequent_sorted = sorted(
+        ((item,) for item, n in counts.items() if n >= threshold),
+        key=lambda t: item_sort_key(t[0]),
+    )
+    stats.frequent_per_length[1] = len(frequent_sorted)
+    supports: dict[frozenset, int] = {
+        frozenset(t): counts[t[0]] for t in frequent_sorted
+    }
+
+    # --- Level-wise loop: one partitioned scan per candidate length ------
+    length = 1
+    while frequent_sorted and (max_length is None or length < max_length):
+        candidates = generate_candidates(
+            frequent_sorted, shared_pair_filter, stats, item_sort_key
+        )
+        candidates = precount_prune(
+            candidates, precounts, threshold, path_lattice, top_id, stats
+        )
+        if not candidates:
+            break
+        next_precount = next_precount_length(precount_lengths, length + 1)
+        precount_table: Counter | None = None
+        if next_precount is not None and next_precount not in precounts:
+            precount_table = precounts.setdefault(next_precount, Counter())
+        support: Counter = Counter()
+        for transactions in _iter_encoded(
+            store, path_lattice, tracker, build_stats
+        ):
+            # Partial supports over a disjoint slice of D' — merging the
+            # per-partition Counters is exact.
+            support.update(count_candidates(transactions, candidates, None))
+            if precount_table is not None:
+                for transaction in transactions:
+                    high = _high_projection(transaction, path_lattice, top_id)
+                    for combo in itertools.combinations(high, next_precount):
+                        precount_table[frozenset(combo)] += 1
+        stats.scans += 1
+        stats.candidates_per_length[length + 1] += len(candidates)
+        if precount_table is not None:
+            stats.precounted_patterns += len(precount_table)
+        length += 1
+        frequent_sorted = [c for c in candidates if support[c] >= threshold]
+        stats.frequent_per_length[length] += len(frequent_sorted)
+        for itemset in frequent_sorted:
+            supports[frozenset(itemset)] = support[itemset]
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    if build_stats is not None:
+        build_stats.max_live_transaction_dbs = max(
+            build_stats.max_live_transaction_dbs, tracker.peak
+        )
+        build_stats.elapsed_seconds += stats.elapsed_seconds
+    return FlowMiningResult(
+        supports=supports,
+        threshold=threshold,
+        n_transactions=len(store),
+        schema=store.schema,
+        path_lattice=path_lattice,
+        stats=stats,
+    )
+
+
+def build_cube(
+    store: PartitionedPathStore,
+    path_lattice: PathLattice | None = None,
+    item_levels: Iterable[ItemLevel] | None = None,
+    min_support: float = 0.01,
+    min_deviation: float = 0.1,
+    compute_exceptions: bool = True,
+    segments_by_cell: Mapping[
+        tuple[ItemLevel, PathLevel, CellKey], Sequence[Segment]
+    ]
+    | None = None,
+    use_shared: bool = False,
+    into=None,
+    stats: BuildStats | None = None,
+):
+    """Materialise the iceberg flowcube of a partitioned store.
+
+    Produces exactly the cube :meth:`FlowCube.build` would produce over
+    the concatenated store (same cuboids, cell keys, record ids, path
+    order, flowgraphs, and exceptions) while reading one partition at a
+    time:
+
+    1. *Membership pass* — one scan grouping record ids per cell for every
+       requested item level (ids only; partitions preserve record order,
+       so the groups' insertion order matches the in-memory builder's).
+    2. *Aggregation pass per item level* — re-scan the partitions and
+       aggregate paths only for cells that met the iceberg threshold,
+       then assemble that level's cuboids and (optionally) mine each
+       cell's flowgraph exceptions.
+
+    Args:
+        store: The partitioned path store.
+        path_lattice: Interesting path levels (defaults to the paper's 4).
+        item_levels: Item levels to materialise (default: whole lattice).
+        min_support: δ, fractional (<1) or absolute, resolved against the
+            store's total record count.
+        min_deviation: ε for exceptions.
+        compute_exceptions: Skip exception mining when only the algebraic
+            measure is needed.
+        segments_by_cell: Pre-mined frequent segments, as from
+            :meth:`FlowMiningResult.segments_by_cell`.
+        use_shared: Run :func:`shared_mine_store` first and feed its
+            segments into exception mining (ignored when
+            ``segments_by_cell`` is given or exceptions are off).
+        into: ``None`` to return an in-memory
+            :class:`~repro.core.flowcube.FlowCube` (the store is then
+            loaded once at the end to back it), or a
+            :class:`~repro.store.cube_store.CubeStore` — each cuboid is
+            persisted and dropped as soon as it is built, keeping the
+            output out-of-core too.
+        stats: Optional :class:`BuildStats` to fill.
+
+    Returns:
+        The :class:`FlowCube`, or *into* (flushed) when a cube store was
+        given.
+    """
+    started = time.perf_counter()
+    build_stats = stats if stats is not None else BuildStats()
+    schema = store.schema
+    item_lattice = ItemLattice([h.depth for h in schema.dimensions])
+    if path_lattice is None:
+        path_lattice = PathLattice.paper_default(schema.location)
+    levels = list(item_levels) if item_levels is not None else list(item_lattice)
+    for item_level in levels:
+        if item_level not in item_lattice:
+            raise CubeError(f"item level {item_level!r} outside the lattice")
+    threshold = resolve_min_support(min_support, len(store))
+    build_stats.partitions = len(store.catalog.partitions)
+    build_stats.records = len(store)
+
+    if (
+        use_shared
+        and compute_exceptions
+        and segments_by_cell is None
+    ):
+        segments_by_cell = shared_mine_store(
+            store,
+            path_lattice,
+            min_support=min_support,
+            build_stats=build_stats,
+        ).segments_by_cell()
+
+    hierarchies = schema.dimensions
+
+    def roll_up(dims: tuple, item_level: ItemLevel) -> CellKey:
+        return tuple(
+            hierarchy.ancestor_at_level(value, level)
+            for hierarchy, value, level in zip(hierarchies, dims, item_level)
+        )
+
+    # --- Membership pass: record ids per cell, for every item level ------
+    groups: dict[ItemLevel, dict[CellKey, list[int]]] = {
+        item_level: {} for item_level in levels
+    }
+    for _, database in store.iter_partitions():
+        build_stats.scans += 1
+        for record in database:
+            for item_level in levels:
+                key = roll_up(record.dims, item_level)
+                groups[item_level].setdefault(key, []).append(record.record_id)
+
+    if into is not None:
+        into.create(path_lattice, min_support, min_deviation)
+        cube = None
+    else:
+        cube = FlowCube(
+            store.load_all(), item_lattice, path_lattice, min_support,
+            min_deviation,
+        )
+
+    # --- One aggregation pass per item level ------------------------------
+    for item_level in levels:
+        iceberg = {
+            key: ids
+            for key, ids in groups[item_level].items()
+            if len(ids) >= threshold
+        }
+        # (key, path-level id) -> that cell's aggregated paths, in record
+        # order — partitions arrive in id order, so order matches the
+        # in-memory builder's per-cell tuple exactly.
+        paths_by_cell: dict[tuple[CellKey, int], list] = {}
+        for _, database in store.iter_partitions():
+            build_stats.scans += 1
+            for record in database:
+                key = roll_up(record.dims, item_level)
+                if key not in iceberg:
+                    continue
+                for level_id, path_level in enumerate(path_lattice):
+                    paths_by_cell.setdefault((key, level_id), []).append(
+                        aggregate_path(record.path, path_level)
+                    )
+        for level_id, path_level in enumerate(path_lattice):
+            cuboid = Cuboid(item_level, path_level)
+            for key, record_ids in iceberg.items():
+                paths = tuple(paths_by_cell.get((key, level_id), ()))
+                graph = FlowGraph(paths)
+                cell = Cell(
+                    key=key,
+                    item_level=item_level,
+                    path_level=path_level,
+                    record_ids=tuple(record_ids),
+                    flowgraph=graph,
+                    paths=paths,
+                )
+                if compute_exceptions:
+                    segments = None
+                    if segments_by_cell is not None:
+                        segments = segments_by_cell.get(
+                            (item_level, path_level, key)
+                        )
+                    mine_exceptions(
+                        graph,
+                        paths,
+                        min_support=min_support,
+                        min_deviation=min_deviation,
+                        segments=segments,
+                    )
+                cuboid.cells[key] = cell
+            build_stats.cuboids += 1
+            build_stats.cells += len(cuboid)
+            if into is not None:
+                into.put_cuboid(cuboid)
+                # The cuboid (paths, graphs and all) is garbage from here:
+                # the output side of the build is out-of-core too.
+            else:
+                cube._cuboids[(item_level, path_level)] = cuboid
+
+    build_stats.elapsed_seconds += time.perf_counter() - started
+    if into is not None:
+        into.flush()
+        return into
+    return cube

@@ -1,0 +1,317 @@
+"""Command-line entry point: ``flowcube-store``.
+
+A thin operational shell around the partitioned store::
+
+    flowcube-store init ./wh --synthetic --partition-size 250
+    flowcube-store ingest ./wh --synthetic --n-paths 1000 --seed 7
+    flowcube-store build ./wh --min-support 0.05
+    flowcube-store query ./wh -d d0=d0_0
+    flowcube-store stats ./wh
+
+``init`` fixes the schema (the example retail schema or a synthetic one);
+``ingest`` appends partitions — from a CSV in the
+:meth:`~repro.core.path_database.PathDatabase.to_csv` format, the built-in
+example, or the Section 6.1 generator (whose configuration ``init``
+recorded in the catalog, so later ingests reuse the same hierarchies);
+``build`` materialises the iceberg cube out-of-core into the store's
+``cube/`` directory; ``query`` renders a cell's flowgraph measure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import asdict
+from pathlib import Path as FsPath
+
+from repro.core.path import PathRecord
+from repro.core.path_database import PathDatabase, example_path_database
+from repro.errors import FlowCubeError, StoreError
+from repro.query.api import FlowCubeQuery
+from repro.query.render import render_text
+from repro.store.builder import BuildStats, build_cube
+from repro.store.pathstore import PartitionedPathStore
+from repro.synth.generator import GeneratorConfig, generate_path_database
+
+__all__ = ["main"]
+
+#: GeneratorConfig fields that shape the *schema* (persisted in the
+#: catalog so every later ``ingest --synthetic`` regenerates hierarchies
+#: that fingerprint identically).
+_GENERATOR_KEYS = (
+    "n_dims",
+    "dim_fanouts",
+    "n_location_groups",
+    "locations_per_group",
+    "max_duration",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flowcube-store",
+        description=(
+            "Manage a partitioned on-disk FlowCube store: ingest path "
+            "records, build the iceberg cube out-of-core, query cells."
+        ),
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    init = sub.add_parser("init", help="create an empty store")
+    init.add_argument("store", help="store directory")
+    source = init.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--example",
+        action="store_true",
+        help="use the built-in retail example schema",
+    )
+    source.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="use a Section 6.1 synthetic schema",
+    )
+    init.add_argument("--partition-size", type=int, default=512)
+    init.add_argument("--n-dims", type=int, default=5)
+    init.add_argument(
+        "--fanouts",
+        default="5,5,10",
+        help="per-level dimension fanouts, comma separated",
+    )
+    init.add_argument("--n-location-groups", type=int, default=4)
+    init.add_argument("--locations-per-group", type=int, default=4)
+    init.add_argument("--max-duration", type=int, default=10)
+
+    ingest = sub.add_parser("ingest", help="append records as new partitions")
+    ingest.add_argument("store")
+    source = ingest.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", metavar="FILE", help="PathDatabase CSV file")
+    source.add_argument(
+        "--example",
+        action="store_true",
+        help="ingest the built-in example records",
+    )
+    source.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="generate records with the schema the store was initialised with",
+    )
+    ingest.add_argument("--n-paths", type=int, default=1000)
+    ingest.add_argument("--seed", type=int, default=7)
+
+    build = sub.add_parser(
+        "build", help="materialise the iceberg cube (out-of-core)"
+    )
+    build.add_argument("store")
+    build.add_argument("--min-support", type=float, default=0.01)
+    build.add_argument("--min-deviation", type=float, default=0.1)
+    build.add_argument(
+        "--no-exceptions",
+        action="store_true",
+        help="skip flowgraph exception mining",
+    )
+    build.add_argument(
+        "--shared",
+        action="store_true",
+        help="pre-mine segments with out-of-core Shared (Algorithm 1)",
+    )
+
+    query = sub.add_parser("query", help="render one cell's flowgraph")
+    query.add_argument("store")
+    query.add_argument(
+        "-d",
+        "--dim",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="dimension constraint (repeatable)",
+    )
+    query.add_argument(
+        "--path-level",
+        type=int,
+        default=None,
+        help="path-lattice index (default: most detailed level)",
+    )
+    query.add_argument("--cache-size", type=int, default=128)
+
+    stats = sub.add_parser("stats", help="catalog, cube, and cache statistics")
+    stats.add_argument("store")
+    return parser
+
+
+def _synthetic_config(args: argparse.Namespace) -> GeneratorConfig:
+    fanouts = tuple(int(part) for part in args.fanouts.split(","))
+    return GeneratorConfig(
+        n_paths=1,
+        n_dims=args.n_dims,
+        dim_fanouts=fanouts,
+        n_location_groups=args.n_location_groups,
+        locations_per_group=args.locations_per_group,
+        max_duration=args.max_duration,
+    )
+
+
+def _shift_ids(records, floor: int) -> list[PathRecord]:
+    """Re-id a batch to sit just above the store's high-water mark."""
+    return [
+        PathRecord(floor + offset + 1, record.dims, record.path)
+        for offset, record in enumerate(records)
+    ]
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    extra: dict = {}
+    if args.example:
+        schema = example_path_database().schema
+        extra["source"] = "example"
+    else:
+        config = _synthetic_config(args)
+        schema = generate_path_database(config).schema
+        extra["source"] = "synthetic"
+        extra["generator"] = {
+            key: value
+            for key, value in asdict(config).items()
+            if key in _GENERATOR_KEYS
+        }
+    store = PartitionedPathStore.init(
+        args.store, schema, partition_size=args.partition_size, extra=extra
+    )
+    print(
+        f"initialised {extra['source']} store at {store.directory} "
+        f"(partition size {store.partition_size}, "
+        f"fingerprint {store.catalog.fingerprint[:12]})"
+    )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    floor = store.catalog.max_record_id
+    if args.csv:
+        text = FsPath(args.csv).read_text(encoding="utf-8")
+        database = PathDatabase.from_csv(store.schema, text)
+        written = store.ingest(database)
+        ingested = len(database)
+    elif args.example:
+        rows = _shift_ids(example_path_database(), floor)
+        written = store.ingest(rows, validate=True)
+        ingested = len(rows)
+    else:
+        generator = store.catalog.extra.get("generator")
+        if generator is None:
+            raise StoreError(
+                "this store was not initialised with --synthetic "
+                "(no generator configuration in the catalog)"
+            )
+        config = GeneratorConfig(
+            n_paths=args.n_paths,
+            seed=args.seed,
+            dim_fanouts=tuple(generator["dim_fanouts"]),
+            **{k: generator[k] for k in _GENERATOR_KEYS if k != "dim_fanouts"},
+        )
+        rows = _shift_ids(generate_path_database(config), floor)
+        written = store.ingest(rows, validate=False)
+        ingested = len(rows)
+    print(
+        f"ingested {ingested} records into {len(written)} new partition(s); "
+        f"store now holds {len(store)} records in "
+        f"{len(store.catalog.partitions)} partition(s)"
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    if len(store) == 0:
+        raise StoreError("the store is empty — ingest records first")
+    cube_store = store.cube_store()
+    stats = BuildStats()
+    build_cube(
+        store,
+        min_support=args.min_support,
+        min_deviation=args.min_deviation,
+        compute_exceptions=not args.no_exceptions,
+        use_shared=args.shared,
+        into=cube_store,
+        stats=stats,
+    )
+    print(
+        f"built {stats.cells} cells in {stats.cuboids} cuboids from "
+        f"{stats.records} records across {stats.partitions} partition(s) "
+        f"in {stats.elapsed_seconds:.2f}s "
+        f"({stats.scans} partition scans, peak "
+        f"{stats.max_live_transaction_dbs} encoded partition(s) in memory)"
+    )
+    return 0
+
+
+def _parse_dims(pairs: list[str]) -> dict[str, str]:
+    dims: dict[str, str] = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name or not value:
+            raise StoreError(f"bad -d constraint {pair!r}; expected NAME=VALUE")
+        dims[name] = value
+    return dims
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    cube_store = store.cube_store(cache_size=args.cache_size)
+    if not cube_store.is_built:
+        raise StoreError(
+            f"no cube has been built at {store.directory} "
+            "(run `flowcube-store build` first)"
+        )
+    query = FlowCubeQuery(cube_store)
+    path_level = None
+    if args.path_level is not None:
+        lattice = cube_store.path_lattice
+        if lattice is None or not 0 <= args.path_level < len(lattice):
+            raise StoreError(f"no path level {args.path_level} in the cube")
+        path_level = lattice[args.path_level]
+    dims = _parse_dims(args.dim)
+    graph = query.flowgraph(path_level, **dims)
+    label = ", ".join(f"{k}={v}" for k, v in dims.items()) or "the apex cell"
+    print(f"flowgraph measure of {label}:")
+    print(render_text(graph))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    report: dict[str, object] = {"store": store.describe()}
+    cube_store = store.cube_store()
+    if cube_store.is_built:
+        report["cube"] = cube_store.describe()
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+_COMMANDS = {
+    "init": _cmd_init,
+    "ingest": _cmd_ingest,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI body; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.verb](args)
+    except FlowCubeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``query … | head``).  Point stdout
+        # at devnull so the interpreter's exit flush doesn't raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

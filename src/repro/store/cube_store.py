@@ -1,0 +1,378 @@
+"""The lazy on-disk flowcube store.
+
+A :class:`CubeStore` persists a materialised flowcube *cell by cell*::
+
+    cube/
+      cube.json               δ/ε, the path lattice, and the cell index
+      cells/
+        cell-000000.json      one cell: coordinates + flowgraph payload
+        cell-000001.json
+        ...
+
+Cells are serialised with
+:func:`~repro.core.serialization.flowgraph_to_dict`, so everything the
+in-memory cube knows — raw counts, (ε, δ) exceptions, redundancy marks —
+survives on disk.  A cell's flowgraph is only *materialised* (parsed and
+rebuilt) when a query first touches it; the store fronts every read with a
+bounded :class:`~repro.store.cache.LRUCache` whose hit/miss/eviction
+counters make serving behaviour observable.
+
+The store exposes the same lookup surface as
+:class:`~repro.core.flowcube.FlowCube` (``cuboid`` / ``cell`` /
+``flowgraph_for`` / ``cuboids``), so
+:class:`~repro.query.api.FlowCubeQuery` works over either without caring
+which one it was given.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator
+from pathlib import Path as FsPath
+
+from repro.core.flowcube import Cell, CellKey
+from repro.core.lattice import ItemLevel, PathLattice, PathLevel
+from repro.core.path_database import PathSchema
+from repro.core.serialization import (
+    flowgraph_from_dict,
+    flowgraph_to_dict,
+    path_level_from_dict,
+    path_level_to_dict,
+)
+from repro.errors import CubeError, StoreError
+from repro.store.cache import LRUCache
+
+__all__ = ["CubeStore", "StoredCuboid"]
+
+META_FILENAME = "cube.json"
+CELLS_DIR = "cells"
+
+#: Index coordinates: (item level, path-level id, cell key).
+Coords = tuple[ItemLevel, int, CellKey]
+
+
+class StoredCuboid:
+    """A lazy view of one persisted cuboid.
+
+    Iteration and lookups materialise cells through the store's cache;
+    nothing is loaded up front.  Mirrors the read surface of
+    :class:`~repro.core.flowcube.Cuboid`.
+    """
+
+    def __init__(
+        self,
+        store: "CubeStore",
+        item_level: ItemLevel,
+        path_level: PathLevel,
+        keys: tuple[CellKey, ...],
+    ) -> None:
+        self._store = store
+        self.item_level = item_level
+        self.path_level = path_level
+        self._keys = keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: CellKey) -> bool:
+        return key in set(self._keys)
+
+    def __iter__(self) -> Iterator[Cell]:
+        for key in self._keys:
+            yield self._store.cell(self.item_level, key, self.path_level)
+
+    @property
+    def keys(self) -> tuple[CellKey, ...]:
+        return self._keys
+
+    def cell(self, key: CellKey) -> Cell:
+        if key not in set(self._keys):
+            raise CubeError(
+                f"cell {key!r} is not materialised in cuboid "
+                f"{self.item_level.levels!r}"
+            )
+        return self._store.cell(self.item_level, key, self.path_level)
+
+
+class CubeStore:
+    """Cell-granular persistent flowcube with a bounded read cache.
+
+    Args:
+        directory: The ``cube/`` directory (created lazily on first write).
+        schema: The owning store's path schema; path levels in the meta
+            file are rebound against ``schema.location`` on load.
+        cache_size: LRU capacity, in cells.
+    """
+
+    def __init__(
+        self,
+        directory: FsPath | str,
+        schema: PathSchema,
+        cache_size: int = 128,
+    ) -> None:
+        self.directory = FsPath(directory)
+        self.schema = schema
+        self.min_support: float | None = None
+        self.min_deviation: float | None = None
+        self.path_lattice: PathLattice | None = None
+        self._cache: LRUCache = LRUCache(cache_size)
+        #: (item level, path-level id) -> {cell key -> index entry}.
+        self._index: dict[tuple[ItemLevel, int], dict[CellKey, dict]] = {}
+        self._n_files = 0
+        if (self.directory / META_FILENAME).exists():
+            self._load_meta()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_built(self) -> bool:
+        """Whether a build has ever written (and flushed) into this store."""
+        return self.path_lattice is not None
+
+    def create(
+        self,
+        path_lattice: PathLattice,
+        min_support: float,
+        min_deviation: float,
+    ) -> "CubeStore":
+        """Start a fresh cube, discarding any previously indexed cells."""
+        self.path_lattice = path_lattice
+        self.min_support = min_support
+        self.min_deviation = min_deviation
+        self._index.clear()
+        self._cache.clear()
+        self._n_files = 0
+        cells_dir = self.directory / CELLS_DIR
+        cells_dir.mkdir(parents=True, exist_ok=True)
+        # A rebuild restarts file numbering at 0; drop the previous
+        # build's files so a smaller cube leaves no orphans behind.
+        for stale in cells_dir.glob("cell-*.json"):
+            stale.unlink()
+        return self
+
+    def _require_built(self) -> PathLattice:
+        if self.path_lattice is None:
+            raise StoreError(
+                f"no cube has been built at {self.directory} "
+                "(run `flowcube-store build` first)"
+            )
+        return self.path_lattice
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put_cell(self, cell: Cell) -> None:
+        """Persist one cell (its paths are not stored, only the measure)."""
+        lattice = self._require_built()
+        level_id = lattice.index_of(cell.path_level)
+        filename = f"cell-{self._n_files:06d}.json"
+        self._n_files += 1
+        payload = {
+            "key": list(cell.key),
+            "item_level": list(cell.item_level.levels),
+            "path_level": level_id,
+            "record_ids": list(cell.record_ids),
+            "redundant": cell.redundant,
+            "flowgraph": flowgraph_to_dict(cell.flowgraph),
+        }
+        path = self.directory / CELLS_DIR / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        entry = {
+            "file": filename,
+            "n_paths": cell.n_paths,
+            "redundant": cell.redundant,
+        }
+        self._index.setdefault((cell.item_level, level_id), {})[cell.key] = entry
+
+    def put_cuboid(self, cuboid) -> None:
+        """Persist every cell of an in-memory cuboid."""
+        for cell in cuboid:
+            self.put_cell(cell)
+
+    def flush(self) -> None:
+        """Write the meta file (index + lattice + thresholds) atomically."""
+        lattice = self._require_built()
+        cells = []
+        for (item_level, level_id), entries in self._index.items():
+            for key, entry in entries.items():
+                cells.append(
+                    {
+                        "item_level": list(item_level.levels),
+                        "path_level": level_id,
+                        "key": list(key),
+                        **entry,
+                    }
+                )
+        payload = {
+            "min_support": self.min_support,
+            "min_deviation": self.min_deviation,
+            "path_lattice": [path_level_to_dict(level) for level in lattice],
+            "n_files": self._n_files,
+            "cells": cells,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        temp = self.directory / (META_FILENAME + ".tmp")
+        temp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        temp.replace(self.directory / META_FILENAME)
+
+    def _load_meta(self) -> None:
+        path = self.directory / META_FILENAME
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        self.min_support = payload["min_support"]
+        self.min_deviation = payload["min_deviation"]
+        self.path_lattice = PathLattice(
+            path_level_from_dict(level, self.schema.location)
+            for level in payload["path_lattice"]
+        )
+        self._n_files = int(payload.get("n_files", len(payload["cells"])))
+        self._index.clear()
+        for entry in payload["cells"]:
+            item_level = ItemLevel(entry["item_level"])
+            level_id = int(entry["path_level"])
+            key = tuple(entry["key"])
+            self._index.setdefault((item_level, level_id), {})[key] = {
+                "file": entry["file"],
+                "n_paths": int(entry["n_paths"]),
+                "redundant": bool(entry["redundant"]),
+            }
+
+    # ------------------------------------------------------------------
+    # reads (cache-fronted, lazily materialising)
+    # ------------------------------------------------------------------
+    def cell(
+        self, item_level: ItemLevel, key: CellKey, path_level: PathLevel
+    ) -> Cell:
+        """The cell at the coordinates, materialised through the cache."""
+        lattice = self._require_built()
+        level_id = lattice.index_of(path_level)
+        coords: Coords = (item_level, level_id, key)
+        cached = self._cache.get(coords)
+        if cached is not None:
+            return cached
+        entries = self._index.get((item_level, level_id))
+        if entries is None:
+            raise CubeError(
+                f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
+            )
+        entry = entries.get(key)
+        if entry is None:
+            raise CubeError(
+                f"cell {key!r} is not materialised in cuboid "
+                f"{item_level.levels!r}"
+            )
+        cell = self._materialise(item_level, path_level, key, entry)
+        self._cache.put(coords, cell)
+        return cell
+
+    def _materialise(
+        self,
+        item_level: ItemLevel,
+        path_level: PathLevel,
+        key: CellKey,
+        entry: dict,
+    ) -> Cell:
+        path = self.directory / CELLS_DIR / entry["file"]
+        if not path.exists():
+            raise StoreError(f"cell file {path} is missing")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return Cell(
+            key=key,
+            item_level=item_level,
+            path_level=path_level,
+            record_ids=tuple(int(i) for i in payload["record_ids"]),
+            flowgraph=flowgraph_from_dict(payload["flowgraph"]),
+            paths=(),
+            redundant=bool(payload["redundant"]),
+        )
+
+    def has_cuboid(self, item_level: ItemLevel, path_level: PathLevel) -> bool:
+        lattice = self._require_built()
+        return (item_level, lattice.index_of(path_level)) in self._index
+
+    def cuboid(
+        self, item_level: ItemLevel, path_level: PathLevel
+    ) -> StoredCuboid:
+        lattice = self._require_built()
+        entries = self._index.get((item_level, lattice.index_of(path_level)))
+        if entries is None:
+            raise CubeError(
+                f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
+            )
+        return StoredCuboid(self, item_level, path_level, tuple(entries))
+
+    @property
+    def cuboids(self) -> tuple[StoredCuboid, ...]:
+        lattice = self._require_built()
+        return tuple(
+            StoredCuboid(self, item_level, lattice[level_id], tuple(entries))
+            for (item_level, level_id), entries in self._index.items()
+        )
+
+    def cells(self) -> Iterator[Cell]:
+        """Every persisted cell, materialised through the cache."""
+        for cuboid in self.cuboids:
+            yield from cuboid
+
+    def n_cells(self) -> int:
+        """Number of persisted cells (from the index, no file IO)."""
+        return sum(len(entries) for entries in self._index.values())
+
+    # ------------------------------------------------------------------
+    # redundancy-aware access (mirrors FlowCube)
+    # ------------------------------------------------------------------
+    def parent_cells(self, cell: Cell) -> list[Cell]:
+        """The cell's materialised item-lattice parents (Definition 4.4)."""
+        hierarchies = self.schema.dimensions
+        lattice = self._require_built()
+        level_id = lattice.index_of(cell.path_level)
+        parents: list[Cell] = []
+        for dim, level in enumerate(cell.item_level):
+            if level == 0:
+                continue
+            raised = list(cell.item_level.levels)
+            raised[dim] = level - 1
+            parent_level = ItemLevel(raised)
+            parent_key = tuple(
+                hierarchies[i].ancestor_at_level(value, parent_level[i])
+                for i, value in enumerate(cell.key)
+            )
+            entries = self._index.get((parent_level, level_id))
+            if entries is not None and parent_key in entries:
+                parents.append(
+                    self.cell(parent_level, parent_key, cell.path_level)
+                )
+        return parents
+
+    def flowgraph_for(
+        self, item_level: ItemLevel, key: CellKey, path_level: PathLevel
+    ):
+        """The cell's flowgraph, inferring from ancestors when redundant."""
+        cell = self.cell(item_level, key, path_level)
+        while cell.redundant:
+            parents = [p for p in self.parent_cells(cell) if not p.redundant]
+            if not parents:
+                parents = self.parent_cells(cell)
+            if not parents:
+                break
+            cell = max(parents, key=lambda c: c.n_paths)
+        return cell.flowgraph
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, float | int]:
+        """The read cache's hit/miss/eviction counters."""
+        return self._cache.stats()
+
+    def describe(self) -> dict[str, object]:
+        """Summary statistics for reporting."""
+        return {
+            "built": self.is_built,
+            "cuboids": len(self._index),
+            "cells": self.n_cells(),
+            "min_support": self.min_support,
+            "min_deviation": self.min_deviation,
+            "cache": self.cache_stats(),
+        }

@@ -1,0 +1,174 @@
+"""Partition files of the on-disk path store.
+
+A partitioned store splits a :class:`~repro.core.path_database.PathDatabase`
+into size-bounded *partitions*, each persisted as one CSV file (the
+interchange format of :meth:`PathDatabase.to_csv`).  Every partition
+carries a :class:`PartitionMeta` catalog entry holding
+
+* the row count and the (min, max) record-id range, and
+* one :class:`BloomSummary` per path-independent dimension plus one for
+  the stage locations.  Summaries index each record's value *and* its
+  hierarchy ancestors, so partition pruning works at any abstraction
+  level (``select_partitions(product="outerwear")`` skips partitions
+  whose leaves all live under other level-1 concepts).
+
+Bloom summaries are classic bitset Bloom filters: membership answers are
+"maybe" (with a small false-positive rate) or a definite "no", which is
+exactly what a scan planner needs to skip partition files without
+touching them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path as FsPath
+
+from repro.core.path_database import PathDatabase, PathSchema
+from repro.errors import StoreError
+
+__all__ = [
+    "BloomSummary",
+    "PartitionMeta",
+    "LOCATION_SUMMARY",
+    "summarise_partition",
+    "write_partition",
+    "read_partition",
+]
+
+#: Summary key used for the stage-location column (dimension summaries are
+#: keyed ``dim:<name>`` so a dimension literally named "location" cannot
+#: collide with it).
+LOCATION_SUMMARY = "location"
+
+
+class BloomSummary:
+    """A Bloom-style membership summary over one column's values.
+
+    Args:
+        n_bits: Bitset width.  The default (1024) keeps the false-positive
+            rate under ~2% for a few hundred distinct values.
+        n_hashes: Probes per value, derived by double hashing from one
+            BLAKE2b digest.
+        bits: Pre-existing bitset (used when loading from the catalog).
+    """
+
+    def __init__(self, n_bits: int = 1024, n_hashes: int = 4, bits: int = 0) -> None:
+        if n_bits < 8 or n_hashes < 1:
+            raise StoreError(
+                f"bad Bloom geometry: {n_bits} bits / {n_hashes} hashes"
+            )
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self.bits = bits
+
+    def _positions(self, value: str) -> list[int]:
+        digest = hashlib.blake2b(value.encode("utf-8"), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full cycle
+        return [(h1 + i * h2) % self.n_bits for i in range(self.n_hashes)]
+
+    def add(self, value: str) -> None:
+        """Record *value* in the summary."""
+        for position in self._positions(value):
+            self.bits |= 1 << position
+
+    def might_contain(self, value: str) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(self.bits >> p & 1 for p in self._positions(value))
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the bitset serialises as hex)."""
+        return {
+            "n_bits": self.n_bits,
+            "n_hashes": self.n_hashes,
+            "bits": format(self.bits, "x"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BloomSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            n_bits=int(data["n_bits"]),
+            n_hashes=int(data["n_hashes"]),
+            bits=int(data["bits"], 16),
+        )
+
+
+@dataclass
+class PartitionMeta:
+    """Catalog entry for one partition file."""
+
+    partition_id: int
+    filename: str
+    n_records: int
+    min_record_id: int
+    max_record_id: int
+    summaries: dict[str, BloomSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "partition_id": self.partition_id,
+            "filename": self.filename,
+            "n_records": self.n_records,
+            "min_record_id": self.min_record_id,
+            "max_record_id": self.max_record_id,
+            "summaries": {
+                name: summary.to_dict()
+                for name, summary in self.summaries.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionMeta":
+        return cls(
+            partition_id=int(data["partition_id"]),
+            filename=str(data["filename"]),
+            n_records=int(data["n_records"]),
+            min_record_id=int(data["min_record_id"]),
+            max_record_id=int(data["max_record_id"]),
+            summaries={
+                name: BloomSummary.from_dict(payload)
+                for name, payload in data.get("summaries", {}).items()
+            },
+        )
+
+
+def summarise_partition(database: PathDatabase) -> dict[str, BloomSummary]:
+    """Build the per-column Bloom summaries of one partition.
+
+    Every dimension value and stage location is inserted together with its
+    full ancestor chain (excluding the apex ``*``), so queries phrased at
+    any hierarchy level prune correctly.
+    """
+    schema = database.schema
+    summaries: dict[str, BloomSummary] = {
+        f"dim:{h.name}": BloomSummary() for h in schema.dimensions
+    }
+    summaries[LOCATION_SUMMARY] = BloomSummary()
+    for record in database:
+        for hierarchy, value in zip(schema.dimensions, record.dims):
+            summary = summaries[f"dim:{hierarchy.name}"]
+            for concept in hierarchy.ancestors(value, include_self=True):
+                if concept != "*":
+                    summary.add(concept)
+        location_summary = summaries[LOCATION_SUMMARY]
+        for stage in record.path:
+            chain = schema.location.ancestors(stage.location, include_self=True)
+            for concept in chain:
+                if concept != "*":
+                    location_summary.add(concept)
+    return summaries
+
+
+def write_partition(path: FsPath, database: PathDatabase) -> None:
+    """Persist one partition's rows as a CSV file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(database.to_csv(), encoding="utf-8")
+
+
+def read_partition(path: FsPath, schema: PathSchema) -> PathDatabase:
+    """Load one partition file back into a :class:`PathDatabase`."""
+    if not path.exists():
+        raise StoreError(f"partition file {path} is missing")
+    return PathDatabase.from_csv(schema, path.read_text(encoding="utf-8"))

@@ -1,0 +1,276 @@
+"""The partitioned on-disk path store.
+
+A :class:`PartitionedPathStore` is a directory::
+
+    store/
+      catalog.json            schema + fingerprint + partition registry
+      partitions/
+        part-00000.csv        <= partition_size rows each
+        part-00001.csv
+        ...
+      cube/                   (optional) the persisted flowcube, see
+        ...                   :mod:`repro.store.cube_store`
+
+Ingest appends size-bounded partitions; nothing ever rewrites an existing
+partition file, so the store is safe to back up and rsync mid-ingest.
+Record ids must be strictly increasing across ingests (the warehouse
+append invariant) — this is what lets the catalog detect id collisions
+from ranges alone, without keeping an id set in memory.
+
+Reads are partition-at-a-time: :meth:`iter_partitions` never holds more
+than one partition's :class:`~repro.core.path_database.PathDatabase` in
+memory, which is the contract the out-of-core builder
+(:mod:`repro.store.builder`) is written against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path as FsPath
+
+from repro.core.incremental import append_batch
+from repro.core.path import PathRecord
+from repro.core.path_database import PathDatabase, PathSchema
+from repro.errors import StoreError
+from repro.store.catalog import Catalog, schema_fingerprint
+from repro.store.partition import (
+    LOCATION_SUMMARY,
+    PartitionMeta,
+    read_partition,
+    summarise_partition,
+    write_partition,
+)
+
+__all__ = ["PartitionedPathStore"]
+
+PARTITIONS_DIR = "partitions"
+
+
+class PartitionedPathStore:
+    """A path database persisted as size-bounded CSV partitions."""
+
+    def __init__(self, directory: FsPath, catalog: Catalog) -> None:
+        self.directory = FsPath(directory)
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def init(
+        cls,
+        directory: FsPath | str,
+        schema: PathSchema,
+        partition_size: int = 512,
+        extra: dict | None = None,
+    ) -> "PartitionedPathStore":
+        """Create an empty store at *directory* (which must not have one)."""
+        directory = FsPath(directory)
+        if (directory / "catalog.json").exists():
+            raise StoreError(f"a store already exists at {directory}")
+        catalog = Catalog(directory, schema, partition_size, extra=extra)
+        catalog.save()
+        return cls(directory, catalog)
+
+    @classmethod
+    def open(cls, directory: FsPath | str) -> "PartitionedPathStore":
+        """Open an existing store (raises when the catalog is absent)."""
+        directory = FsPath(directory)
+        return cls(directory, Catalog.load(directory))
+
+    # ------------------------------------------------------------------
+    # basic facts
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> PathSchema:
+        return self.catalog.schema
+
+    @property
+    def partition_size(self) -> int:
+        return self.catalog.partition_size
+
+    def __len__(self) -> int:
+        return self.catalog.total_records
+
+    def partition_ids(self) -> list[int]:
+        return [meta.partition_id for meta in self.catalog.partitions]
+
+    def _partition_path(self, meta: PartitionMeta) -> FsPath:
+        return self.directory / PARTITIONS_DIR / meta.filename
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        records: Iterable[PathRecord] | PathDatabase,
+        validate: bool = True,
+    ) -> list[PartitionMeta]:
+        """Append *records* as one or more new partitions.
+
+        When a :class:`PathDatabase` is given, its schema must fingerprint
+        identically to the store's.  Record ids must be strictly greater
+        than every id already in the store, and strictly increasing within
+        the batch.
+
+        Returns:
+            The catalog entries of the partitions written.
+        """
+        if isinstance(records, PathDatabase):
+            if schema_fingerprint(records.schema) != self.catalog.fingerprint:
+                raise StoreError(
+                    "database schema does not match the store's schema "
+                    "fingerprint"
+                )
+            rows: list[PathRecord] = list(records)
+            validate = False  # the database validated on construction
+        else:
+            rows = list(records)
+        if not rows:
+            return []
+        floor = self.catalog.max_record_id
+        for record in rows:
+            if record.record_id <= floor:
+                raise StoreError(
+                    f"record id {record.record_id} is not greater than the "
+                    f"store's high-water mark {floor} (ids must be strictly "
+                    "increasing across ingests)"
+                )
+            floor = record.record_id
+
+        written: list[PartitionMeta] = []
+        size = self.partition_size
+        for start in range(0, len(rows), size):
+            chunk = rows[start : start + size]
+            # Validates hierarchy membership unless the rows came from an
+            # already-validated database.
+            database = PathDatabase(self.schema, chunk, validate=validate)
+            partition_id = self.catalog.next_partition_id()
+            meta = PartitionMeta(
+                partition_id=partition_id,
+                filename=f"part-{partition_id:05d}.csv",
+                n_records=len(chunk),
+                min_record_id=chunk[0].record_id,
+                max_record_id=chunk[-1].record_id,
+                summaries=summarise_partition(database),
+            )
+            write_partition(self._partition_path(meta), database)
+            self.catalog.add(meta)
+            written.append(meta)
+        self.catalog.save()
+        return written
+
+    def append(
+        self,
+        records: Iterable[PathRecord],
+        cube=None,
+        recompute_exceptions: bool = True,
+    ) -> dict[str, int]:
+        """Ingest a batch and, when a live cube is given, maintain it.
+
+        The cube update reuses :func:`repro.core.incremental.append_batch`
+        (Lemma 4.2): only the cells the batch touches are re-counted and
+        re-mined, instead of rebuilding the cube from the whole store.
+
+        Args:
+            records: New path records (ids above the store's high-water
+                mark).
+            cube: An in-memory :class:`~repro.core.flowcube.FlowCube`
+                built over this store's data, or ``None`` to only persist.
+            recompute_exceptions: Forwarded to ``append_batch``.
+
+        Returns:
+            ``{"partitions": ..., "ingested": ...}`` plus, when a cube was
+            maintained, ``append_batch``'s touched-cell statistics.
+        """
+        rows = list(records)
+        written = self.ingest(rows)
+        stats: dict[str, int] = {
+            "partitions": len(written),
+            "ingested": len(rows),
+        }
+        if cube is not None and rows:
+            stats.update(
+                append_batch(cube, rows, recompute_exceptions=recompute_exceptions)
+            )
+        return stats
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def load_partition(self, partition_id: int) -> PathDatabase:
+        """Load one partition's rows."""
+        for meta in self.catalog.partitions:
+            if meta.partition_id == partition_id:
+                return read_partition(self._partition_path(meta), self.schema)
+        raise StoreError(f"no partition {partition_id} in the catalog")
+
+    def iter_partitions(
+        self,
+    ) -> Iterator[tuple[PartitionMeta, PathDatabase]]:
+        """Yield ``(meta, database)`` one partition at a time.
+
+        The previous partition's database becomes garbage as soon as the
+        consumer advances — this is the out-of-core read path.
+        """
+        for meta in self.catalog.partitions:
+            yield meta, read_partition(self._partition_path(meta), self.schema)
+
+    def load_all(self) -> PathDatabase:
+        """Concatenate every partition into one in-memory database.
+
+        Convenience for tests, examples, and small stores; the builder
+        deliberately avoids it.
+        """
+        rows: list[PathRecord] = []
+        for _, database in self.iter_partitions():
+            rows.extend(database.records)
+        return PathDatabase(self.schema, rows, validate=False)
+
+    def select_partitions(
+        self, location: str | None = None, **dims: str
+    ) -> list[int]:
+        """Partitions that *might* hold rows matching the given values.
+
+        Uses the catalog's Bloom summaries only — no partition file is
+        read.  Values may sit at any hierarchy level (summaries index the
+        full ancestor closure).  A partition is returned unless some
+        constraint definitely rules it out.
+        """
+        for name in dims:
+            self.schema.dimension(name)  # raises on unknown dimensions
+        selected: list[int] = []
+        for meta in self.catalog.partitions:
+            keep = True
+            for name, value in dims.items():
+                summary = meta.summaries.get(f"dim:{name}")
+                if summary is not None and not summary.might_contain(value):
+                    keep = False
+                    break
+            if keep and location is not None:
+                summary = meta.summaries.get(LOCATION_SUMMARY)
+                if summary is not None and not summary.might_contain(location):
+                    keep = False
+            if keep:
+                selected.append(meta.partition_id)
+        return selected
+
+    # ------------------------------------------------------------------
+    # the cube side of the store
+    # ------------------------------------------------------------------
+    def cube_store(self, cache_size: int = 128):
+        """The store's :class:`~repro.store.cube_store.CubeStore` view.
+
+        The cube lives under ``<store>/cube``; it is empty until a build
+        writes into it (``flowcube-store build`` or
+        :func:`repro.store.builder.build_cube` with ``into=``).
+        """
+        from repro.store.cube_store import CubeStore
+
+        return CubeStore(
+            self.directory / "cube", self.schema, cache_size=cache_size
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Catalog-level summary statistics."""
+        return self.catalog.describe()

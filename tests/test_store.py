@@ -1,0 +1,393 @@
+"""The persistent partitioned store: catalog, builder, cube store, CLI.
+
+The load-bearing assertions here are the out-of-core contracts:
+
+* ``build_cube`` over a ≥4-partition store produces a cube identical to
+  :meth:`FlowCube.build` over the concatenated data (same cuboids, cell
+  keys, record ids, aggregated paths, flowgraphs, and exceptions);
+* ``shared_mine_store`` mines exactly :func:`shared_mine`'s supports while
+  never holding more than one partition's encoded
+  :class:`TransactionDatabase` (``BuildStats.max_live_transaction_dbs``);
+* the :class:`CubeStore` read cache reports hits/misses/evictions and a
+  repeated :class:`FlowCubeQuery` measure access is served from it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.flowcube import FlowCube
+from repro.core.path import PathRecord
+from repro.errors import CubeError, StoreError
+from repro.mining.shared import shared_mine
+from repro.query.api import FlowCubeQuery
+from repro.store import (
+    BloomSummary,
+    BuildStats,
+    LRUCache,
+    PartitionedPathStore,
+    build_cube,
+    schema_fingerprint,
+    schema_from_dict,
+    schema_to_dict,
+    shared_mine_store,
+)
+from repro.store.cli import main
+from repro.synth import GeneratorConfig, generate_path_database
+
+CONFIG = GeneratorConfig(
+    n_paths=120,
+    n_dims=2,
+    dim_fanouts=(2, 3),
+    n_location_groups=3,
+    locations_per_group=2,
+    n_sequences=8,
+    max_path_length=4,
+    max_duration=3,
+    seed=3,
+)
+MIN_SUPPORT = 0.1
+PARTITION_SIZE = 30  # 120 records -> 4 partitions
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_path_database(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def reference_cube(database):
+    return FlowCube.build(database, min_support=MIN_SUPPORT)
+
+
+@pytest.fixture()
+def store(tmp_path, database):
+    s = PartitionedPathStore.init(
+        tmp_path / "wh", database.schema, partition_size=PARTITION_SIZE
+    )
+    s.ingest(database)
+    return s
+
+
+# ----------------------------------------------------------------------
+# LRU cache
+# ----------------------------------------------------------------------
+
+def test_lru_cache_counts_hits_misses_and_evictions():
+    cache = LRUCache(2)
+    assert cache.get("a") is None  # miss
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # hit; "a" becomes most recent
+    cache.put("c", 3)  # evicts "b" (least recently used)
+    assert "b" not in cache and "a" in cache and "c" in cache
+    assert cache.get("b") is None  # miss
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2 and stats["capacity"] == 2
+    assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+
+def test_lru_cache_clear_keeps_counters():
+    cache = LRUCache(4)
+    cache.put("x", 1)
+    cache.get("x")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_lru_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+# ----------------------------------------------------------------------
+# Bloom summaries
+# ----------------------------------------------------------------------
+
+def test_bloom_summary_membership_and_roundtrip():
+    summary = BloomSummary()
+    for value in ("outerwear", "jacket", "nike"):
+        summary.add(value)
+    assert summary.might_contain("jacket")
+    assert not summary.might_contain("definitely-absent-value-xyz")
+    restored = BloomSummary.from_dict(summary.to_dict())
+    assert restored.bits == summary.bits
+    assert restored.might_contain("outerwear")
+
+
+def test_bloom_summary_rejects_bad_geometry():
+    with pytest.raises(StoreError):
+        BloomSummary(n_bits=4)
+
+
+# ----------------------------------------------------------------------
+# schema serialisation + catalog
+# ----------------------------------------------------------------------
+
+def test_schema_roundtrip_preserves_codes_and_fingerprint(database):
+    schema = database.schema
+    restored = schema_from_dict(schema_to_dict(schema))
+    assert schema_fingerprint(restored) == schema_fingerprint(schema)
+    # Sibling order (and hence the Section 5 digit codes) must survive.
+    for original, rebuilt in zip(
+        list(schema.dimensions) + [schema.location, schema.duration],
+        list(restored.dimensions) + [restored.location, restored.duration],
+    ):
+        for concept in original:
+            assert rebuilt.code_of(concept) == original.code_of(concept)
+
+
+def test_open_missing_and_corrupt_catalog(tmp_path):
+    with pytest.raises(StoreError):
+        PartitionedPathStore.open(tmp_path / "nowhere")
+    broken = tmp_path / "broken"
+    broken.mkdir()
+    (broken / "catalog.json").write_text("{not json", encoding="utf-8")
+    with pytest.raises(StoreError):
+        PartitionedPathStore.open(broken)
+
+
+def test_init_refuses_existing_store(store, database):
+    with pytest.raises(StoreError):
+        PartitionedPathStore.init(store.directory, database.schema)
+
+
+# ----------------------------------------------------------------------
+# partitioned path store
+# ----------------------------------------------------------------------
+
+def test_ingest_partitions_and_roundtrip(store, database):
+    assert store.partition_ids() == [0, 1, 2, 3]
+    assert len(store) == len(database)
+    for meta in store.catalog.partitions:
+        assert meta.n_records <= PARTITION_SIZE
+    reopened = PartitionedPathStore.open(store.directory)
+    assert list(reopened.load_all()) == list(database)
+
+
+def test_iter_partitions_preserves_record_order(store, database):
+    ids = [
+        record.record_id
+        for _, part in store.iter_partitions()
+        for record in part
+    ]
+    assert ids == [record.record_id for record in database]
+
+
+def test_ingest_rejects_id_collisions(store, database):
+    with pytest.raises(StoreError):
+        store.ingest(database)  # same ids again
+    floor = store.catalog.max_record_id
+    record = database[database.records[0].record_id]
+    descending = [
+        PathRecord(floor + 2, record.dims, record.path),
+        PathRecord(floor + 1, record.dims, record.path),
+    ]
+    with pytest.raises(StoreError):
+        store.ingest(descending)
+
+
+def test_ingest_rejects_foreign_schema(store):
+    other = generate_path_database(
+        CONFIG.with_(n_paths=5, dim_fanouts=(3, 3), seed=1)
+    )
+    with pytest.raises(StoreError):
+        store.ingest(other)
+
+
+def test_select_partitions_prunes_with_blooms(store, database):
+    name = database.schema.dimensions[0].name
+    assert store.select_partitions(**{name: "no-such-value"}) == []
+    # A value actually present must keep every partition that holds it.
+    value = database.records[0].dims[0]
+    holding = {
+        meta.partition_id
+        for meta, part in store.iter_partitions()
+        if any(record.dims[0] == value for record in part)
+    }
+    assert holding <= set(store.select_partitions(**{name: value}))
+    # Level-1 ancestors prune too (ancestor closure is indexed).
+    parent = database.schema.dimensions[0].ancestor_at_level(value, 1)
+    assert holding <= set(store.select_partitions(**{name: parent}))
+    with pytest.raises(Exception):
+        store.select_partitions(not_a_dimension="x")
+
+
+def test_append_maintains_live_cube(store, database):
+    cube = build_cube(store, min_support=MIN_SUPPORT)
+    floor = store.catalog.max_record_id
+    extra = [
+        PathRecord(floor + i + 1, record.dims, record.path)
+        for i, record in enumerate(database.records[:10])
+    ]
+    stats = store.append(extra, cube=cube)
+    assert stats["ingested"] == 10
+    assert stats["partitions"] >= 1
+    assert len(store) == len(database) + 10
+    assert len(cube.database) == len(database) + 10
+
+
+# ----------------------------------------------------------------------
+# out-of-core construction
+# ----------------------------------------------------------------------
+
+def test_shared_mine_store_equals_in_memory(store, database):
+    build_stats = BuildStats()
+    out_of_core = shared_mine_store(
+        store, min_support=MIN_SUPPORT, build_stats=build_stats
+    )
+    in_memory = shared_mine(database, min_support=MIN_SUPPORT)
+    assert out_of_core.supports == in_memory.supports
+    assert out_of_core.threshold == in_memory.threshold
+    # The out-of-core invariant, proven by the live tracker.
+    assert build_stats.partitions >= 4
+    assert build_stats.max_live_transaction_dbs == 1
+
+
+def test_build_cube_matches_flowcube_build(store, reference_cube):
+    stats = BuildStats()
+    cube = build_cube(store, min_support=MIN_SUPPORT, stats=stats)
+    assert stats.partitions >= 4
+    reference_cuboids = reference_cube.cuboids
+    assert len(cube.cuboids) == len(reference_cuboids)
+    for reference in reference_cuboids:
+        cuboid = cube.cuboid(reference.item_level, reference.path_level)
+        assert list(cuboid.cells) == list(reference.cells)
+        for key, expected in reference.cells.items():
+            actual = cuboid.cells[key]
+            assert actual.record_ids == expected.record_ids
+            assert actual.paths == expected.paths
+            assert sorted(map(str, actual.flowgraph.exceptions)) == sorted(
+                map(str, expected.flowgraph.exceptions)
+            )
+
+
+def test_build_cube_with_shared_segments(store):
+    stats = BuildStats()
+    cube = build_cube(
+        store, min_support=MIN_SUPPORT, use_shared=True, stats=stats
+    )
+    assert stats.max_live_transaction_dbs == 1
+    assert cube.n_cells() > 0
+
+
+# ----------------------------------------------------------------------
+# the cube store
+# ----------------------------------------------------------------------
+
+def test_cube_store_roundtrips_the_cube(store, reference_cube):
+    build_cube(store, min_support=MIN_SUPPORT, into=store.cube_store())
+    reopened = store.cube_store()
+    assert reopened.is_built
+    assert reopened.min_support == MIN_SUPPORT
+    assert reopened.n_cells() == reference_cube.n_cells()
+    for reference in reference_cube.cuboids:
+        cuboid = reopened.cuboid(reference.item_level, reference.path_level)
+        assert set(cuboid.keys) == set(reference.cells)
+        for key, expected in reference.cells.items():
+            actual = cuboid.cell(key)
+            assert actual.record_ids == expected.record_ids
+            expected_nodes = {
+                n.prefix: n.count for n in expected.flowgraph.nodes()
+            }
+            actual_nodes = {
+                n.prefix: n.count for n in actual.flowgraph.nodes()
+            }
+            assert actual_nodes == expected_nodes
+            assert sorted(map(str, actual.flowgraph.exceptions)) == sorted(
+                map(str, expected.flowgraph.exceptions)
+            )
+
+
+def test_cube_store_cache_reports_hits_misses_evictions(store):
+    build_cube(store, min_support=MIN_SUPPORT, into=store.cube_store())
+    small = store.cube_store(cache_size=2)
+    cells = list(small.cells())  # every read misses a cold 2-entry cache
+    stats = small.cache_stats()
+    assert stats["misses"] == len(cells)
+    assert stats["evictions"] == len(cells) - 2
+    assert stats["size"] == 2
+    # Re-reading the most recent cell is a hit.
+    last = cells[-1]
+    small.cell(last.item_level, last.key, last.path_level)
+    assert small.cache_stats()["hits"] == 1
+
+
+def test_cube_store_raises_before_build_and_on_missing_cells(store):
+    empty = store.cube_store()
+    with pytest.raises(StoreError):
+        empty.cuboid(None, None)
+    build_cube(store, min_support=MIN_SUPPORT, into=store.cube_store())
+    built = store.cube_store()
+    cuboid = built.cuboids[0]
+    with pytest.raises(CubeError):
+        cuboid.cell(("no", "such"))
+
+
+def test_query_over_cube_store_hits_cache_on_repeat(store, reference_cube):
+    build_cube(store, min_support=MIN_SUPPORT, into=store.cube_store())
+    cube_store = store.cube_store(cache_size=16)
+    query = FlowCubeQuery(cube_store)
+    first = query.flowgraph()  # apex cell, first touch materialises
+    hits_before = cube_store.cache_stats()["hits"]
+    second = query.flowgraph()  # repeat must be served from the cache
+    assert cube_store.cache_stats()["hits"] > hits_before
+    assert {n.prefix for n in first.nodes()} == {n.prefix for n in second.nodes()}
+    # The measure matches the in-memory cube's apex measure.
+    reference_query = FlowCubeQuery(reference_cube)
+    expected = reference_query.flowgraph()
+    assert {n.prefix: n.count for n in second.nodes()} == {
+        n.prefix: n.count for n in expected.nodes()
+    }
+
+
+# ----------------------------------------------------------------------
+# the CLI
+# ----------------------------------------------------------------------
+
+def test_cli_full_lifecycle(tmp_path, capsys):
+    target = str(tmp_path / "wh")
+    assert main([
+        "init", target, "--synthetic", "--n-dims", "2", "--fanouts", "2,3",
+        "--n-location-groups", "3", "--locations-per-group", "2",
+        "--max-duration", "3", "--partition-size", "25",
+    ]) == 0
+    assert main([
+        "ingest", target, "--synthetic", "--n-paths", "100", "--seed", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "4 new partition(s)" in out
+    assert main([
+        "build", target, "--min-support", "0.2", "--no-exceptions",
+    ]) == 0
+    assert "built" in capsys.readouterr().out
+    assert main(["query", target]) == 0
+    assert "flowgraph measure" in capsys.readouterr().out
+    assert main(["stats", target]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["store"]["partitions"] == 4
+    assert report["cube"]["built"] is True
+
+
+def test_cli_csv_roundtrip_and_errors(tmp_path, capsys, database):
+    target = str(tmp_path / "wh")
+    assert main([
+        "init", target, "--synthetic", "--n-dims", "2", "--fanouts", "2,3",
+        "--n-location-groups", "3", "--locations-per-group", "2",
+        "--max-duration", "3",
+    ]) == 0
+    csv_file = tmp_path / "batch.csv"
+    csv_file.write_text(database.to_csv(), encoding="utf-8")
+    assert main(["ingest", target, "--csv", str(csv_file)]) == 0
+    # Same ids again: the append invariant rejects the batch.
+    assert main(["ingest", target, "--csv", str(csv_file)]) == 2
+    assert "error:" in capsys.readouterr().err
+    # Querying before any build fails cleanly too.
+    assert main(["query", target]) == 2
+    assert main(["stats", str(tmp_path / "missing")]) == 2
