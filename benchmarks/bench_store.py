@@ -1,16 +1,22 @@
 """Persistent-store overhead: in-memory vs out-of-core construction.
 
-Two questions the store layer has to answer honestly:
+Four questions the store and perf layers have to answer honestly:
 
+* what does the interned bitmap counting kernel buy over the item-space
+  tid-set kernel on the same Shared mining run (warm, on a shared
+  encoded transaction database, and cold end-to-end);
 * what does out-of-core construction cost over ``FlowCube.build`` as the
   same database is split into 1 / 4 / 16 partitions (wall time + peak
   traced allocation, which is where out-of-core should win);
+* how do parallel partition scans (``jobs``) move store mining and cube
+  construction relative to the in-memory baselines;
 * what hit rate does the cube-store LRU cache reach once a query
   workload re-reads cells it has already materialised.
 
 ``python benchmarks/bench_store.py`` runs the full sweep and writes
-``BENCH_store.json`` at the repository root; the pytest entries below are
-CI-sized spot checks of the same paths.
+``BENCH_store.json`` at the repository root; ``--quick`` runs a
+CI-smoke-sized subset of the same paths in well under a minute.  The
+pytest entries below are CI-sized spot checks.
 """
 
 from __future__ import annotations
@@ -28,8 +34,16 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.core import FlowCube
+from repro.core.lattice import PathLattice
+from repro.encoding.transactions import TransactionDatabase
+from repro.mining import shared_mine
 from repro.query import FlowCubeQuery
-from repro.store import PartitionedPathStore, build_cube, BuildStats
+from repro.store import (
+    BuildStats,
+    PartitionedPathStore,
+    build_cube,
+    shared_mine_store,
+)
 from repro.synth import GeneratorConfig, generate_path_database
 
 #: Sweep configuration: one database, three partitionings of it.
@@ -45,17 +59,38 @@ CONFIG = GeneratorConfig(
 PARTITION_COUNTS = (1, 4, 16)
 MIN_SUPPORT = 0.05
 CACHE_SIZE = 64
+JOBS_SWEEP = (1, 2, 4)
+REPEATS = 3
 
 
 def _timed(fn):
-    """(wall seconds, peak traced bytes, result) of one call."""
-    tracemalloc.start()
+    """(wall seconds, peak traced bytes, result) of one call.
+
+    Wall time and peak allocation come from *separate* runs: timing under
+    tracemalloc inflates the wall clock several-fold, and a forked worker
+    pool would inherit the (parent-side unreadable) tracing into every
+    worker process.  The untraced run is timed; a second, traced run
+    supplies the peak.
+    """
     start = time.perf_counter()
     result = fn()
     elapsed = time.perf_counter() - start
+    tracemalloc.start()
+    fn()
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return elapsed, peak, result
+
+
+def _best(fn, repeats: int):
+    """(best wall seconds over *repeats* untraced runs, last result)."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
 def _make_store(directory: Path, database, n_partitions: int):
@@ -65,6 +100,115 @@ def _make_store(directory: Path, database, n_partitions: int):
     )
     store.ingest(database)
     return store
+
+
+def _kernel_section(database, repeats: int) -> dict:
+    """Bitmap vs tid-set kernel on the same in-memory Shared run.
+
+    The *warm* rows share one encoded :class:`TransactionDatabase` (the
+    documented reuse path for δ sweeps: encoding and interning are paid
+    once); the *end-to-end* rows re-encode from the path database on
+    every run.  Both kernels must agree on every support and every
+    counter — the speedup is only meaningful if the work is identical.
+    """
+    lattice = PathLattice.paper_default(database.schema.location)
+    tdb = TransactionDatabase(database, lattice)
+    tdb.interned()  # the warm basis shares the interned form too
+
+    warm: dict[str, float] = {}
+    cold: dict[str, float] = {}
+    results = {}
+    for kernel in ("tidset", "bitmap"):
+        warm[kernel], results[kernel] = _best(
+            lambda k=kernel: shared_mine(
+                database, min_support=MIN_SUPPORT, transaction_db=tdb, kernel=k
+            ),
+            repeats,
+        )
+        cold[kernel], _ = _best(
+            lambda k=kernel: shared_mine(
+                database, min_support=MIN_SUPPORT, kernel=k
+            ),
+            repeats,
+        )
+    bitmap, tidset = results["bitmap"], results["tidset"]
+    assert bitmap.supports == tidset.supports
+    assert bitmap.stats.counters_equal(tidset.stats)
+    return {
+        "min_support": MIN_SUPPORT,
+        "n_patterns": len(bitmap.supports),
+        "shared_transaction_db": {
+            "tidset_seconds": round(warm["tidset"], 4),
+            "bitmap_seconds": round(warm["bitmap"], 4),
+            "speedup": round(warm["tidset"] / warm["bitmap"], 2),
+        },
+        "end_to_end": {
+            "tidset_seconds": round(cold["tidset"], 4),
+            "bitmap_seconds": round(cold["bitmap"], 4),
+            "speedup": round(cold["tidset"] / cold["bitmap"], 2),
+        },
+        "bitmap_phase_seconds": {
+            phase: round(seconds, 4)
+            for phase, seconds in sorted(bitmap.stats.phase_seconds.items())
+        },
+        "kernels_identical": True,
+    }
+
+
+def _jobs_section(store, database, repeats: int, jobs_sweep) -> dict:
+    """Store mining and cube construction across worker-pool sizes."""
+    mine_baseline, _ = _best(
+        lambda: shared_mine(database, min_support=MIN_SUPPORT), repeats
+    )
+    build_baseline, _ = _best(
+        lambda: FlowCube.build(
+            database, min_support=MIN_SUPPORT, compute_exceptions=False
+        ),
+        repeats,
+    )
+    mining = []
+    building = []
+    for jobs in jobs_sweep:
+        seconds, _ = _best(
+            lambda j=jobs: shared_mine_store(
+                store, min_support=MIN_SUPPORT, jobs=j
+            ),
+            repeats,
+        )
+        mining.append(
+            {
+                "jobs": jobs,
+                "seconds": round(seconds, 4),
+                "vs_in_memory": round(seconds / mine_baseline, 2),
+            }
+        )
+        seconds, _ = _best(
+            lambda j=jobs: build_cube(
+                store,
+                min_support=MIN_SUPPORT,
+                compute_exceptions=False,
+                jobs=j,
+            ),
+            repeats,
+        )
+        building.append(
+            {
+                "jobs": jobs,
+                "seconds": round(seconds, 4),
+                "vs_in_memory": round(seconds / build_baseline, 2),
+            }
+        )
+    return {
+        "n_partitions": len(store.catalog.partitions),
+        "shared_mine": {
+            "in_memory_seconds": round(mine_baseline, 4),
+            "sweep": mining,
+        },
+        "build_cube": {
+            "in_memory_seconds": round(build_baseline, 4),
+            "sweep": building,
+        },
+    }
 
 
 def _cache_hit_rate(store: PartitionedPathStore) -> dict:
@@ -84,7 +228,10 @@ def _cache_hit_rate(store: PartitionedPathStore) -> dict:
     return served.cache_stats()
 
 
-def run_suite() -> dict:
+def run_suite(quick: bool = False) -> dict:
+    repeats = 1 if quick else REPEATS
+    partition_counts = (4,) if quick else PARTITION_COUNTS
+    jobs_sweep = (1, 4) if quick else JOBS_SWEEP
     database = generate_path_database(CONFIG)
     in_memory_seconds, in_memory_peak, cube = _timed(
         lambda: FlowCube.build(
@@ -96,7 +243,11 @@ def run_suite() -> dict:
             "n_paths": len(database),
             "min_support": MIN_SUPPORT,
             "cache_size": CACHE_SIZE,
+            "quick": quick,
         },
+        # Kernel timings keep >= 2 repeats even in quick mode: the ratios
+        # are the headline numbers and single runs are too noisy.
+        "kernel": _kernel_section(database, max(repeats, 2)),
         "in_memory": {
             "seconds": round(in_memory_seconds, 4),
             "tracemalloc_peak_bytes": in_memory_peak,
@@ -104,7 +255,7 @@ def run_suite() -> dict:
         },
         "partitioned": [],
     }
-    for n_partitions in PARTITION_COUNTS:
+    for n_partitions in partition_counts:
         with tempfile.TemporaryDirectory() as tmp:
             store = _make_store(Path(tmp) / "wh", database, n_partitions)
             stats = BuildStats()
@@ -117,11 +268,16 @@ def run_suite() -> dict:
                 )
             )
             assert built.n_cells() == cube.n_cells()
+            if n_partitions == 4:
+                report["jobs"] = _jobs_section(
+                    store, database, repeats, jobs_sweep
+                )
             cache = _cache_hit_rate(store)
             report["partitioned"].append(
                 {
                     "n_partitions": len(store.catalog.partitions),
                     "seconds": round(seconds, 4),
+                    "vs_in_memory": round(seconds / in_memory_seconds, 2),
                     "tracemalloc_peak_bytes": peak,
                     "partition_scans": stats.scans,
                     "max_live_transaction_dbs": stats.max_live_transaction_dbs,
@@ -150,8 +306,8 @@ def test_build_in_memory(benchmark, store_db):
     assert cube.n_cells() > 0
 
 
-@pytest.mark.parametrize("n_partitions", [4])
-def test_build_partitioned(benchmark, store_db, n_partitions, tmp_path):
+@pytest.mark.parametrize("n_partitions,jobs", [(4, 1), (4, 4)])
+def test_build_partitioned(benchmark, store_db, n_partitions, jobs, tmp_path):
     store = _make_store(tmp_path / "wh", store_db, n_partitions)
     reference = FlowCube.build(
         store_db, min_support=MIN_SUPPORT, compute_exceptions=False
@@ -159,23 +315,34 @@ def test_build_partitioned(benchmark, store_db, n_partitions, tmp_path):
     cube = run_once(
         benchmark,
         lambda: build_cube(
-            store, min_support=MIN_SUPPORT, compute_exceptions=False
+            store, min_support=MIN_SUPPORT, compute_exceptions=False, jobs=jobs
         ),
     )
     assert cube.n_cells() == reference.n_cells()
 
 
+def test_kernel_speedup_floor(store_db):
+    """The warm bitmap kernel beats tid-sets by the documented margin."""
+    section = _kernel_section(store_db, repeats=3)
+    assert section["shared_transaction_db"]["speedup"] >= 3.0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Store construction/cache sweep -> BENCH_store.json"
+        description="Store construction/kernel/jobs sweep -> BENCH_store.json"
     )
     parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_store.json"),
         help="output JSON path (default: repo root BENCH_store.json)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: single repeat, 4 partitions only, jobs 1 and 4",
+    )
     args = parser.parse_args(argv)
-    report = run_suite()
+    report = run_suite(quick=args.quick)
     Path(args.out).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )

@@ -50,6 +50,17 @@ class DimItem:
         """
         return 0 if self.code == "*" else len(self.code)
 
+    @property
+    def sort_key(self) -> tuple:
+        """Canonical position in the mixed-alphabet total order.
+
+        Dimension items sort before stage items (leading 0); the mining
+        layer's :func:`~repro.mining.result.item_sort_key` and the
+        interning layer (:mod:`repro.perf.interning`) both rely on this
+        key, so id order and item order always agree.
+        """
+        return (0, self.dim, len(self.code), self.code)
+
     def ancestors(self, include_top: bool = True) -> tuple["DimItem", ...]:
         """Ancestor items, nearest first, optionally down to level 1."""
         lowest = 1 if include_top else 2

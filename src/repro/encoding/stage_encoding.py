@@ -58,6 +58,15 @@ class StageItem:
         """One-based position of the stage within the aggregated path."""
         return len(self.prefix)
 
+    @property
+    def sort_key(self) -> tuple:
+        """Canonical position in the mixed-alphabet total order.
+
+        Stage items sort after dimension items (leading 1); see
+        :attr:`repro.encoding.item_encoding.DimItem.sort_key`.
+        """
+        return (1, self.level_id, len(self.prefix), self.prefix, self.duration)
+
 
 def stages_linkable(a: StageItem, b: StageItem) -> bool:
     """Can the two stages appear in one path? (Section 5, pruning rule 2.)

@@ -70,6 +70,13 @@ class TransactionDatabase:
         self.schema: PathSchema = database.schema
         self.path_lattice = path_lattice
         self.include_top_level = include_top_level
+        # Encoding memos: records massively share dimension values and —
+        # for discretised durations — whole paths, so the ancestor-closure
+        # item objects are built once per distinct value/path and reused
+        # (identical item objects also hash-dedupe faster downstream).
+        self._dim_closures: dict[tuple[int, object], tuple[DimItem, ...]] = {}
+        self._stage_closures: dict[tuple, frozenset[StageItem]] = {}
+        self._interned = None
         self.transactions: list[Transaction] = [
             self._encode(record) for record in database
         ]
@@ -79,27 +86,61 @@ class TransactionDatabase:
         for dim, (hierarchy, value) in enumerate(
             zip(self.schema.dimensions, record.dims)
         ):
-            code = hierarchy.code_of(value)
-            start = 0 if self.include_top_level else 1
-            for length in range(start, len(code) + 1):
-                if length == 0:
+            closure = self._dim_closures.get((dim, value))
+            if closure is None:
+                code = hierarchy.code_of(value)
+                start = 0 if self.include_top_level else 1
+                closure = tuple(
                     # Represent the apex with a level-0 pseudo-code: the
                     # Basic baseline counts it like any other item.
-                    items.add(DimItem(dim, "*"))
-                else:
-                    items.add(DimItem(dim, code[:length]))
-        for level_id, level in enumerate(self.path_lattice):
-            prefix: tuple[str, ...] = ()
-            for location, duration in aggregate_path(record.path, level):
-                prefix = prefix + (location,)
-                items.add(StageItem(level_id, prefix, duration))
-        return Transaction(record.record_id, frozenset(items))
+                    DimItem(dim, "*") if length == 0 else DimItem(dim, code[:length])
+                    for length in range(start, len(code) + 1)
+                )
+                self._dim_closures[(dim, value)] = closure
+            items.update(closure)
+        stage_items = self._stage_closures.get(record.path.stages)
+        if stage_items is None:
+            stages: set[StageItem] = set()
+            for level_id, level in enumerate(self.path_lattice):
+                prefix: tuple[str, ...] = ()
+                for location, duration in aggregate_path(record.path, level):
+                    prefix = prefix + (location,)
+                    stages.add(StageItem(level_id, prefix, duration))
+            stage_items = frozenset(stages)
+            self._stage_closures[record.path.stages] = stage_items
+        return Transaction(record.record_id, frozenset(items) | stage_items)
 
     def __len__(self) -> int:
         return len(self.transactions)
 
     def __iter__(self) -> Iterator[Transaction]:
         return iter(self.transactions)
+
+    def interned(self):
+        """This database as dense-id ``array('i')`` rows.
+
+        Builds a :class:`~repro.perf.interning.InternedTransactions` whose
+        alphabet is interned in :attr:`Item.sort_key` order, so id order
+        coincides with the miners' canonical item order.  Row index is the
+        transaction's position (the tid the bitmap kernel packs into
+        masks), not :attr:`Transaction.tid`.
+
+        The result is cached: the interned form is a pure function of the
+        (immutable) transactions, and callers that reuse one encoded
+        database across runs — a δ sweep, the benchmark harness — should
+        pay the interning pass once.  Note the bitmap miner *extends* the
+        cached interner with projection-only items past the base
+        alphabet; those extra ids never enter rows or masks, so reuse
+        stays sound.
+        """
+        if self._interned is None:
+            from repro.perf.interning import InternedTransactions
+
+            self._interned = InternedTransactions.from_transactions(
+                [t.items for t in self.transactions],
+                sort_key=lambda item: item.sort_key,
+            )
+        return self._interned
 
     # ------------------------------------------------------------------
     # rendering (Table 3 reproduction, debugging)

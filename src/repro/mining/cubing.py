@@ -42,6 +42,7 @@ def cubing_mine(
     miner: str = "apriori",
     cuber: str = "buc",
     transaction_db: TransactionDatabase | None = None,
+    kernel: str = "bitmap",
 ) -> FlowMiningResult:
     """Run Algorithm 2 over *database*.
 
@@ -57,6 +58,9 @@ def cubing_mine(
             — §5.2 allows either; they enumerate the same cells.
         transaction_db: Reuse an encoded database (Shared-style encoding,
             without top-level items).
+        kernel: Per-cell Apriori counting strategy — ``"bitmap"``
+            (default), ``"tidset"``, or ``"scan"``; forwarded to
+            :func:`~repro.mining.apriori.apriori` (ignored by FP-growth).
 
     Returns:
         A :class:`~repro.mining.result.FlowMiningResult` with the same
@@ -111,6 +115,7 @@ def cubing_mine(
                 pair_filter=stages_linkable,
                 stats=cell_stats,
                 key=item_sort_key,
+                counting=kernel,
             )
         else:
             mined = fp_growth(

@@ -37,10 +37,10 @@ def item_sort_key(item: Item) -> tuple:
 
     Dimension items sort before stage items; within each kind the order is
     by coordinates, so candidate generation's sorted-prefix join works.
+    The key itself lives on the item classes (``Item.sort_key``) so the
+    interning layer can cache it without importing the mining package.
     """
-    if isinstance(item, DimItem):
-        return (0, item.dim, len(item.code), item.code)
-    return (1, item.level_id, len(item.prefix), item.prefix, item.duration)
+    return item.sort_key
 
 
 class FlowMiningResult:
@@ -70,6 +70,42 @@ class FlowMiningResult:
         self.schema = schema
         self.path_lattice = path_lattice
         self.stats = stats
+
+    @classmethod
+    def from_interned(
+        cls,
+        supports_by_ids: Mapping[tuple, int],
+        interner,
+        threshold: int,
+        n_transactions: int,
+        schema: PathSchema,
+        path_lattice: PathLattice,
+        stats: MiningStats,
+    ) -> "FlowMiningResult":
+        """Decode an id-space mining result back into real ``Item`` sets.
+
+        The interned bitmap kernel mines entirely over dense int ids; this
+        constructor is the decode boundary — everything downstream
+        (frequent cells, segments, flowgraph exceptions, the query layer)
+        keeps seeing :class:`DimItem`/:class:`StageItem` objects.
+
+        Args:
+            supports_by_ids: Itemsets as tuples of interned ids → support.
+            interner: The :class:`~repro.perf.interning.ItemInterner` the
+                ids were assigned by.
+        """
+        supports = {
+            interner.decode(ids): support
+            for ids, support in supports_by_ids.items()
+        }
+        return cls(
+            supports=supports,
+            threshold=threshold,
+            n_transactions=n_transactions,
+            schema=schema,
+            path_lattice=path_lattice,
+            stats=stats,
+        )
 
     def __len__(self) -> int:
         return len(self.supports)

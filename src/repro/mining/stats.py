@@ -27,6 +27,12 @@ class MiningStats:
         scans: Passes over the transaction database.
         precounted_patterns: High-level patterns pre-counted opportunistically.
         elapsed_seconds: Wall-clock time of the run.
+        phase_seconds: Wall-clock breakdown by mining phase.  The Shared
+            miners fill the keys ``"encode"`` (transaction encoding,
+            interning, tid structures), ``"precount"`` (high-level
+            projections and pre-count tables), ``"join"`` (candidate
+            generation), ``"count"`` (support counting), and ``"prune"``
+            (pre-count pruning); phases that never ran are absent.
     """
 
     candidates_per_length: Counter = field(default_factory=Counter)
@@ -35,6 +41,27 @@ class MiningStats:
     scans: int = 0
     precounted_patterns: int = 0
     elapsed_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall-clock time into *phase*'s bucket."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def counters_equal(self, other: "MiningStats") -> bool:
+        """Equality of everything except wall-clock timings.
+
+        This is the parity contract between counting kernels: two runs of
+        the same algorithm with different kernels must count, generate,
+        prune, and keep exactly the same patterns — only their timings
+        may differ.
+        """
+        return (
+            self.candidates_per_length == other.candidates_per_length
+            and self.frequent_per_length == other.frequent_per_length
+            and self.pruned == other.pruned
+            and self.scans == other.scans
+            and self.precounted_patterns == other.precounted_patterns
+        )
 
     @property
     def total_candidates(self) -> int:
@@ -59,6 +86,8 @@ class MiningStats:
         self.scans += other.scans
         self.precounted_patterns += other.precounted_patterns
         self.elapsed_seconds += other.elapsed_seconds
+        for phase, seconds in other.phase_seconds.items():
+            self.add_phase(phase, seconds)
 
     def as_rows(self) -> list[tuple[int, int, int]]:
         """(length, candidates, frequent) rows, length ascending."""

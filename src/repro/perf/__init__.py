@@ -1,0 +1,35 @@
+"""Performance kernels for the mining stack.
+
+The miners in :mod:`repro.mining` are written against rich frozen-dataclass
+items (:class:`~repro.encoding.item_encoding.DimItem`,
+:class:`~repro.encoding.stage_encoding.StageItem`) and Python ``set``
+tid-lists — clear, but slow: every support count hashes dataclasses and
+intersects sets.  This package provides the compact representations the
+fast counting paths run on:
+
+* :mod:`repro.perf.interning` — a dense integer id per distinct item,
+  assigned once per encoded transaction database, turning transactions
+  into sorted ``array('i')`` rows and candidate itemsets into int tuples;
+* :mod:`repro.perf.bitmap` — vertical bitmap tid-sets: each item's
+  tid-list packed into one Python big int, so a candidate's support is
+  ``(mask_a & mask_b).bit_count()`` instead of a set intersection.
+
+The kernels are exact: for every miner the bitmap path is kept behind a
+``kernel=`` switch next to the original tid-set path, and the test suite
+asserts the two return identical supports and identical mining statistics.
+"""
+
+from repro.perf.bitmap import (
+    count_candidates_bitmap,
+    count_candidates_masks,
+    item_masks,
+)
+from repro.perf.interning import InternedTransactions, ItemInterner
+
+__all__ = [
+    "InternedTransactions",
+    "ItemInterner",
+    "count_candidates_bitmap",
+    "count_candidates_masks",
+    "item_masks",
+]

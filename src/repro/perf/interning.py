@@ -1,0 +1,140 @@
+"""Dense integer interning of the mining alphabet.
+
+The miners' hot loops spend most of their time hashing items: every
+tid-list insert, candidate index lookup, and subset test re-hashes a
+frozen dataclass whose hash walks a tuple of fields.  Interning pays that
+cost exactly once per distinct item: an :class:`ItemInterner` maps each
+item to a dense ``int`` id, transactions become sorted ``array('i')``
+rows (:class:`InternedTransactions`), and everything downstream — tid
+bitmaps, candidate tuples, pre-count tables — operates on machine ints.
+
+Ids are dense (``0 .. n-1``), so per-item state lives in flat lists
+indexed by id rather than dicts keyed by item.  When a sort key is
+supplied the alphabet can be interned in key order, making id order agree
+with the miner's canonical item order; the interner also records each
+id's key so callers never depend on that alignment.
+
+The interner is generic over hashable items — the Shared miner interns
+:data:`~repro.encoding.transactions.Item` values, but
+:func:`~repro.mining.apriori.apriori`'s bitmap counting mode interns
+whatever items its transactions carry.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Callable, Hashable, Iterable, Sequence
+
+__all__ = ["ItemInterner", "InternedTransactions"]
+
+ItemT = Hashable
+
+
+class ItemInterner:
+    """Bijection between items and dense integer ids.
+
+    Args:
+        sort_key: Optional canonical item order.  When given, each
+            interned id's key is cached in :attr:`sort_keys`, so id-space
+            code can sort candidates exactly the way the item-space code
+            does without re-deriving keys.
+
+    Attributes:
+        items: Id → item (dense, append-only).
+        sort_keys: Id → ``sort_key(item)``; empty when no key was given.
+    """
+
+    def __init__(self, sort_key: Callable[[ItemT], object] | None = None) -> None:
+        self._ids: dict[ItemT, int] = {}
+        self._sort_key = sort_key
+        self.items: list[ItemT] = []
+        self.sort_keys: list[object] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, item: ItemT) -> bool:
+        return item in self._ids
+
+    def intern(self, item: ItemT) -> int:
+        """Return *item*'s id, assigning the next dense id on first sight."""
+        item_id = self._ids.get(item)
+        if item_id is None:
+            item_id = len(self.items)
+            self._ids[item] = item_id
+            self.items.append(item)
+            if self._sort_key is not None:
+                self.sort_keys.append(self._sort_key(item))
+        return item_id
+
+    def id_of(self, item: ItemT) -> int:
+        """The id of an already-interned item (KeyError otherwise)."""
+        return self._ids[item]
+
+    def key_of(self, item_id: int) -> object:
+        """The cached sort key of id *item_id* (needs ``sort_key``)."""
+        return self.sort_keys[item_id]
+
+    def encode(self, transaction: Iterable[ItemT]) -> array:
+        """One transaction as a sorted ``array('i')`` of ids.
+
+        Rows sort by the cached key when one was given (the canonical
+        item order), by raw id otherwise.
+        """
+        ids = [self.intern(item) for item in transaction]
+        if self._sort_key is not None:
+            keys = self.sort_keys
+            ids.sort(key=keys.__getitem__)
+        else:
+            ids.sort()
+        return array("i", ids)
+
+    def decode(self, ids: Iterable[int]) -> frozenset:
+        """An id tuple back into the itemset it encodes."""
+        items = self.items
+        return frozenset(items[item_id] for item_id in ids)
+
+
+class InternedTransactions:
+    """A transaction database as interned ``array('i')`` rows.
+
+    Attributes:
+        interner: The alphabet bijection (shared with the rows).
+        rows: One sorted id row per transaction, in transaction order —
+            row index is the transaction id the bitmap kernel packs into
+            masks.
+        n_base: Alphabet size when the rows were interned.  Miners may
+            later extend the interner with ids that never occur in any
+            row (high-level projections); ``range(n_base)`` is always
+            exactly the ids with row occurrences.
+    """
+
+    def __init__(self, interner: ItemInterner, rows: list[array]) -> None:
+        self.interner = interner
+        self.rows = rows
+        self.n_base = len(interner)
+
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Sequence[Iterable[ItemT]],
+        sort_key: Callable[[ItemT], object] | None = None,
+    ) -> "InternedTransactions":
+        """Intern a whole database.
+
+        With *sort_key* the alphabet is collected first and interned in
+        key order, so id order coincides with the canonical item order
+        (rows then sort by plain int comparison).
+        """
+        interner = ItemInterner(sort_key)
+        if sort_key is not None:
+            alphabet: set[ItemT] = set()
+            for transaction in transactions:
+                alphabet.update(transaction)
+            for item in sorted(alphabet, key=sort_key):
+                interner.intern(item)
+        rows = [interner.encode(transaction) for transaction in transactions]
+        return cls(interner, rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -9,11 +9,14 @@ against a :class:`~repro.store.pathstore.PartitionedPathStore`:
 * :func:`shared_mine_store` is Algorithm 1 with every database pass split
   into per-partition scans.  Each scan encodes exactly one partition into
   a :class:`~repro.encoding.transactions.TransactionDatabase`, counts
-  candidates against it with the scan-mode counter
-  (:func:`~repro.mining.apriori.count_candidates`), and merges the partial
-  supports into a running :class:`collections.Counter`.  Supports are
-  additive over a disjoint partitioning of D', so the result is *exactly*
-  :func:`shared_mine`'s — the test suite asserts equality.
+  candidates against it — with the interned bitmap counter
+  (:func:`~repro.perf.bitmap.count_candidates_masks`, the default
+  ``kernel="bitmap"``) or the textbook subset-test counter
+  (:func:`~repro.mining.apriori.count_candidates`, ``kernel="scan"``) —
+  and merges the partial supports into a running
+  :class:`collections.Counter`.  Supports are additive over a disjoint
+  partitioning of D', so the result is *exactly* :func:`shared_mine`'s —
+  the test suite asserts equality.
 
 * :func:`build_cube` materialises the iceberg cube with two scan families:
   a membership pass grouping record ids into cells (ids only — no paths
@@ -23,10 +26,20 @@ against a :class:`~repro.store.pathstore.PartitionedPathStore`:
   insertion order, ``record_ids`` tuples, path order, and the
   ``mine_exceptions`` inputs all coincide.
 
-Peak memory is O(one partition + counters/cells), never O(database), and
-:class:`BuildStats.max_live_transaction_dbs` *proves* the one-partition
-claim: the encoder is wrapped in a live-count tracker and the recorded
-peak is asserted to be 1 in the tests.
+Both entry points accept ``jobs``: with ``jobs > 1`` the per-partition
+scans of each pass run concurrently on a
+:class:`concurrent.futures.ProcessPoolExecutor` (one partition per task;
+workers re-open the store from its directory).  Partial results merge in
+partition order, and every merge is either a ``Counter`` sum or an
+extend-in-partition-order, so parallel runs are bit-identical to serial
+ones — the parity is asserted by the tests.
+
+Peak memory is O(one partition + counters/cells) per process, never
+O(database), and :class:`BuildStats.max_live_transaction_dbs` *proves*
+the one-partition claim: every partition read — decoded for the cube
+passes, encoded for the mining passes — is bracketed by a live-count
+tracker, and the recorded per-process peak is asserted to be 1 in the
+tests.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ import itertools
 import time
 from collections import Counter
 from collections.abc import Iterable, Iterator, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.aggregation import aggregate_path
@@ -47,7 +61,7 @@ from repro.core.flowgraph_exceptions import (
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
 from repro.encoding.transactions import TransactionDatabase
-from repro.errors import CubeError
+from repro.errors import CubeError, StoreError
 from repro.mining.apriori import count_candidates, generate_candidates
 from repro.mining.result import FlowMiningResult, item_sort_key
 from repro.mining.shared import (
@@ -58,9 +72,13 @@ from repro.mining.shared import (
     top_path_level_id,
 )
 from repro.mining.stats import MiningStats
+from repro.perf.bitmap import count_candidates_masks
 from repro.store.pathstore import PartitionedPathStore
 
 __all__ = ["BuildStats", "build_cube", "shared_mine_store"]
+
+#: Per-partition counting kernels accepted by :func:`shared_mine_store`.
+STORE_KERNELS = ("bitmap", "scan")
 
 
 @dataclass
@@ -71,9 +89,11 @@ class BuildStats:
         partitions: Partition files in the store when the build started.
         records: Total path records scanned (per full pass).
         scans: Partition files read across the whole build.
-        max_live_transaction_dbs: Peak number of encoded
-            :class:`TransactionDatabase` instances alive at once — the
-            out-of-core invariant says this never exceeds 1.
+        max_live_transaction_dbs: Peak number of partition databases —
+            decoded :class:`~repro.core.path_database.PathDatabase` or
+            encoded :class:`TransactionDatabase` — alive at once in any
+            one process; the out-of-core invariant says this never
+            exceeds 1 (with ``jobs > 1`` each worker holds at most one).
         cuboids: Cuboids materialised.
         cells: Iceberg cells materialised.
         elapsed_seconds: Wall-clock time of the build.
@@ -89,7 +109,7 @@ class BuildStats:
 
 
 class _LiveTracker:
-    """Counts concurrently-alive encoded partitions and records the peak."""
+    """Counts concurrently-alive partition databases and records the peak."""
 
     def __init__(self) -> None:
         self.live = 0
@@ -103,31 +123,20 @@ class _LiveTracker:
         self.live -= 1
 
 
-def _iter_encoded(
-    store: PartitionedPathStore,
-    path_lattice: PathLattice,
-    tracker: _LiveTracker,
-    build_stats: BuildStats | None = None,
-) -> Iterator[list[frozenset]]:
-    """Encode and yield one partition's transactions at a time.
+def _validate_jobs(jobs: int) -> int:
+    if not isinstance(jobs, int) or jobs < 1:
+        raise StoreError(f"jobs must be an integer >= 1, got {jobs!r}")
+    return jobs
 
-    The tracker brackets each encoded partition's lifetime: ``exit`` runs
-    when the consumer advances past the yield, before the next partition
-    is encoded, so ``tracker.peak`` stays 1 unless a consumer holds on to
-    a previous partition's transactions.
-    """
-    for _, database in store.iter_partitions():
-        tracker.enter()
-        try:
-            encoded = TransactionDatabase(
-                database, path_lattice, include_top_level=False
-            )
-            if build_stats is not None:
-                build_stats.scans += 1
-            yield [t.items for t in encoded.transactions]
-        finally:
-            tracker.exit()
 
+# ----------------------------------------------------------------------
+# per-partition scan bodies (shared by the serial and parallel paths)
+# ----------------------------------------------------------------------
+#
+# Each function below consumes exactly one partition and returns a plain,
+# picklable partial result; the drivers merge partials in partition
+# order.  Keeping the bodies pure is what makes serial and parallel runs
+# provably identical.
 
 def _high_projection(
     transaction: frozenset, path_lattice: PathLattice, top_id: int | None
@@ -141,6 +150,323 @@ def _high_projection(
     return tuple(sorted(projected, key=item_sort_key))
 
 
+def _mine_scan1_partition(
+    transactions: Sequence[frozenset],
+    path_lattice: PathLattice,
+    top_id: int | None,
+    next_precount: int | None,
+) -> tuple[Counter, Counter | None]:
+    """Scan 1 over one partition: item counts + optional pre-count table."""
+    counts: Counter = Counter()
+    table: Counter | None = Counter() if next_precount is not None else None
+    for transaction in transactions:
+        counts.update(transaction)
+        if next_precount is not None:
+            high = _high_projection(transaction, path_lattice, top_id)
+            for combo in itertools.combinations(high, next_precount):
+                table[frozenset(combo)] += 1
+    return counts, table
+
+
+def _mine_count_partition(
+    transactions: Sequence[frozenset],
+    candidates: Sequence[tuple],
+    kernel: str,
+    path_lattice: PathLattice,
+    top_id: int | None,
+    next_precount: int | None,
+) -> tuple[Counter, Counter | None]:
+    """One level-wise pass over one partition: candidate supports."""
+    if kernel == "bitmap":
+        support = count_candidates_masks(transactions, candidates)
+    else:
+        support = count_candidates(transactions, candidates, None)
+    table: Counter | None = None
+    if next_precount is not None:
+        table = Counter()
+        for transaction in transactions:
+            high = _high_projection(transaction, path_lattice, top_id)
+            for combo in itertools.combinations(high, next_precount):
+                table[frozenset(combo)] += 1
+    return support, table
+
+
+def _membership_partition(
+    database, levels: Sequence[ItemLevel], hierarchies
+) -> list[dict[CellKey, list[int]]]:
+    """Record ids grouped per cell, one dict per requested item level."""
+    groups: list[dict[CellKey, list[int]]] = [{} for _ in levels]
+    # Records heavily share dimension-value tuples, and a roll-up only
+    # depends on those, so the per-level cell keys are memoised per
+    # distinct ``record.dims``.
+    keys_cache: dict[tuple, list[CellKey]] = {}
+    for record in database:
+        keys = keys_cache.get(record.dims)
+        if keys is None:
+            keys = [
+                _roll_up(record.dims, item_level, hierarchies)
+                for item_level in levels
+            ]
+            keys_cache[record.dims] = keys
+        for index in range(len(levels)):
+            groups[index].setdefault(keys[index], []).append(record.record_id)
+    return groups
+
+
+def _aggregate_partition(
+    database,
+    item_level: ItemLevel,
+    iceberg_keys: frozenset,
+    path_lattice: PathLattice,
+    hierarchies,
+) -> dict[tuple[CellKey, int], list]:
+    """One item level's aggregated paths for the iceberg cells."""
+    paths_by_cell: dict[tuple[CellKey, int], list] = {}
+    for record in database:
+        key = _roll_up(record.dims, item_level, hierarchies)
+        if key not in iceberg_keys:
+            continue
+        for level_id, path_level in enumerate(path_lattice):
+            paths_by_cell.setdefault((key, level_id), []).append(
+                aggregate_path(record.path, path_level)
+            )
+    return paths_by_cell
+
+
+def _aggregate_batch_partition(
+    database,
+    spec: Sequence[tuple[ItemLevel, frozenset]],
+    path_lattice: PathLattice,
+    hierarchies,
+) -> list[dict[tuple[CellKey, int], list]]:
+    """Every item level's aggregated paths in one partition sweep.
+
+    Produces, per spec entry, exactly :func:`_aggregate_partition`'s dict
+    (same keys, same append order), but aggregates each record's path
+    once per *path* level instead of once per (item level, path level) —
+    the aggregation doesn't depend on the item level — and memoises
+    roll-ups per distinct ``record.dims`` as in the membership pass.
+    """
+    out: list[dict[tuple[CellKey, int], list]] = [{} for _ in spec]
+    keys_cache: dict[tuple, list[CellKey]] = {}
+    n_path_levels = len(path_lattice)
+    for record in database:
+        keys = keys_cache.get(record.dims)
+        if keys is None:
+            keys = [
+                _roll_up(record.dims, item_level, hierarchies)
+                for item_level, _ in spec
+            ]
+            keys_cache[record.dims] = keys
+        aggregated = None
+        for index, (_, iceberg_keys) in enumerate(spec):
+            key = keys[index]
+            if key not in iceberg_keys:
+                continue
+            if aggregated is None:
+                aggregated = [
+                    aggregate_path(record.path, path_level)
+                    for path_level in path_lattice
+                ]
+            bucket = out[index]
+            for level_id in range(n_path_levels):
+                bucket.setdefault((key, level_id), []).append(
+                    aggregated[level_id]
+                )
+    return out
+
+
+def _roll_up(dims: tuple, item_level: ItemLevel, hierarchies) -> CellKey:
+    return tuple(
+        hierarchy.ancestor_at_level(value, level)
+        for hierarchy, value, level in zip(hierarchies, dims, item_level)
+    )
+
+
+# ----------------------------------------------------------------------
+# the process-pool worker
+# ----------------------------------------------------------------------
+#
+# Workers re-open the store from its directory (set once per process by
+# the initializer) and execute one task = one partition of one pass.
+# Task payloads and results are plain tuples/Counters of the encoded item
+# dataclasses, all picklable.
+
+_WORKER_CTX: dict = {}
+
+
+def _worker_init(store_dir: str, path_lattice: PathLattice) -> None:
+    # Forked workers inherit an enabled tracemalloc (or other tracing)
+    # from the parent, yet their traces are per-process and unreadable
+    # from it — pure overhead on every allocation.  Drop it.
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _WORKER_CTX["store"] = PartitionedPathStore.open(store_dir)
+    _WORKER_CTX["lattice"] = path_lattice
+    _WORKER_CTX["cached"] = None
+
+
+def _worker_partition(partition_id: int, encode: bool):
+    """The task's partition, via a one-slot per-process cache.
+
+    Consecutive tasks for the same partition (common: each level-wise
+    pass touches every partition) reuse the loaded — and, for mining
+    tasks, encoded — data instead of re-reading the file.  The slot is
+    dropped *before* a different partition is loaded, so each worker
+    still holds at most one partition at any instant (the gauge's
+    per-process invariant).
+    """
+    cached = _WORKER_CTX["cached"]
+    if cached is None or cached["partition_id"] != partition_id:
+        _WORKER_CTX["cached"] = None  # drop before loading: ≤ 1 live
+        store: PartitionedPathStore = _WORKER_CTX["store"]
+        cached = {
+            "partition_id": partition_id,
+            "database": store.load_partition(partition_id),
+            "transactions": None,
+        }
+        _WORKER_CTX["cached"] = cached
+    if encode and cached["transactions"] is None:
+        encoded = TransactionDatabase(
+            cached["database"], _WORKER_CTX["lattice"], include_top_level=False
+        )
+        cached["transactions"] = [t.items for t in encoded.transactions]
+    return cached
+
+
+def _worker_task(task: tuple):
+    kind, partition_id, payload = task
+    store: PartitionedPathStore = _WORKER_CTX["store"]
+    path_lattice: PathLattice = _WORKER_CTX["lattice"]
+    cached = _worker_partition(partition_id, encode=kind in ("scan1", "count"))
+    database = cached["database"]
+    if kind == "scan1":
+        top_id, next_precount = payload
+        return _mine_scan1_partition(
+            cached["transactions"], path_lattice, top_id, next_precount
+        )
+    if kind == "count":
+        top_id, candidates, kernel, next_precount = payload
+        return _mine_count_partition(
+            cached["transactions"], candidates, kernel, path_lattice, top_id,
+            next_precount,
+        )
+    if kind == "membership":
+        (levels,) = payload
+        return _membership_partition(database, levels, store.schema.dimensions)
+    if kind == "aggregate_batch":
+        # One task covers every item level: loading and iterating the
+        # partition once per level would drown this scale of work in
+        # per-task dispatch and file reads.
+        (spec,) = payload
+        return _aggregate_batch_partition(
+            database, spec, path_lattice, store.schema.dimensions
+        )
+    raise ValueError(f"unknown worker task kind {kind!r}")
+
+
+def _open_pools(
+    store: PartitionedPathStore, path_lattice: PathLattice, jobs: int
+) -> list[ProcessPoolExecutor] | None:
+    """Partition-affine worker pools: one single-worker pool per job slot.
+
+    Partition *p* is always submitted to pool ``p % jobs``, so each
+    worker re-sees the same partitions pass after pass and its one-slot
+    cache (loaded rows + encoded transactions) stays hot across the
+    level-wise scans.  A single shared pool scatters partitions over
+    workers arbitrarily on every pass, forcing a re-read and re-encode
+    on almost every task.
+    """
+    if jobs <= 1:
+        return None
+    return [
+        ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_worker_init,
+            initargs=(str(store.directory), path_lattice),
+        )
+        for _ in range(jobs)
+    ]
+
+
+def _close_pools(pools: list[ProcessPoolExecutor] | None) -> None:
+    if pools:
+        for pool in pools:
+            pool.shutdown()
+
+
+def _scan_partitions(
+    store: PartitionedPathStore,
+    pools: list[ProcessPoolExecutor] | None,
+    tracker: _LiveTracker,
+    build_stats: BuildStats | None,
+    kind: str,
+    payload: tuple,
+    path_lattice: PathLattice,
+) -> Iterator:
+    """Run one pass over every partition, yielding partials in order.
+
+    Serial (``pools is None``): partitions are loaded — and, for the
+    mining passes, encoded — one at a time inside the tracker bracket.
+    Parallel: one task per partition, routed to its affine pool; results
+    are consumed in partition order (each worker holds one live
+    partition, so the tracker records the per-process peak of 1).
+    """
+    encode = kind in ("scan1", "count")
+    if pools is None:
+        for _, database in store.iter_partitions():
+            tracker.enter()
+            try:
+                if build_stats is not None:
+                    build_stats.scans += 1
+                if encode:
+                    encoded = TransactionDatabase(
+                        database, path_lattice, include_top_level=False
+                    )
+                    transactions = [t.items for t in encoded.transactions]
+                    if kind == "scan1":
+                        top_id, next_precount = payload
+                        yield _mine_scan1_partition(
+                            transactions, path_lattice, top_id, next_precount
+                        )
+                    else:
+                        top_id, candidates, kernel, next_precount = payload
+                        yield _mine_count_partition(
+                            transactions, candidates, kernel, path_lattice,
+                            top_id, next_precount,
+                        )
+                elif kind == "membership":
+                    (levels,) = payload
+                    yield _membership_partition(
+                        database, levels, store.schema.dimensions
+                    )
+                else:
+                    item_level, iceberg_keys = payload
+                    yield _aggregate_partition(
+                        database, item_level, iceberg_keys, path_lattice,
+                        store.schema.dimensions,
+                    )
+            finally:
+                tracker.exit()
+    else:
+        futures = [
+            pools[partition_id % len(pools)].submit(
+                _worker_task, (kind, partition_id, payload)
+            )
+            for partition_id in store.partition_ids()
+        ]
+        for future in futures:
+            result = future.result()
+            if build_stats is not None:
+                build_stats.scans += 1
+            # Each worker process holds at most one live partition.
+            tracker.enter()
+            tracker.exit()
+            yield result
+
+
 def shared_mine_store(
     store: PartitionedPathStore,
     path_lattice: PathLattice | None = None,
@@ -148,6 +474,8 @@ def shared_mine_store(
     max_length: int | None = None,
     precount_lengths: tuple[int, ...] = (2,),
     build_stats: BuildStats | None = None,
+    kernel: str = "bitmap",
+    jobs: int = 1,
 ) -> FlowMiningResult:
     """Algorithm 1 over a partitioned store, one partition in memory at a time.
 
@@ -168,11 +496,22 @@ def shared_mine_store(
             are recomputed per scan instead of cached per transaction, so
             pre-counting stays O(partition) in memory.
         build_stats: Optional :class:`BuildStats` to fill (partition scans
-            and the live-encoded-partition peak).
+            and the live-partition peak).
+        kernel: Per-partition counting — ``"bitmap"`` (default, local
+            item masks + k-way AND) or ``"scan"`` (subset tests);
+            identical supports.
+        jobs: Partition scans run on a process pool of this size when
+            ``> 1`` (default 1 = serial); results are identical either
+            way.
 
     Returns:
         A :class:`~repro.mining.result.FlowMiningResult`.
     """
+    if kernel not in STORE_KERNELS:
+        raise ValueError(
+            f"unknown counting kernel {kernel!r}; expected {STORE_KERNELS}"
+        )
+    jobs = _validate_jobs(jobs)
     stats = MiningStats()
     started = time.perf_counter()
     if path_lattice is None:
@@ -184,68 +523,84 @@ def shared_mine_store(
     threshold = resolve_min_support(min_support, len(store))
     top_id = top_path_level_id(path_lattice)
 
-    # --- Scan 1: single-item counts + pre-count of length min(precount) ---
-    counts: Counter = Counter()
-    precounts: dict[int, Counter] = {}
-    next_precount = next_precount_length(precount_lengths, 1)
-    for transactions in _iter_encoded(store, path_lattice, tracker, build_stats):
-        for transaction in transactions:
-            counts.update(transaction)
-            if next_precount is not None:
-                high = _high_projection(transaction, path_lattice, top_id)
-                table = precounts.setdefault(next_precount, Counter())
-                for combo in itertools.combinations(high, next_precount):
-                    table[frozenset(combo)] += 1
-    stats.scans += 1
-    stats.candidates_per_length[1] = len(counts)
-    if next_precount in precounts:
-        stats.precounted_patterns += len(precounts[next_precount])
-
-    frequent_sorted = sorted(
-        ((item,) for item, n in counts.items() if n >= threshold),
-        key=lambda t: item_sort_key(t[0]),
-    )
-    stats.frequent_per_length[1] = len(frequent_sorted)
-    supports: dict[frozenset, int] = {
-        frozenset(t): counts[t[0]] for t in frequent_sorted
-    }
-
-    # --- Level-wise loop: one partitioned scan per candidate length ------
-    length = 1
-    while frequent_sorted and (max_length is None or length < max_length):
-        candidates = generate_candidates(
-            frequent_sorted, shared_pair_filter, stats, item_sort_key
+    pools = _open_pools(store, path_lattice, jobs)
+    try:
+        # --- Scan 1: single-item counts + pre-count of min(precount) -----
+        phase = time.perf_counter()
+        counts: Counter = Counter()
+        precounts: dict[int, Counter] = {}
+        next_precount = next_precount_length(precount_lengths, 1)
+        merged_table: Counter | None = (
+            Counter() if next_precount is not None else None
         )
-        candidates = precount_prune(
-            candidates, precounts, threshold, path_lattice, top_id, stats
-        )
-        if not candidates:
-            break
-        next_precount = next_precount_length(precount_lengths, length + 1)
-        precount_table: Counter | None = None
-        if next_precount is not None and next_precount not in precounts:
-            precount_table = precounts.setdefault(next_precount, Counter())
-        support: Counter = Counter()
-        for transactions in _iter_encoded(
-            store, path_lattice, tracker, build_stats
+        for part_counts, part_table in _scan_partitions(
+            store, pools, tracker, build_stats,
+            "scan1", (top_id, next_precount), path_lattice,
         ):
-            # Partial supports over a disjoint slice of D' — merging the
-            # per-partition Counters is exact.
-            support.update(count_candidates(transactions, candidates, None))
-            if precount_table is not None:
-                for transaction in transactions:
-                    high = _high_projection(transaction, path_lattice, top_id)
-                    for combo in itertools.combinations(high, next_precount):
-                        precount_table[frozenset(combo)] += 1
+            counts.update(part_counts)
+            if part_table is not None:
+                merged_table.update(part_table)
+        if merged_table is not None:
+            precounts[next_precount] = merged_table
+        stats.add_phase("count", time.perf_counter() - phase)
         stats.scans += 1
-        stats.candidates_per_length[length + 1] += len(candidates)
-        if precount_table is not None:
-            stats.precounted_patterns += len(precount_table)
-        length += 1
-        frequent_sorted = [c for c in candidates if support[c] >= threshold]
-        stats.frequent_per_length[length] += len(frequent_sorted)
-        for itemset in frequent_sorted:
-            supports[frozenset(itemset)] = support[itemset]
+        stats.candidates_per_length[1] = len(counts)
+        if next_precount in precounts:
+            stats.precounted_patterns += len(precounts[next_precount])
+
+        frequent_sorted = sorted(
+            ((item,) for item, n in counts.items() if n >= threshold),
+            key=lambda t: item_sort_key(t[0]),
+        )
+        stats.frequent_per_length[1] = len(frequent_sorted)
+        supports: dict[frozenset, int] = {
+            frozenset(t): counts[t[0]] for t in frequent_sorted
+        }
+
+        # --- Level-wise loop: one partitioned scan per candidate length --
+        length = 1
+        while frequent_sorted and (max_length is None or length < max_length):
+            phase = time.perf_counter()
+            candidates = generate_candidates(
+                frequent_sorted, shared_pair_filter, stats, item_sort_key
+            )
+            stats.add_phase("join", time.perf_counter() - phase)
+            phase = time.perf_counter()
+            candidates = precount_prune(
+                candidates, precounts, threshold, path_lattice, top_id, stats
+            )
+            stats.add_phase("prune", time.perf_counter() - phase)
+            if not candidates:
+                break
+            next_precount = next_precount_length(precount_lengths, length + 1)
+            if next_precount in precounts:
+                next_precount = None
+            phase = time.perf_counter()
+            support: Counter = Counter()
+            merged_table = Counter() if next_precount is not None else None
+            for part_support, part_table in _scan_partitions(
+                store, pools, tracker, build_stats,
+                "count", (top_id, candidates, kernel, next_precount),
+                path_lattice,
+            ):
+                # Partial supports over a disjoint slice of D' — merging
+                # the per-partition Counters is exact.
+                support.update(part_support)
+                if part_table is not None:
+                    merged_table.update(part_table)
+            if merged_table is not None:
+                precounts[next_precount] = merged_table
+                stats.precounted_patterns += len(merged_table)
+            stats.add_phase("count", time.perf_counter() - phase)
+            stats.scans += 1
+            stats.candidates_per_length[length + 1] += len(candidates)
+            length += 1
+            frequent_sorted = [c for c in candidates if support[c] >= threshold]
+            stats.frequent_per_length[length] += len(frequent_sorted)
+            for itemset in frequent_sorted:
+                supports[frozenset(itemset)] = support[itemset]
+    finally:
+        _close_pools(pools)
 
     stats.elapsed_seconds = time.perf_counter() - started
     if build_stats is not None:
@@ -277,6 +632,8 @@ def build_cube(
     use_shared: bool = False,
     into=None,
     stats: BuildStats | None = None,
+    kernel: str = "bitmap",
+    jobs: int = 1,
 ):
     """Materialise the iceberg flowcube of a partitioned store.
 
@@ -314,11 +671,17 @@ def build_cube(
             persisted and dropped as soon as it is built, keeping the
             output out-of-core too.
         stats: Optional :class:`BuildStats` to fill.
+        kernel: Counting kernel forwarded to :func:`shared_mine_store`
+            when *use_shared* is set.
+        jobs: Partition scans (membership, aggregation, and the optional
+            Shared pre-mine) run on a process pool of this size when
+            ``> 1``; the built cube is identical either way.
 
     Returns:
         The :class:`FlowCube`, or *into* (flushed) when a cube store was
         given.
     """
+    jobs = _validate_jobs(jobs)
     started = time.perf_counter()
     build_stats = stats if stats is not None else BuildStats()
     schema = store.schema
@@ -343,93 +706,134 @@ def build_cube(
             path_lattice,
             min_support=min_support,
             build_stats=build_stats,
+            kernel=kernel,
+            jobs=jobs,
         ).segments_by_cell()
 
-    hierarchies = schema.dimensions
-
-    def roll_up(dims: tuple, item_level: ItemLevel) -> CellKey:
-        return tuple(
-            hierarchy.ancestor_at_level(value, level)
-            for hierarchy, value, level in zip(hierarchies, dims, item_level)
-        )
-
-    # --- Membership pass: record ids per cell, for every item level ------
-    groups: dict[ItemLevel, dict[CellKey, list[int]]] = {
-        item_level: {} for item_level in levels
-    }
-    for _, database in store.iter_partitions():
-        build_stats.scans += 1
-        for record in database:
-            for item_level in levels:
-                key = roll_up(record.dims, item_level)
-                groups[item_level].setdefault(key, []).append(record.record_id)
-
-    if into is not None:
-        into.create(path_lattice, min_support, min_deviation)
-        cube = None
-    else:
-        cube = FlowCube(
-            store.load_all(), item_lattice, path_lattice, min_support,
-            min_deviation,
-        )
-
-    # --- One aggregation pass per item level ------------------------------
-    for item_level in levels:
-        iceberg = {
-            key: ids
-            for key, ids in groups[item_level].items()
-            if len(ids) >= threshold
+    tracker = _LiveTracker()
+    pools = _open_pools(store, path_lattice, jobs)
+    try:
+        # --- Membership pass: record ids per cell, for every item level --
+        groups: dict[ItemLevel, dict[CellKey, list[int]]] = {
+            item_level: {} for item_level in levels
         }
+        for part_groups in _scan_partitions(
+            store, pools, tracker, build_stats,
+            "membership", (levels,), path_lattice,
+        ):
+            # Merging in partition order preserves both first-seen key
+            # order and per-cell record order, so the groups are exactly
+            # the single-scan ones.
+            for index, item_level in enumerate(levels):
+                merged = groups[item_level]
+                for key, ids in part_groups[index].items():
+                    merged.setdefault(key, []).extend(ids)
+
+        if into is not None:
+            into.create(path_lattice, min_support, min_deviation)
+            cube = None
+        else:
+            cube = FlowCube(
+                store.load_all(), item_lattice, path_lattice, min_support,
+                min_deviation,
+            )
+
+        # --- Aggregation: rebuild the iceberg cells' paths ----------------
+        #
         # (key, path-level id) -> that cell's aggregated paths, in record
         # order — partitions arrive in id order, so order matches the
-        # in-memory builder's per-cell tuple exactly.
-        paths_by_cell: dict[tuple[CellKey, int], list] = {}
-        for _, database in store.iter_partitions():
-            build_stats.scans += 1
-            for record in database:
-                key = roll_up(record.dims, item_level)
-                if key not in iceberg:
-                    continue
-                for level_id, path_level in enumerate(path_lattice):
-                    paths_by_cell.setdefault((key, level_id), []).append(
-                        aggregate_path(record.path, path_level)
-                    )
-        for level_id, path_level in enumerate(path_lattice):
-            cuboid = Cuboid(item_level, path_level)
-            for key, record_ids in iceberg.items():
-                paths = tuple(paths_by_cell.get((key, level_id), ()))
-                graph = FlowGraph(paths)
-                cell = Cell(
-                    key=key,
-                    item_level=item_level,
-                    path_level=path_level,
-                    record_ids=tuple(record_ids),
-                    flowgraph=graph,
-                    paths=paths,
-                )
-                if compute_exceptions:
-                    segments = None
-                    if segments_by_cell is not None:
-                        segments = segments_by_cell.get(
-                            (item_level, path_level, key)
-                        )
-                    mine_exceptions(
-                        graph,
-                        paths,
-                        min_support=min_support,
-                        min_deviation=min_deviation,
-                        segments=segments,
-                    )
-                cuboid.cells[key] = cell
-            build_stats.cuboids += 1
-            build_stats.cells += len(cuboid)
-            if into is not None:
-                into.put_cuboid(cuboid)
-                # The cuboid (paths, graphs and all) is garbage from here:
-                # the output side of the build is out-of-core too.
-            else:
-                cube._cuboids[(item_level, path_level)] = cuboid
+        # in-memory builder's per-cell tuple exactly.  Serial mode scans
+        # once per item level (paths for one level in memory at a time);
+        # parallel mode batches all levels into one task per partition —
+        # trading parent-side memory for 1/n_levels of the file reads and
+        # task dispatches — and merges to the same per-level dicts.
+        iceberg_by_level = [
+            {
+                key: ids
+                for key, ids in groups[item_level].items()
+                if len(ids) >= threshold
+            }
+            for item_level in levels
+        ]
 
+        def assemble_level(
+            item_level: ItemLevel,
+            iceberg: dict[CellKey, list[int]],
+            paths_by_cell: dict[tuple[CellKey, int], list],
+        ) -> None:
+            for level_id, path_level in enumerate(path_lattice):
+                cuboid = Cuboid(item_level, path_level)
+                for key, record_ids in iceberg.items():
+                    paths = tuple(paths_by_cell.get((key, level_id), ()))
+                    graph = FlowGraph(paths)
+                    cell = Cell(
+                        key=key,
+                        item_level=item_level,
+                        path_level=path_level,
+                        record_ids=tuple(record_ids),
+                        flowgraph=graph,
+                        paths=paths,
+                    )
+                    if compute_exceptions:
+                        segments = None
+                        if segments_by_cell is not None:
+                            segments = segments_by_cell.get(
+                                (item_level, path_level, key)
+                            )
+                        mine_exceptions(
+                            graph,
+                            paths,
+                            min_support=min_support,
+                            min_deviation=min_deviation,
+                            segments=segments,
+                        )
+                    cuboid.cells[key] = cell
+                build_stats.cuboids += 1
+                build_stats.cells += len(cuboid)
+                if into is not None:
+                    into.put_cuboid(cuboid)
+                    # The cuboid (paths, graphs and all) is garbage from
+                    # here: the output side of the build is out-of-core too.
+                else:
+                    cube._cuboids[(item_level, path_level)] = cuboid
+
+        if pools is None:
+            for item_level, iceberg in zip(levels, iceberg_by_level):
+                paths_by_cell: dict[tuple[CellKey, int], list] = {}
+                for part_paths in _scan_partitions(
+                    store, pools, tracker, build_stats,
+                    "aggregate", (item_level, frozenset(iceberg)),
+                    path_lattice,
+                ):
+                    for cell_key, paths in part_paths.items():
+                        paths_by_cell.setdefault(cell_key, []).extend(paths)
+                assemble_level(item_level, iceberg, paths_by_cell)
+        else:
+            spec = tuple(
+                (item_level, frozenset(iceberg))
+                for item_level, iceberg in zip(levels, iceberg_by_level)
+            )
+            merged: list[dict[tuple[CellKey, int], list]] = [
+                {} for _ in levels
+            ]
+            for part_batch in _scan_partitions(
+                store, pools, tracker, build_stats,
+                "aggregate_batch", (spec,), path_lattice,
+            ):
+                for index, part_paths in enumerate(part_batch):
+                    target = merged[index]
+                    for cell_key, paths in part_paths.items():
+                        target.setdefault(cell_key, []).extend(paths)
+            for item_level, iceberg, paths_by_cell in zip(
+                levels, iceberg_by_level, merged
+            ):
+                assemble_level(item_level, iceberg, paths_by_cell)
+    finally:
+        _close_pools(pools)
+
+    build_stats.max_live_transaction_dbs = max(
+        build_stats.max_live_transaction_dbs, tracker.peak
+    )
     build_stats.elapsed_seconds += time.perf_counter() - started
     if into is not None:
         into.flush()

@@ -4,7 +4,7 @@ A thin operational shell around the partitioned store::
 
     flowcube-store init ./wh --synthetic --partition-size 250
     flowcube-store ingest ./wh --synthetic --n-paths 1000 --seed 7
-    flowcube-store build ./wh --min-support 0.05
+    flowcube-store build ./wh --min-support 0.05 --jobs 4
     flowcube-store query ./wh -d d0=d0_0
     flowcube-store stats ./wh
 
@@ -14,7 +14,8 @@ A thin operational shell around the partitioned store::
 example, or the Section 6.1 generator (whose configuration ``init``
 recorded in the catalog, so later ingests reuse the same hierarchies);
 ``build`` materialises the iceberg cube out-of-core into the store's
-``cube/`` directory; ``query`` renders a cell's flowgraph measure.
+``cube/`` directory, scanning partitions on ``--jobs`` worker processes
+when asked; ``query`` renders a cell's flowgraph measure.
 """
 
 from __future__ import annotations
@@ -115,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shared",
         action="store_true",
         help="pre-mine segments with out-of-core Shared (Algorithm 1)",
+    )
+    build.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run partition scans on N worker processes (default 1: serial)",
     )
 
     query = sub.add_parser("query", help="render one cell's flowgraph")
@@ -225,6 +233,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
     store = PartitionedPathStore.open(args.store)
     if len(store) == 0:
         raise StoreError("the store is empty — ingest records first")
+    if args.jobs < 1:
+        raise StoreError(f"--jobs must be >= 1, got {args.jobs}")
     cube_store = store.cube_store()
     stats = BuildStats()
     build_cube(
@@ -235,6 +245,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         use_shared=args.shared,
         into=cube_store,
         stats=stats,
+        jobs=args.jobs,
     )
     print(
         f"built {stats.cells} cells in {stats.cuboids} cuboids from "

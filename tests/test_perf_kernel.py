@@ -1,0 +1,232 @@
+"""The interned bitmap counting kernel and parallel partition scans.
+
+The whole perf layer rests on one contract: a kernel or a worker pool is
+an *implementation detail* — every counting strategy and every ``jobs``
+setting must produce byte-identical mining results, down to the
+per-length candidate/frequent counters.  These tests pin that contract:
+
+* property tests drive ``shared_mine`` with both kernels and ``apriori``
+  with both counting modes over random databases;
+* ``shared_mine_store`` is checked parallel-vs-serial (and vs in-memory),
+  including the ≤ 1 live-partition gauge;
+* the interning and bitmap primitives are unit-tested directly;
+* ``jobs`` validation and the CLI ``--jobs`` flag fail loudly on bad
+  values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import PathLattice
+from repro.encoding.transactions import TransactionDatabase
+from repro.errors import StoreError
+from repro.mining import MiningStats, apriori, count_candidates, shared_mine
+from repro.perf.bitmap import count_candidates_masks, item_masks
+from repro.perf.interning import InternedTransactions, ItemInterner
+from repro.store import (
+    BuildStats,
+    PartitionedPathStore,
+    build_cube,
+    shared_mine_store,
+)
+from repro.store.cli import main
+from repro.synth import GeneratorConfig, generate_path_database
+from tests.test_properties import path_databases
+
+CONFIG = GeneratorConfig(
+    n_paths=60,
+    n_dims=2,
+    dim_fanouts=(2, 3),
+    n_sequences=6,
+    max_path_length=4,
+    max_duration=3,
+    seed=7,
+)
+MIN_SUPPORT = 0.1
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_path_database(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, database):
+    s = PartitionedPathStore.init(
+        tmp_path_factory.mktemp("wh") / "wh",
+        database.schema,
+        partition_size=math.ceil(len(database) / 3),
+    )
+    s.ingest(database)
+    return s
+
+
+# ----------------------------------------------------------------------
+# kernel parity: shared_mine and apriori
+# ----------------------------------------------------------------------
+
+@given(path_databases(), st.integers(min_value=3, max_value=8))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bitmap_and_tidset_shared_mine_agree(db, threshold):
+    bitmap = shared_mine(db, min_support=threshold, kernel="bitmap")
+    tidset = shared_mine(db, min_support=threshold, kernel="tidset")
+    assert bitmap.supports == tidset.supports
+    assert bitmap.stats.counters_equal(tidset.stats)
+
+
+@given(path_databases(), st.integers(min_value=3, max_value=8))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bitmap_and_tidset_apriori_agree(db, threshold):
+    lattice = PathLattice.paper_default(db.schema.location)
+    transactions = [
+        t.items for t in TransactionDatabase(db, lattice).transactions
+    ]
+    bitmap_stats, tidset_stats = MiningStats(), MiningStats()
+    bitmap = apriori(
+        transactions, threshold, counting="bitmap", stats=bitmap_stats
+    )
+    tidset = apriori(
+        transactions, threshold, counting="tidset", stats=tidset_stats
+    )
+    assert bitmap == tidset
+    assert bitmap_stats.counters_equal(tidset_stats)
+
+
+def test_shared_mine_reuses_encoded_database(database):
+    tdb = TransactionDatabase(
+        database, PathLattice.paper_default(database.schema.location)
+    )
+    fresh = shared_mine(database, min_support=MIN_SUPPORT)
+    reused = shared_mine(
+        database, min_support=MIN_SUPPORT, transaction_db=tdb
+    )
+    again = shared_mine(
+        database, min_support=MIN_SUPPORT, transaction_db=tdb
+    )
+    assert fresh.supports == reused.supports == again.supports
+    assert fresh.stats.counters_equal(reused.stats)
+    assert reused.stats.counters_equal(again.stats)
+
+
+# ----------------------------------------------------------------------
+# store mining: parallel vs serial vs in-memory
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kernel", ["bitmap", "scan"])
+def test_store_mining_parallel_equals_serial(store, database, kernel):
+    reference = shared_mine(database, min_support=MIN_SUPPORT)
+    for jobs in (1, 2):
+        build_stats = BuildStats()
+        result = shared_mine_store(
+            store,
+            min_support=MIN_SUPPORT,
+            kernel=kernel,
+            jobs=jobs,
+            build_stats=build_stats,
+        )
+        assert result.supports == reference.supports
+        assert result.stats.counters_equal(reference.stats)
+        # Out-of-core invariant: never more than one live partition per
+        # process, serial or parallel.
+        assert build_stats.max_live_transaction_dbs == 1
+
+
+def test_build_cube_parallel_equals_serial(store, database):
+    serial = build_cube(store, min_support=MIN_SUPPORT, jobs=1)
+    stats = BuildStats()
+    parallel = build_cube(store, min_support=MIN_SUPPORT, jobs=2, stats=stats)
+    assert stats.max_live_transaction_dbs == 1
+    serial_cuboids = {
+        (c.item_level, c.path_level): c for c in serial.cuboids
+    }
+    assert len(serial_cuboids) == len(parallel.cuboids)
+    for cuboid in parallel.cuboids:
+        twin = serial_cuboids[(cuboid.item_level, cuboid.path_level)]
+        assert set(cuboid.cells) == set(twin.cells)
+        for key, cell in cuboid.cells.items():
+            assert cell.record_ids == twin.cells[key].record_ids
+            assert cell.paths == twin.cells[key].paths
+
+
+# ----------------------------------------------------------------------
+# interning + bitmap primitives
+# ----------------------------------------------------------------------
+
+def test_interner_round_trip_and_canonical_order():
+    interner = ItemInterner(sort_key=lambda s: s)
+    row = interner.encode(["pear", "apple", "mango"])
+    assert [interner.items[i] for i in row] == ["apple", "mango", "pear"]
+    assert interner.id_of("apple") == interner.intern("apple")
+    assert interner.key_of(interner.id_of("pear")) == "pear"
+    assert interner.decode(row) == frozenset({"apple", "mango", "pear"})
+
+
+def test_interned_transactions_track_base_alphabet():
+    interned = InternedTransactions.from_transactions(
+        [{"a", "b"}, {"b", "c"}], sort_key=lambda s: s
+    )
+    assert interned.n_base == 3
+    interned.interner.intern("projection-only")
+    # Extending the interner must not move the row/mask boundary.
+    assert interned.n_base == 3
+    assert len(interned.interner) == 4
+
+
+def test_bitmap_mask_counting_matches_scan_counting():
+    rows = [(0, 1), (1, 2), (0, 1, 2), (2,)]
+    masks = item_masks(rows, 3)
+    assert [m.bit_count() for m in masks] == [2, 3, 3]
+    transactions = [frozenset(row) for row in rows]
+    candidates = [(0, 1), (0, 2), (1, 2), (0, 1, 2), (0, 7)]
+    by_mask = count_candidates_masks(transactions, candidates)
+    by_scan = count_candidates(transactions, candidates)
+    assert by_mask == by_scan
+    assert (0, 7) not in by_mask  # zero support -> absent, like the scan
+
+
+# ----------------------------------------------------------------------
+# jobs validation and the CLI flag
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [0, -1, 1.5])
+def test_store_entry_points_reject_bad_jobs(store, jobs):
+    with pytest.raises(StoreError):
+        shared_mine_store(store, min_support=MIN_SUPPORT, jobs=jobs)
+    with pytest.raises(StoreError):
+        build_cube(store, min_support=MIN_SUPPORT, jobs=jobs)
+
+
+def test_cli_build_jobs_flag(tmp_path, capsys):
+    target = str(tmp_path / "wh")
+    assert main([
+        "init", target, "--synthetic", "--n-dims", "2", "--fanouts", "2,3",
+        "--n-location-groups", "3", "--locations-per-group", "2",
+        "--max-duration", "3", "--partition-size", "25",
+    ]) == 0
+    assert main([
+        "ingest", target, "--synthetic", "--n-paths", "50", "--seed", "3",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "build", target, "--min-support", "0.2", "--no-exceptions",
+        "--jobs", "0",
+    ]) == 2
+    assert "--jobs must be >= 1" in capsys.readouterr().err
+    assert main([
+        "build", target, "--min-support", "0.2", "--no-exceptions",
+        "--jobs", "2",
+    ]) == 0
+    assert "built" in capsys.readouterr().out
