@@ -1,6 +1,6 @@
 """Persistent-store overhead: in-memory vs out-of-core construction.
 
-Four questions the store and perf layers have to answer honestly:
+Five questions the store and perf layers have to answer honestly:
 
 * what does the interned bitmap counting kernel buy over the item-space
   tid-set kernel on the same Shared mining run (warm, on a shared
@@ -10,11 +10,15 @@ Four questions the store and perf layers have to answer honestly:
   traced allocation, which is where out-of-core should win);
 * how do parallel partition scans (``jobs``) move store mining and cube
   construction relative to the in-memory baselines;
+* what does the aggregate-once roll-up measure engine buy over the
+  direct per-item-level builder (in memory and out-of-core, across
+  worker-pool sizes), given that both produce byte-identical cubes;
 * what hit rate does the cube-store LRU cache reach once a query
   workload re-reads cells it has already materialised.
 
 ``python benchmarks/bench_store.py`` runs the full sweep and writes
-``BENCH_store.json`` at the repository root; ``--quick`` runs a
+``BENCH_store.json`` at the repository root plus the measure-engine
+section alone as ``BENCH_flowgraph.json``; ``--quick`` runs a
 CI-smoke-sized subset of the same paths in well under a minute.  The
 pytest entries below are CI-sized spot checks.
 """
@@ -35,6 +39,7 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.core import FlowCube
 from repro.core.lattice import PathLattice
+from repro.core.serialization import cube_to_json
 from repro.encoding.transactions import TransactionDatabase
 from repro.mining import shared_mine
 from repro.query import FlowCubeQuery
@@ -211,6 +216,77 @@ def _jobs_section(store, database, repeats: int, jobs_sweep) -> dict:
     }
 
 
+def _engine_section(store, database, repeats: int, jobs_sweep, quick: bool) -> dict:
+    """Direct vs roll-up measure engine on identical (byte-for-byte) cubes.
+
+    The direct builder re-aggregates every record's path once per
+    (item level × path level); the roll-up engine aggregates once per
+    path level and derives ancestor cuboids by merging child cells
+    (Lemma 4.2).  The sweep times both in memory and out-of-core across
+    worker-pool sizes.  Exceptions are holistic either way, so the
+    headline rows skip them (like the other build rows in this file) and
+    a with-exceptions pair shows the diluted end-to-end ratio.
+    """
+    engines = ("direct", "rollup")
+    cubes = {}
+    in_memory: dict[str, float] = {}
+    for engine in engines:
+        in_memory[engine], cubes[engine] = _best(
+            lambda e=engine: FlowCube.build(
+                database, min_support=MIN_SUPPORT, compute_exceptions=False, engine=e
+            ),
+            repeats,
+        )
+    assert cube_to_json(cubes["direct"]) == cube_to_json(cubes["rollup"])
+    section: dict = {
+        "n_item_levels": len(list(cubes["rollup"].item_lattice)),
+        "n_path_levels": len(cubes["rollup"].path_lattice),
+        "byte_identical": True,
+        "in_memory": {
+            "direct_seconds": round(in_memory["direct"], 4),
+            "rollup_seconds": round(in_memory["rollup"], 4),
+            "speedup": round(in_memory["direct"] / in_memory["rollup"], 2),
+        },
+    }
+    if not quick:
+        with_exc = {
+            engine: _best(
+                lambda e=engine: FlowCube.build(
+                    database, min_support=MIN_SUPPORT, engine=e
+                ),
+                repeats,
+            )[0]
+            for engine in engines
+        }
+        section["in_memory_with_exceptions"] = {
+            "direct_seconds": round(with_exc["direct"], 4),
+            "rollup_seconds": round(with_exc["rollup"], 4),
+            "speedup": round(with_exc["direct"] / with_exc["rollup"], 2),
+        }
+    sweep = []
+    for jobs in jobs_sweep:
+        row: dict = {"jobs": jobs}
+        for engine in engines:
+            seconds, _ = _best(
+                lambda j=jobs, e=engine: build_cube(
+                    store,
+                    min_support=MIN_SUPPORT,
+                    compute_exceptions=False,
+                    jobs=j,
+                    engine=e,
+                ),
+                repeats,
+            )
+            row[f"{engine}_seconds"] = round(seconds, 4)
+        row["speedup"] = round(row["direct_seconds"] / row["rollup_seconds"], 2)
+        sweep.append(row)
+    section["build_cube"] = {
+        "n_partitions": len(store.catalog.partitions),
+        "sweep": sweep,
+    }
+    return section
+
+
 def _cache_hit_rate(store: PartitionedPathStore) -> dict:
     """Build into the cube store, then replay a repeated query workload."""
     build_cube(
@@ -271,6 +347,9 @@ def run_suite(quick: bool = False) -> dict:
             if n_partitions == 4:
                 report["jobs"] = _jobs_section(
                     store, database, repeats, jobs_sweep
+                )
+                report["engines"] = _engine_section(
+                    store, database, repeats, jobs_sweep, quick
                 )
             cache = _cache_hit_rate(store)
             report["partitioned"].append(
@@ -337,6 +416,14 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: repo root BENCH_store.json)",
     )
     parser.add_argument(
+        "--flowgraph-out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_flowgraph.json"
+        ),
+        help="measure-engine section output (default: repo root "
+        "BENCH_flowgraph.json)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke: single repeat, 4 partitions only, jobs 1 and 4",
@@ -346,8 +433,12 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.out).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )
+    engines = {"config": report["config"], "engines": report["engines"]}
+    Path(args.flowgraph_out).write_text(
+        json.dumps(engines, indent=2) + "\n", encoding="utf-8"
+    )
     print(json.dumps(report, indent=2))
-    print(f"\nwrote {args.out}")
+    print(f"\nwrote {args.out} and {args.flowgraph_out}")
     return 0
 
 

@@ -16,7 +16,7 @@ distributions over these labels.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.core.lattice import DURATION_ANY, PathLevel
 from repro.core.path import Path
@@ -26,11 +26,16 @@ __all__ = [
     "DURATION_ANY_LABEL",
     "AggregatedStage",
     "AggregatedPath",
+    "WeightedPath",
+    "WeightedPaths",
     "default_discretiser",
     "sum_merge",
     "max_merge",
     "aggregate_path",
     "aggregate_locations",
+    "weight_paths",
+    "expand_weighted",
+    "total_weight",
 ]
 
 #: Label of the "any duration" (``*``) level.
@@ -41,6 +46,13 @@ AggregatedStage = tuple[str, str]
 
 #: An aggregated path: a tuple of aggregated stages.
 AggregatedPath = tuple[AggregatedStage, ...]
+
+#: A deduplicated aggregated path with its multiplicity in the cell.
+WeightedPath = tuple[AggregatedPath, int]
+
+#: A cell's path multiset in weighted form: each distinct aggregated path
+#: once, in first-seen order, with how many records aggregated to it.
+WeightedPaths = tuple[WeightedPath, ...]
 
 #: Signature of a duration discretiser: numeric duration -> label.
 Discretiser = Callable[[float], str]
@@ -103,3 +115,30 @@ def aggregate_path(
 def aggregate_locations(path: Path, level: PathLevel) -> tuple[str, ...]:
     """Just the merged location sequence of the aggregated path."""
     return tuple(location for location, _ in aggregate_path(path, level))
+
+
+def weight_paths(paths: Iterable[AggregatedPath]) -> WeightedPaths:
+    """Deduplicate *paths* into ``(path, weight)`` pairs, first-seen order.
+
+    The weighted form is the cell representation used by
+    :class:`~repro.core.flowcube.Cell`: identical aggregated paths — the
+    common case once stages roll up — collapse into one entry whose weight
+    is their multiplicity, so the flowgraph and the exception miner fold
+    each distinct path once.
+    """
+    counts: dict[AggregatedPath, int] = {}
+    for path in paths:
+        counts[path] = counts.get(path, 0) + 1
+    return tuple(counts.items())
+
+
+def expand_weighted(weighted: Iterable[WeightedPath]) -> Iterator[AggregatedPath]:
+    """Inverse of :func:`weight_paths`: yield each path ``weight`` times."""
+    for path, weight in weighted:
+        for _ in range(weight):
+            yield path
+
+
+def total_weight(weighted: Iterable[WeightedPath]) -> int:
+    """Number of underlying records in a weighted path collection."""
+    return sum(weight for _, weight in weighted)

@@ -20,12 +20,17 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
+from time import perf_counter
 
-from repro.core.aggregation import AggregatedPath, aggregate_path
+from repro.core.aggregation import (
+    WeightedPaths,
+    aggregate_path,
+    weight_paths,
+)
 from repro.core.flowgraph import FlowGraph
 from repro.core.flowgraph_exceptions import (
     Segment,
-    mine_exceptions,
+    mine_exceptions_weighted,
     resolve_min_support,
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
@@ -47,9 +52,11 @@ class Cell:
     path_level: PathLevel
     record_ids: tuple[int, ...]
     flowgraph: FlowGraph
-    #: Aggregated paths the flowgraph was built from (kept for exception
-    #: mining and redundancy checks; drop with :meth:`FlowCube.compact`).
-    paths: tuple[AggregatedPath, ...] = ()
+    #: The cell's path multiset in weighted ``(path, weight)`` form — each
+    #: distinct aggregated path once, in first-seen record order, with its
+    #: multiplicity (kept for exception re-mining and lead-time queries;
+    #: drop with :meth:`FlowCube.compact`).
+    paths: WeightedPaths = ()
     #: Set by redundancy pruning when the cell's flowgraph is inferable
     #: from its item-lattice parents.
     redundant: bool = False
@@ -130,6 +137,8 @@ class FlowCube:
             tuple[ItemLevel, PathLevel, CellKey], Sequence[Segment]
         ]
         | None = None,
+        engine: str = "rollup",
+        stats: object | None = None,
     ) -> "FlowCube":
         """Materialise an iceberg flowcube.
 
@@ -148,7 +157,36 @@ class FlowCube:
             segments_by_cell: Pre-mined frequent segments per cell, e.g.
                 from :func:`repro.mining.shared.shared_mine` — avoids the
                 per-cell local mining pass.
+            engine: ``"rollup"`` (default) aggregates each record once per
+                path level and derives ancestor cuboids by merging child
+                cells (:mod:`repro.perf.measure_rollup`); ``"direct"`` is
+                the semantics-defining per-cell builder the cross-check
+                tests validate the roll-up engine against.  Both produce
+                byte-identical serialised cubes.
+            stats: Optional stats sink with an ``add_phase(name, seconds)``
+                method (e.g. :class:`repro.mining.stats.MiningStats`); the
+                measure construction time lands in its ``materialize``
+                bucket.
         """
+        if engine == "rollup":
+            from repro.perf.measure_rollup import build_rollup
+
+            return build_rollup(
+                cls,
+                database,
+                path_lattice=path_lattice,
+                item_levels=item_levels,
+                min_support=min_support,
+                min_deviation=min_deviation,
+                compute_exceptions=compute_exceptions,
+                segments_by_cell=segments_by_cell,
+                stats=stats,
+            )
+        if engine != "direct":
+            raise CubeError(
+                f"unknown measure engine {engine!r}; use 'direct' or 'rollup'"
+            )
+        started = perf_counter()
         schema = database.schema
         item_lattice = ItemLattice([h.depth for h in schema.dimensions])
         if path_lattice is None:
@@ -167,18 +205,20 @@ class FlowCube:
                 for key, record_ids in groups.items():
                     if len(record_ids) < threshold:
                         continue  # iceberg condition
-                    paths = tuple(
+                    weighted = weight_paths(
                         aggregate_path(database[rid].path, path_level)
                         for rid in record_ids
                     )
-                    graph = FlowGraph(paths)
+                    graph = FlowGraph()
+                    for path, weight in weighted:
+                        graph.add_path(path, weight)
                     cell = Cell(
                         key=key,
                         item_level=item_level,
                         path_level=path_level,
                         record_ids=tuple(record_ids),
                         flowgraph=graph,
-                        paths=paths,
+                        paths=weighted,
                     )
                     if compute_exceptions:
                         segments = None
@@ -186,15 +226,17 @@ class FlowCube:
                             segments = segments_by_cell.get(
                                 (item_level, path_level, key)
                             )
-                        mine_exceptions(
+                        mine_exceptions_weighted(
                             graph,
-                            paths,
+                            weighted,
                             min_support=min_support,
                             min_deviation=min_deviation,
                             segments=segments,
                         )
                     cuboid.cells[key] = cell
                 cube._cuboids[(item_level, path_level)] = cuboid
+        if stats is not None:
+            stats.add_phase("materialize", perf_counter() - started)
         return cube
 
     def _group_records(self, item_level: ItemLevel) -> dict[CellKey, list[int]]:

@@ -21,7 +21,6 @@ the algebraic-measure property of Lemma 4.2 (see
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Iterable, Iterator
 
 from repro.core.aggregation import AggregatedPath
@@ -56,8 +55,10 @@ class FlowGraphNode:
     def __init__(self, prefix: tuple[str, ...]) -> None:
         self.prefix = prefix
         self.count = 0
-        self.duration_counts: Counter[str] = Counter()
-        self.transition_counts: Counter[str] = Counter()
+        # Plain dicts, not Counters: nodes are created by the hundred per
+        # cell and Counter construction dominated graph-build profiles.
+        self.duration_counts: dict[str, int] = {}
+        self.transition_counts: dict[str, int] = {}
         self.children: dict[str, FlowGraphNode] = {}
 
     @property
@@ -120,23 +121,78 @@ class FlowGraph:
         self.n_paths += weight
         parent: FlowGraphNode | None = None
         prefix: tuple[str, ...] = ()
+        index = self._index
         for location, duration in path:
             prefix = prefix + (location,)
-            node = self._index.get(prefix)
+            node = index.get(prefix)
             if node is None:
                 node = FlowGraphNode(prefix)
-                self._index[prefix] = node
+                index[prefix] = node
                 if parent is None:
                     self._roots[location] = node
                 else:
                     parent.children[location] = node
             node.count += weight
-            node.duration_counts[duration] += weight
+            counts = node.duration_counts
+            counts[duration] = counts.get(duration, 0) + weight
             if parent is not None:
-                parent.transition_counts[location] += weight
+                counts = parent.transition_counts
+                counts[location] = counts.get(location, 0) + weight
             parent = node
         assert parent is not None
-        parent.transition_counts[TERMINATE] += weight
+        counts = parent.transition_counts
+        counts[TERMINATE] = counts.get(TERMINATE, 0) + weight
+
+    def merge(self, others: Iterable["FlowGraph"]) -> "FlowGraph":
+        """Fold other flowgraphs over *disjoint* path sets into this one.
+
+        The flowgraph is an algebraic measure (Lemma 4.2): the graph of a
+        union of disjoint path sets is obtained by summing each node's
+        ``count`` and duration/transition tallies — all integers, so the
+        merge is exact and the operation is associative and commutative.
+        The roll-up engine (:mod:`repro.perf.measure_rollup`) derives every
+        ancestor cell's flowgraph this way instead of re-aggregating paths.
+
+        Exceptions are holistic (Lemma 4.3) and are *not* merged; re-mine
+        them over the merged cell's paths.
+
+        Returns:
+            ``self`` (mutated in place), for chaining.
+        """
+        for other in others:
+            self.n_paths += other.n_paths
+            for node in other.nodes():
+                target = self._index.get(node.prefix)
+                if target is None:
+                    target = self._grow_chain(node.prefix)
+                target.count += node.count
+                for counts, additions in (
+                    (target.duration_counts, node.duration_counts),
+                    (target.transition_counts, node.transition_counts),
+                ):
+                    if counts:
+                        for key, n in additions.items():
+                            counts[key] = counts.get(key, 0) + n
+                    else:  # fresh chain node: bulk-copy at C speed
+                        counts.update(additions)
+        return self
+
+    def _grow_chain(self, prefix: tuple[str, ...]) -> FlowGraphNode:
+        """Create (and index) the node chain for *prefix*, zero counts."""
+        node: FlowGraphNode | None = None
+        for end in range(1, len(prefix) + 1):
+            partial = prefix[:end]
+            existing = self._index.get(partial)
+            if existing is None:
+                existing = FlowGraphNode(partial)
+                self._index[partial] = existing
+                if end == 1:
+                    self._roots[partial[0]] = existing
+                else:
+                    self._index[partial[:-1]].children[partial[-1]] = existing
+            node = existing
+        assert node is not None
+        return node
 
     # ------------------------------------------------------------------
     # lookups

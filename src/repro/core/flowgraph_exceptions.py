@@ -25,7 +25,12 @@ from collections import Counter
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.core.aggregation import DURATION_ANY_LABEL, AggregatedPath
+from repro.core.aggregation import (
+    DURATION_ANY_LABEL,
+    AggregatedPath,
+    WeightedPath,
+    total_weight,
+)
 from repro.core.flowgraph import FlowGraph
 
 __all__ = [
@@ -33,8 +38,11 @@ __all__ = [
     "Segment",
     "FlowException",
     "resolve_min_support",
+    "exception_sort_key",
     "mine_frequent_segments",
+    "mine_frequent_segments_weighted",
     "mine_exceptions",
+    "mine_exceptions_weighted",
 ]
 
 #: One constraint: the stage at this location prefix had this duration label.
@@ -135,12 +143,32 @@ def mine_frequent_segments(
         Mapping segment → absolute support, for all segments with
         support ≥ δ.
     """
-    threshold = resolve_min_support(min_support, len(paths))
-    transactions = [frozenset(_stage_items(p)) for p in paths]
+    return mine_frequent_segments_weighted(
+        [(p, 1) for p in paths], min_support, max_length=max_length
+    )
+
+
+def mine_frequent_segments_weighted(
+    weighted: Sequence[WeightedPath],
+    min_support: float,
+    max_length: int = 4,
+) -> dict[Segment, int]:
+    """:func:`mine_frequent_segments` over ``(path, weight)`` pairs.
+
+    Each distinct path is examined once and contributes its weight to every
+    support count — exactly the supports of the expanded multiset, at the
+    cost of the *deduplicated* path set (the form cells store after the
+    weighted-dedupe of PR 3).
+    """
+    threshold = resolve_min_support(min_support, total_weight(weighted))
+    transactions = [
+        (frozenset(_stage_items(path)), weight) for path, weight in weighted
+    ]
 
     counts: Counter[SegmentConstraint] = Counter()
-    for transaction in transactions:
-        counts.update(transaction)
+    for transaction, weight in transactions:
+        for item in transaction:
+            counts[item] += weight
     frequent: dict[Segment, int] = {
         (item,): n for item, n in counts.items() if n >= threshold
     }
@@ -153,10 +181,10 @@ def mine_frequent_segments(
             break
         support: Counter[Segment] = Counter()
         candidate_sets = {c: frozenset(c) for c in candidates}
-        for transaction in transactions:
+        for transaction, weight in transactions:
             for candidate, item_set in candidate_sets.items():
                 if item_set <= transaction:
-                    support[candidate] += 1
+                    support[candidate] += weight
         frequent = {c: n for c, n in support.items() if n >= threshold}
         result.update(frequent)
         length += 1
@@ -202,6 +230,19 @@ def _drop(segment: Segment, index: int) -> Segment:
     return segment[:index] + segment[index + 1 :]
 
 
+def exception_sort_key(exception: FlowException):
+    """Canonical total order over one cell's exceptions.
+
+    ``(node_prefix, kind, condition)`` is unique within a mining run (one
+    transition exception per segment, one duration exception per child
+    node per segment), so sorting by it gives every engine — direct,
+    roll-up, out-of-core — the same exception list regardless of the order
+    in which segments were enumerated.  Serialisation relies on this for
+    byte-identical cubes across engines.
+    """
+    return (exception.node_prefix, exception.kind, exception.condition)
+
+
 def mine_exceptions(
     graph: FlowGraph,
     paths: Sequence[AggregatedPath],
@@ -221,12 +262,38 @@ def mine_exceptions(
             when omitted.
         max_segment_length: Bound for the local miner.
 
-    The exceptions are also attached to ``graph.exceptions``.
+    The exceptions are also attached to ``graph.exceptions``, in the
+    canonical :func:`exception_sort_key` order.
     """
-    threshold = resolve_min_support(min_support, len(paths))
+    return mine_exceptions_weighted(
+        graph,
+        [(p, 1) for p in paths],
+        min_support,
+        min_deviation,
+        segments=segments,
+        max_segment_length=max_segment_length,
+    )
+
+
+def mine_exceptions_weighted(
+    graph: FlowGraph,
+    weighted: Sequence[WeightedPath],
+    min_support: float,
+    min_deviation: float,
+    segments: Iterable[Segment] | None = None,
+    max_segment_length: int = 4,
+) -> list[FlowException]:
+    """:func:`mine_exceptions` over the cell's ``(path, weight)`` pairs.
+
+    Every support and every conditional count weighs each distinct path by
+    its multiplicity, so the exceptions — supports, distributions, and
+    deviations — are exactly those of the expanded path multiset while the
+    holistic pass touches each distinct path once.
+    """
+    threshold = resolve_min_support(min_support, total_weight(weighted))
     if segments is None:
-        segments = mine_frequent_segments(
-            paths, min_support, max_length=max_segment_length
+        segments = mine_frequent_segments_weighted(
+            weighted, min_support, max_length=max_segment_length
         )
     exceptions: list[FlowException] = []
     for segment in segments:
@@ -236,8 +303,12 @@ def mine_exceptions(
         deepest_prefix = ordered[-1][0]
         if not graph.has_node(deepest_prefix):
             continue
-        satisfying = [p for p in paths if _satisfies(p, ordered)]
-        if len(satisfying) < threshold:
+        satisfying = [
+            (path, weight)
+            for path, weight in weighted
+            if _satisfies(path, ordered)
+        ]
+        if total_weight(satisfying) < threshold:
             continue
         exceptions.extend(
             _transition_exception(graph, ordered, deepest_prefix, satisfying,
@@ -247,6 +318,7 @@ def mine_exceptions(
             _duration_exceptions(graph, ordered, deepest_prefix, satisfying,
                                  threshold, min_deviation)
         )
+    exceptions.sort(key=exception_sort_key)
     graph.exceptions = exceptions
     return exceptions
 
@@ -255,7 +327,7 @@ def _transition_exception(
     graph: FlowGraph,
     segment: Segment,
     node_prefix: tuple[str, ...],
-    satisfying: list[AggregatedPath],
+    satisfying: list[WeightedPath],
     min_deviation: float,
 ) -> list[FlowException]:
     """Conditional next-location distribution at the deepest node."""
@@ -265,11 +337,11 @@ def _transition_exception(
     baseline = node.transition_distribution()
     counts: Counter[str] = Counter()
     depth = len(node_prefix)
-    for path in satisfying:
+    for path, weight in satisfying:
         if len(path) > depth:
-            counts[path[depth][0]] += 1
+            counts[path[depth][0]] += weight
         else:
-            counts[TERMINATE] += 1
+            counts[TERMINATE] += weight
     conditional = _normalise(counts)
     deviation = _max_deviation(baseline, conditional)
     if deviation > min_deviation:
@@ -278,7 +350,7 @@ def _transition_exception(
                 node_prefix=node_prefix,
                 condition=segment,
                 kind="transition",
-                support=len(satisfying),
+                support=total_weight(satisfying),
                 baseline=baseline,
                 conditional=conditional,
                 deviation=deviation,
@@ -291,7 +363,7 @@ def _duration_exceptions(
     graph: FlowGraph,
     segment: Segment,
     node_prefix: tuple[str, ...],
-    satisfying: list[AggregatedPath],
+    satisfying: list[WeightedPath],
     threshold: int,
     min_deviation: float,
 ) -> list[FlowException]:
@@ -301,9 +373,9 @@ def _duration_exceptions(
     depth = len(node_prefix)
     for location, child in node.children.items():
         counts: Counter[str] = Counter()
-        for path in satisfying:
+        for path, weight in satisfying:
             if len(path) > depth and path[depth][0] == location:
-                counts[path[depth][1]] += 1
+                counts[path[depth][1]] += weight
         support = sum(counts.values())
         if support < threshold:
             continue

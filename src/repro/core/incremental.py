@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.aggregation import aggregate_path
+from repro.core.aggregation import aggregate_path, weight_paths
 from repro.core.flowcube import Cell, FlowCube
 from repro.core.flowgraph import FlowGraph
-from repro.core.flowgraph_exceptions import mine_exceptions, resolve_min_support
+from repro.core.flowgraph_exceptions import (
+    mine_exceptions_weighted,
+    resolve_min_support,
+)
 from repro.core.path import PathRecord
-from repro.core.path_database import PathDatabase
 from repro.errors import CubeError
 
 __all__ = ["append_batch"]
@@ -91,7 +93,12 @@ def append_batch(
                 cell.record_ids = cell.record_ids + tuple(
                     r.record_id for r in records
                 )
-                cell.paths = cell.paths + new_paths
+                # Fold the batch into the weighted (path, weight) multiset,
+                # preserving first-seen order for the existing entries.
+                merged: dict = dict(cell.paths)
+                for path in new_paths:
+                    merged[path] = merged.get(path, 0) + 1
+                cell.paths = tuple(merged.items())
                 cell.redundant = False  # marks are stale for touched cells
                 updated += 1
             else:
@@ -111,22 +118,25 @@ def append_batch(
                 if len(member_ids) < threshold:
                     below += 1
                     continue
-                paths = tuple(
+                weighted = weight_paths(
                     aggregate_path(database[rid].path, cuboid.path_level)
                     for rid in member_ids
                 )
+                graph = FlowGraph()
+                for path, weight in weighted:
+                    graph.add_path(path, weight)
                 cell = Cell(
                     key=key,
                     item_level=cuboid.item_level,
                     path_level=cuboid.path_level,
                     record_ids=tuple(member_ids),
-                    flowgraph=FlowGraph(paths),
-                    paths=paths,
+                    flowgraph=graph,
+                    paths=weighted,
                 )
                 cuboid.cells[key] = cell
                 created += 1
             if recompute_exceptions:
-                mine_exceptions(
+                mine_exceptions_weighted(
                     cell.flowgraph,
                     list(cell.paths),
                     min_support=cube.min_support,

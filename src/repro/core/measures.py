@@ -32,40 +32,12 @@ def merge_flowgraphs(graphs: Iterable[FlowGraph]) -> FlowGraph:
     directly over the union of the underlying paths (Lemma 4.2).  Exceptions
     are *not* merged — they are holistic (Lemma 4.3) and must be re-mined.
 
+    Thin functional wrapper over :meth:`FlowGraph.merge`.
+
     Returns:
         A new :class:`FlowGraph`; inputs are left untouched.
     """
-    merged = FlowGraph()
-    for graph in graphs:
-        merged.n_paths += graph.n_paths
-        for node in graph.nodes():
-            target = merged._index.get(node.prefix)  # noqa: SLF001 - same class
-            if target is None:
-                target = _clone_structure(merged, node.prefix)
-            target.count += node.count
-            target.duration_counts.update(node.duration_counts)
-            target.transition_counts.update(node.transition_counts)
-    return merged
-
-
-def _clone_structure(graph: FlowGraph, prefix: tuple[str, ...]):
-    """Create (and index) the node chain for *prefix* inside *graph*."""
-    from repro.core.flowgraph import FlowGraphNode
-
-    node = None
-    for end in range(1, len(prefix) + 1):
-        partial = prefix[:end]
-        existing = graph._index.get(partial)  # noqa: SLF001 - same class
-        if existing is None:
-            existing = FlowGraphNode(partial)
-            graph._index[partial] = existing  # noqa: SLF001
-            if end == 1:
-                graph._roots[partial[0]] = existing  # noqa: SLF001
-            else:
-                graph._index[partial[:-1]].children[partial[-1]] = existing  # noqa: SLF001
-        node = existing
-    assert node is not None
-    return node
+    return FlowGraph().merge(graphs)
 
 
 def exceptions_are_mergeable(

@@ -38,9 +38,13 @@ __all__ = [
 def flowgraph_to_dict(graph: FlowGraph) -> dict:
     """Serialise a flowgraph (raw counts + exceptions) to plain data.
 
-    Nodes are emitted in canonical (prefix-sorted) order so that
-    serialise→deserialise→serialise is byte-identical — the cube store
-    relies on this to deduplicate and diff persisted cells.
+    Nodes are emitted in canonical (prefix-sorted) order, and every mapping
+    — duration/transition tallies, exception baselines and conditionals —
+    with sorted keys, so that serialise→deserialise→serialise is
+    byte-identical *and* independent of the order counts were accumulated
+    in.  The cube store relies on the former to deduplicate and diff
+    persisted cells; the cross-engine parity tests rely on the latter (the
+    roll-up engine folds counts in merge order, not record order).
     """
     return {
         "n_paths": graph.n_paths,
@@ -48,8 +52,8 @@ def flowgraph_to_dict(graph: FlowGraph) -> dict:
             {
                 "prefix": list(node.prefix),
                 "count": node.count,
-                "durations": dict(node.duration_counts),
-                "transitions": dict(node.transition_counts),
+                "durations": _sorted_mapping(node.duration_counts),
+                "transitions": _sorted_mapping(node.transition_counts),
             }
             for node in sorted(
                 graph.nodes(), key=lambda n: (len(n.prefix), n.prefix)
@@ -64,13 +68,18 @@ def flowgraph_to_dict(graph: FlowGraph) -> dict:
                 ],
                 "kind": exc.kind,
                 "support": exc.support,
-                "baseline": exc.baseline,
-                "conditional": exc.conditional,
+                "baseline": _sorted_mapping(exc.baseline),
+                "conditional": _sorted_mapping(exc.conditional),
                 "deviation": exc.deviation,
             }
             for exc in graph.exceptions
         ],
     }
+
+
+def _sorted_mapping(mapping) -> dict:
+    """A plain dict with the keys in sorted order (canonical JSON form)."""
+    return {key: mapping[key] for key in sorted(mapping)}
 
 
 def flowgraph_from_dict(data: dict) -> FlowGraph:

@@ -32,7 +32,11 @@ class MiningStats:
             interning, tid structures), ``"precount"`` (high-level
             projections and pre-count tables), ``"join"`` (candidate
             generation), ``"count"`` (support counting), and ``"prune"``
-            (pre-count pruning); phases that never ran are absent.
+            (pre-count pruning); the measure builders add ``"membership"``
+            (record-id grouping), ``"aggregate"`` (path aggregation /
+            record scanning), and ``"materialize"`` (measure derivation,
+            cell assembly, and exception mining).  Phases that never ran
+            are absent.
     """
 
     candidates_per_length: Counter = field(default_factory=Counter)

@@ -12,11 +12,17 @@ fast counting paths run on:
   into sorted ``array('i')`` rows and candidate itemsets into int tuples;
 * :mod:`repro.perf.bitmap` — vertical bitmap tid-sets: each item's
   tid-list packed into one Python big int, so a candidate's support is
-  ``(mask_a & mask_b).bit_count()`` instead of a set intersection.
+  ``(mask_a & mask_b).bit_count()`` instead of a set intersection;
+* :mod:`repro.perf.measure_rollup` — the aggregate-once measure engine:
+  one record scan materialises the base item levels' weighted paths, and
+  every ancestor cuboid's cells derive by merging child cells along the
+  item lattice (``FlowGraph.merge``), with the holistic exception pass
+  re-run per cell.
 
 The kernels are exact: for every miner the bitmap path is kept behind a
-``kernel=`` switch next to the original tid-set path, and the test suite
-asserts the two return identical supports and identical mining statistics.
+``kernel=`` switch next to the original tid-set path, the measure engines
+sit behind an ``engine=`` switch, and the test suite asserts identical
+supports, identical statistics, and byte-identical serialised cubes.
 """
 
 from repro.perf.bitmap import (
@@ -25,11 +31,15 @@ from repro.perf.bitmap import (
     item_masks,
 )
 from repro.perf.interning import InternedTransactions, ItemInterner
+from repro.perf.measure_rollup import ENGINES, build_rollup, derivation_plan
 
 __all__ = [
+    "ENGINES",
     "InternedTransactions",
     "ItemInterner",
+    "build_rollup",
     "count_candidates_bitmap",
     "count_candidates_masks",
+    "derivation_plan",
     "item_masks",
 ]

@@ -1,0 +1,466 @@
+"""Aggregate-once measure engine: lattice roll-up materialisation.
+
+The direct builder (:meth:`repro.core.flowcube.FlowCube.build` with
+``engine="direct"``) re-aggregates every record and rebuilds every cell's
+flowgraph once per (item level × path level) pair.  But an ancestor cell's
+path multiset is exactly the disjoint union of its children's — the classic
+algebraic roll-up of Gray et al.'s Data Cube, which the paper exploits in
+§4.2 by splitting the measure into an algebraic flowgraph part (Lemma 4.2)
+and a holistic exception part (Lemma 4.3).  This engine does the split end
+to end:
+
+1. **Scan once** (:func:`scan_records`): one pass over the records computes
+   cell membership and weighted base paths for the *root* item levels only.
+   Each record's path is aggregated exactly once per path level — shared
+   across root levels — and identical aggregated paths dedupe into
+   ``(path, weight)`` pairs as they are counted.
+2. **Derive ancestors** (:func:`derive_levels`): every other requested item
+   level's per-cell data is rolled up from an already-materialised strict
+   descendant chosen by :func:`derivation_plan` — record ids concatenate,
+   path weights add, and iceberg-surviving cells get flowgraphs either by
+   :meth:`FlowGraph.merge` of their children's graphs or by expanding
+   their merged weighted multiset (equivalent by Lemma 4.2; sub-iceberg
+   cells never pay for a graph).  No record is touched again.
+3. **Assemble** (:func:`assemble_cuboids`): iceberg filtering, cell
+   construction, and the per-cell holistic exception pass, in exactly the
+   direct builder's cuboid and cell order.
+
+Parity with the direct engine is exact: counts are integers, distributions
+are ratios of identical integers, and exceptions are re-mined per cell from
+the weighted paths then canonically sorted, so serialised cubes are
+byte-identical across engines (asserted by the property tests).  The
+out-of-core builder (:func:`repro.store.builder.build_cube`) reuses
+:func:`scan_records` per partition and :func:`merge_scan` to fold partials
+in partition order, which reproduces the single-scan insertion orders
+exactly — so in-memory, serial, and ``jobs=N`` roll-up builds all agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.core.aggregation import AggregatedPath, aggregate_path
+from repro.core.flowcube import Cell, CellKey, Cuboid
+from repro.core.flowgraph import FlowGraph
+from repro.core.flowgraph_exceptions import (
+    Segment,
+    mine_exceptions_weighted,
+    resolve_min_support,
+)
+from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
+from repro.errors import CubeError
+
+__all__ = [
+    "ENGINES",
+    "LevelData",
+    "derivation_plan",
+    "scan_records",
+    "merge_scan",
+    "derive_levels",
+    "prune_to_iceberg",
+    "assemble_cuboids",
+    "build_rollup",
+]
+
+#: Measure engines accepted by ``FlowCube.build`` / ``build_cube``.
+ENGINES = ("rollup", "direct")
+
+#: One cell's weighted path multiset: distinct path -> multiplicity,
+#: insertion-ordered (first-seen record order for root levels).
+WeightedCell = dict[AggregatedPath, int]
+
+
+@dataclass
+class LevelData:
+    """Everything the engine holds for one item level.
+
+    ``groups`` and ``weighted`` carry *all* keys — including sub-iceberg
+    ones — because an ancestor's cells must merge *every* child cell to
+    conserve weight.  ``graphs`` is the one threshold-aware structure:
+    flowgraphs cost real work to build and are only ever read for cells
+    that pass the iceberg threshold, so they exist only for those keys —
+    an ancestor whose children carry graphs merges them, any other
+    materialised cell expands its graph from its weighted multiset.  (On
+    the bench workload most keys sit below the threshold; building their
+    graphs anyway made the roll-up engine *slower* than the direct
+    builder.)
+
+    Attributes:
+        groups: Cell key -> member record ids.
+        weighted: Per path level: cell key -> weighted path multiset.
+        graphs: Per path level: cell key -> the cell's flowgraph, for
+            keys meeting the iceberg threshold only.
+    """
+
+    groups: dict[CellKey, list[int]]
+    weighted: list[dict[CellKey, WeightedCell]]
+    graphs: list[dict[CellKey, FlowGraph]]
+
+
+def derivation_plan(
+    levels: Iterable[ItemLevel],
+) -> list[tuple[ItemLevel, ItemLevel | None]]:
+    """Order the requested item levels for bottom-up derivation.
+
+    Returns ``(level, source)`` pairs, deepest levels first.  ``source`` is
+    the shallowest already-planned strict descendant — the cheapest level
+    whose cells partition this one's records — or ``None`` for a *root*
+    level that must be materialised from the records themselves.  With the
+    full lattice requested only the base level is a root; arbitrary subsets
+    (partial materialisation plans) degrade gracefully to multiple roots.
+    """
+    ordered = sorted(
+        dict.fromkeys(levels), key=lambda lv: (-sum(lv.levels), lv.levels)
+    )
+    plan: list[tuple[ItemLevel, ItemLevel | None]] = []
+    placed: list[ItemLevel] = []
+    for level in ordered:
+        descendants = [
+            p for p in placed if p != level and level.is_higher_or_equal(p)
+        ]
+        source = (
+            min(descendants, key=lambda lv: (sum(lv.levels), lv.levels))
+            if descendants
+            else None
+        )
+        plan.append((level, source))
+        placed.append(level)
+    return plan
+
+
+def scan_records(
+    records: Iterable,
+    path_lattice: PathLattice,
+    root_levels: Sequence[ItemLevel],
+    hierarchies: Sequence,
+) -> tuple[list[dict[CellKey, list[int]]], list[list[dict[CellKey, WeightedCell]]]]:
+    """One pass over *records*: membership and weighted paths per root level.
+
+    Each record's path is aggregated exactly once per path level — via this
+    module's :func:`aggregate_path` binding, which the tests monkeypatch to
+    assert the aggregate-once guarantee — and the result is shared across
+    all root levels.  Cell keys are memoised per distinct ``record.dims``.
+
+    Returns:
+        ``(groups, weighted)`` lists indexed like *root_levels*: per-level
+        record-id groups and, per path level, the weighted path multisets.
+    """
+    path_levels = tuple(path_lattice)
+    groups: list[dict[CellKey, list[int]]] = [{} for _ in root_levels]
+    weighted: list[list[dict[CellKey, WeightedCell]]] = [
+        [{} for _ in path_levels] for _ in root_levels
+    ]
+    keys_cache: dict[tuple, list[CellKey]] = {}
+    for record in records:
+        keys = keys_cache.get(record.dims)
+        if keys is None:
+            keys = [
+                tuple(
+                    hierarchy.ancestor_at_level(value, target)
+                    for hierarchy, value, target in zip(
+                        hierarchies, record.dims, root_level
+                    )
+                )
+                for root_level in root_levels
+            ]
+            keys_cache[record.dims] = keys
+        aggregated = [
+            aggregate_path(record.path, path_level)
+            for path_level in path_levels
+        ]
+        for index, key in enumerate(keys):
+            groups[index].setdefault(key, []).append(record.record_id)
+            per_level = weighted[index]
+            for level_id, path in enumerate(aggregated):
+                cell = per_level[level_id].setdefault(key, {})
+                cell[path] = cell.get(path, 0) + 1
+    return groups, weighted
+
+
+def merge_scan(
+    groups: list[dict[CellKey, list[int]]],
+    weighted: list[list[dict[CellKey, WeightedCell]]],
+    part_groups: list[dict[CellKey, list[int]]],
+    part_weighted: list[list[dict[CellKey, WeightedCell]]],
+) -> None:
+    """Fold one partition's :func:`scan_records` partial into the totals.
+
+    Partitions preserve record order, so merging partials in partition
+    order reproduces the single-scan first-seen key orders, record-id
+    orders, and path insertion orders exactly — the out-of-core roll-up
+    build is therefore bit-identical to the in-memory one.
+    """
+    for merged, part in zip(groups, part_groups):
+        for key, ids in part.items():
+            merged.setdefault(key, []).extend(ids)
+    for merged_levels, part_levels in zip(weighted, part_weighted):
+        for merged_cells, part_cells in zip(merged_levels, part_levels):
+            for key, paths in part_cells.items():
+                cell = merged_cells.setdefault(key, {})
+                for path, weight in paths.items():
+                    cell[path] = cell.get(path, 0) + weight
+
+
+def _cell_graph(paths: WeightedCell) -> FlowGraph:
+    """One cell's flowgraph, expanded from its weighted path multiset."""
+    graph = FlowGraph()
+    for path, weight in paths.items():
+        graph.add_path(path, weight)
+    return graph
+
+
+def _root_graphs(
+    groups: dict[CellKey, list[int]],
+    weighted_levels: list[dict[CellKey, WeightedCell]],
+    threshold: float,
+) -> list[dict[CellKey, FlowGraph]]:
+    """Flowgraphs for each root cell at or above the iceberg *threshold*."""
+    return [
+        {
+            key: _cell_graph(paths)
+            for key, paths in cells.items()
+            if not len(groups[key]) < threshold
+        }
+        for cells in weighted_levels
+    ]
+
+
+def _derive_level(
+    level: ItemLevel,
+    source: LevelData,
+    hierarchies: Sequence,
+    n_path_levels: int,
+    threshold: float,
+) -> LevelData:
+    """Roll *source*'s per-cell data up to the ancestor *level*.
+
+    Every source key maps to exactly one parent key, so parent cells are
+    disjoint unions of child cells: record ids concatenate, path weights
+    add, and flowgraphs merge (Lemma 4.2).  Iterating source keys in their
+    first-seen record order makes each derived dict's key order match what
+    a direct record scan at *level* would have produced.
+
+    Flowgraphs are only built for parent keys that pass the iceberg
+    *threshold*.  When every child brings a stored graph the parent's is
+    :meth:`FlowGraph.merge`-d from them; when some children sit below the
+    threshold (and so carry no graph), the parent's graph is expanded
+    from its already-merged weighted multiset instead — equivalent by
+    Lemma 4.2 and cheaper than first materialising each sub-iceberg
+    child's graph only to fold it away.
+    """
+    key_map: dict[CellKey, CellKey] = {}
+    groups: dict[CellKey, list[int]] = {}
+    for child_key, record_ids in source.groups.items():
+        parent_key = tuple(
+            hierarchy.ancestor_at_level(value, target)
+            for hierarchy, value, target in zip(hierarchies, child_key, level)
+        )
+        key_map[child_key] = parent_key
+        groups.setdefault(parent_key, []).extend(record_ids)
+    alive = {
+        key for key, record_ids in groups.items()
+        if not len(record_ids) < threshold
+    }
+    weighted: list[dict[CellKey, WeightedCell]] = []
+    graphs: list[dict[CellKey, FlowGraph]] = []
+    for level_id in range(n_path_levels):
+        cells: dict[CellKey, WeightedCell] = {}
+        children: dict[CellKey, list[CellKey]] = {key: [] for key in alive}
+        for child_key, paths in source.weighted[level_id].items():
+            parent_key = key_map[child_key]
+            cell = cells.setdefault(parent_key, {})
+            for path, weight in paths.items():
+                cell[path] = cell.get(path, 0) + weight
+            if parent_key in alive:
+                children[parent_key].append(child_key)
+        source_graphs = source.graphs[level_id]
+        weighted.append(cells)
+        graphs.append(
+            {
+                key: (
+                    FlowGraph().merge(
+                        source_graphs[child_key] for child_key in child_keys
+                    )
+                    if all(ck in source_graphs for ck in child_keys)
+                    else _cell_graph(cells[key])
+                )
+                for key, child_keys in children.items()
+            }
+        )
+    return LevelData(groups=groups, weighted=weighted, graphs=graphs)
+
+
+def derive_levels(
+    plan: Sequence[tuple[ItemLevel, ItemLevel | None]],
+    groups_by_root: list[dict[CellKey, list[int]]],
+    weighted_by_root: list[list[dict[CellKey, WeightedCell]]],
+    root_levels: Sequence[ItemLevel],
+    hierarchies: Sequence,
+    n_path_levels: int,
+    threshold: float,
+) -> dict[ItemLevel, LevelData]:
+    """Materialise :class:`LevelData` for every planned level, roots first."""
+    index_of_root = {level: i for i, level in enumerate(root_levels)}
+    data: dict[ItemLevel, LevelData] = {}
+    for level, source in plan:
+        if source is None:
+            i = index_of_root[level]
+            data[level] = LevelData(
+                groups=groups_by_root[i],
+                weighted=weighted_by_root[i],
+                graphs=_root_graphs(
+                    groups_by_root[i], weighted_by_root[i], threshold
+                ),
+            )
+        else:
+            data[level] = _derive_level(
+                level, data[source], hierarchies, n_path_levels, threshold
+            )
+    return data
+
+
+def prune_to_iceberg(
+    data: Mapping[ItemLevel, LevelData], threshold: float
+) -> None:
+    """Drop sub-iceberg cells from every level, in place.
+
+    Derivation needs *all* child cells to conserve ancestor weights, but
+    once every level is derived only iceberg-surviving cells are ever
+    read again.  The sub-threshold tail is the bulk of the keys on
+    realistic workloads, and keeping it alive through assembly makes the
+    holistic exception pass measurably slower just by inflating the heap
+    the cyclic GC has to traverse — so it is dropped here.  Pruning keeps
+    each dict's insertion order (a subset of it), leaving assembly's cell
+    order untouched.
+    """
+    for level_data in data.values():
+        groups = {
+            key: record_ids
+            for key, record_ids in level_data.groups.items()
+            if not len(record_ids) < threshold
+        }
+        level_data.groups = groups
+        level_data.weighted = [
+            {key: cells[key] for key in groups}
+            for cells in level_data.weighted
+        ]
+
+
+def assemble_cuboids(
+    levels: Sequence[ItemLevel],
+    path_lattice: PathLattice,
+    data: Mapping[ItemLevel, LevelData],
+    threshold: int,
+    min_support: float,
+    min_deviation: float,
+    compute_exceptions: bool,
+    segments_by_cell: Mapping[
+        tuple[ItemLevel, PathLevel, CellKey], Sequence[Segment]
+    ]
+    | None,
+) -> Iterator[Cuboid]:
+    """Yield finished cuboids in the direct builder's (item, path) order.
+
+    Applies the iceberg threshold, builds cells from the derived weighted
+    paths and flowgraphs, and runs the holistic exception pass per cell.
+    """
+    for item_level in levels:
+        level_data = data[item_level]
+        for level_id, path_level in enumerate(path_lattice):
+            cuboid = Cuboid(item_level, path_level)
+            for key, record_ids in level_data.groups.items():
+                if len(record_ids) < threshold:
+                    continue  # iceberg condition
+                weighted = tuple(level_data.weighted[level_id][key].items())
+                graph = level_data.graphs[level_id][key]
+                cell = Cell(
+                    key=key,
+                    item_level=item_level,
+                    path_level=path_level,
+                    record_ids=tuple(sorted(record_ids)),
+                    flowgraph=graph,
+                    paths=weighted,
+                )
+                if compute_exceptions:
+                    segments = None
+                    if segments_by_cell is not None:
+                        segments = segments_by_cell.get(
+                            (item_level, path_level, key)
+                        )
+                    mine_exceptions_weighted(
+                        graph,
+                        weighted,
+                        min_support=min_support,
+                        min_deviation=min_deviation,
+                        segments=segments,
+                    )
+                cuboid.cells[key] = cell
+            yield cuboid
+
+
+def build_rollup(
+    cube_cls,
+    database,
+    path_lattice: PathLattice | None = None,
+    item_levels: Iterable[ItemLevel] | None = None,
+    min_support: float = 0.01,
+    min_deviation: float = 0.1,
+    compute_exceptions: bool = True,
+    segments_by_cell: Mapping[
+        tuple[ItemLevel, PathLevel, CellKey], Sequence[Segment]
+    ]
+    | None = None,
+    stats: object | None = None,
+):
+    """In-memory roll-up build — ``FlowCube.build(engine="rollup")``'s body.
+
+    Args:
+        cube_cls: The :class:`~repro.core.flowcube.FlowCube` class (passed
+            in to keep the import lazy on the flowcube side).
+        database: The path database.
+        stats: Optional sink with ``add_phase(name, seconds)``; the record
+            scan lands in ``aggregate`` and derivation + assembly in
+            ``materialize``.
+
+    The remaining arguments mirror :meth:`FlowCube.build`.
+    """
+    schema = database.schema
+    item_lattice = ItemLattice([h.depth for h in schema.dimensions])
+    if path_lattice is None:
+        path_lattice = PathLattice.paper_default(schema.location)
+    cube = cube_cls(
+        database, item_lattice, path_lattice, min_support, min_deviation
+    )
+    levels = list(item_levels) if item_levels is not None else list(item_lattice)
+    for item_level in levels:
+        if item_level not in item_lattice:
+            raise CubeError(f"item level {item_level!r} outside the lattice")
+    threshold = resolve_min_support(min_support, len(database))
+    hierarchies = schema.dimensions
+    plan = derivation_plan(levels)
+    root_levels = [level for level, source in plan if source is None]
+
+    phase = perf_counter()
+    groups_by_root, weighted_by_root = scan_records(
+        database, path_lattice, root_levels, hierarchies
+    )
+    if stats is not None:
+        stats.add_phase("aggregate", perf_counter() - phase)
+
+    phase = perf_counter()
+    data = derive_levels(
+        plan, groups_by_root, weighted_by_root, root_levels, hierarchies,
+        len(path_lattice), threshold,
+    )
+    prune_to_iceberg(data, threshold)
+    del groups_by_root, weighted_by_root
+    for cuboid in assemble_cuboids(
+        levels, path_lattice, data, threshold, min_support, min_deviation,
+        compute_exceptions, segments_by_cell,
+    ):
+        cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
+    if stats is not None:
+        stats.add_phase("materialize", perf_counter() - phase)
+    return cube

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.aggregation import AggregatedPath
-from repro.core.flowgraph import TERMINATE, FlowGraph
+from repro.core.flowgraph import FlowGraph
 from repro.core.similarity import total_variation
 from repro.errors import QueryError
 
@@ -73,19 +73,44 @@ def typical_paths(graph: FlowGraph, top_k: int = 5) -> list[TypicalPath]:
     ]
 
 
+def _as_weighted(paths) -> list[tuple[AggregatedPath, int]]:
+    """Normalise plain aggregated paths or ``(path, weight)`` pairs.
+
+    Cells store their path multiset in weighted form (one entry per
+    distinct aggregated path); the analysis functions also keep accepting
+    plain path lists.  A plain path's second element is a stage tuple,
+    never an ``int``, so the two shapes are unambiguous.
+    """
+    out: list[tuple[AggregatedPath, int]] = []
+    for entry in paths:
+        if (
+            len(entry) == 2
+            and isinstance(entry[1], int)
+            and not isinstance(entry[1], bool)
+        ):
+            out.append((entry[0], entry[1]))
+        else:
+            out.append((entry, 1))
+    return out
+
+
 def lead_time_deviations(
     graph: FlowGraph,
-    paths: list[AggregatedPath],
+    paths: list,
     z_threshold: float = 2.0,
 ) -> list[tuple[AggregatedPath, float]]:
     """Paths whose total lead time is an outlier for the cell.
 
+    Accepts plain aggregated paths or the cell's weighted ``(path,
+    weight)`` pairs; statistics weigh each distinct path by its
+    multiplicity, so both forms give identical means and deviations.
     Returns ``(path, z_score)`` pairs with |z| ≥ *z_threshold*, most
     extreme first.  Requires numeric duration labels (a path level that
     keeps durations).
     """
+    weighted = _as_weighted(paths)
     totals = []
-    for path in paths:
+    for path, _ in weighted:
         try:
             totals.append(sum(float(d) for _, d in path))
         except ValueError as exc:
@@ -93,17 +118,19 @@ def lead_time_deviations(
                 "lead-time analysis needs numeric duration labels; "
                 "use a path level that keeps durations"
             ) from exc
-    n = len(totals)
+    n = sum(weight for _, weight in weighted)
     if n < 2:
         return []
-    mean = sum(totals) / n
-    variance = sum((t - mean) ** 2 for t in totals) / (n - 1)
+    mean = sum(t * w for t, (_, w) in zip(totals, weighted)) / n
+    variance = sum(
+        w * (t - mean) ** 2 for t, (_, w) in zip(totals, weighted)
+    ) / (n - 1)
     if variance == 0:
         return []
     std = variance ** 0.5
     flagged = [
         (path, (total - mean) / std)
-        for path, total in zip(paths, totals)
+        for (path, _), total in zip(weighted, totals)
         if abs(total - mean) / std >= z_threshold
     ]
     flagged.sort(key=lambda pair: -abs(pair[1]))
@@ -111,7 +138,7 @@ def lead_time_deviations(
 
 
 def duration_outcome_correlation(
-    paths: list[AggregatedPath],
+    paths: list,
     at_location: str,
     long_stay: float,
     outcome_location: str,
@@ -123,11 +150,12 @@ def duration_outcome_correlation(
     stay at *at_location* exceeded *long_stay*, and compares the rate at
     which *outcome_location* is subsequently visited.
 
+    Accepts plain aggregated paths or weighted ``(path, weight)`` pairs.
     Returns a dict with ``p_long``, ``p_short``, ``lift``, ``n_long``,
     ``n_short``.  Paths that never visit *at_location* are ignored.
     """
     n_long = n_short = hit_long = hit_short = 0
-    for path in paths:
+    for path, weight in _as_weighted(paths):
         for i, (location, duration) in enumerate(path):
             if location != at_location:
                 continue
@@ -137,11 +165,11 @@ def duration_outcome_correlation(
                 continue  # '*' labels carry no duration information
             downstream = any(loc == outcome_location for loc, _ in path[i + 1 :])
             if stayed_long:
-                n_long += 1
-                hit_long += downstream
+                n_long += weight
+                hit_long += weight * downstream
             else:
-                n_short += 1
-                hit_short += downstream
+                n_short += weight
+                hit_short += weight * downstream
             break
     p_long = hit_long / n_long if n_long else 0.0
     p_short = hit_short / n_short if n_short else 0.0

@@ -57,11 +57,14 @@ def flow_report(
         )
 
     if cell.paths:
+        # cell.paths holds weighted (path, weight) pairs.
         numeric = all(
             duration == "*" or _is_number(duration)
-            for path in cell.paths
+            for path, _ in cell.paths
             for _, duration in path
-        ) and any(duration != "*" for path in cell.paths for _, duration in path)
+        ) and any(
+            duration != "*" for path, _ in cell.paths for _, duration in path
+        )
         if numeric:
             out.write(f"\n[1b] Lead-time outliers (|z| ≥ {z_threshold:g})\n")
             outliers = lead_time_deviations(

@@ -18,13 +18,17 @@ against a :class:`~repro.store.pathstore.PartitionedPathStore`:
   partitioning of D', so the result is *exactly* :func:`shared_mine`'s —
   the test suite asserts equality.
 
-* :func:`build_cube` materialises the iceberg cube with two scan families:
-  a membership pass grouping record ids into cells (ids only — no paths
-  are retained), then one aggregation pass per item level that rebuilds
-  the iceberg cells' aggregated paths.  Cells come out identical to
-  ``FlowCube.build``'s because partitions preserve record order, so group
-  insertion order, ``record_ids`` tuples, path order, and the
-  ``mine_exceptions`` inputs all coincide.
+* :func:`build_cube` materialises the iceberg cube.  The default
+  ``engine="rollup"`` performs a single roll-up scan — membership and
+  weighted base paths for the root item levels only, merged in partition
+  order — and derives every other level's cells by merging child cells
+  (:mod:`repro.perf.measure_rollup`).  ``engine="direct"`` keeps the
+  original two scan families: a membership pass grouping record ids into
+  cells (ids only — no paths are retained), then one aggregation pass per
+  item level that rebuilds the iceberg cells' aggregated paths.  Cells
+  come out identical either way because partitions preserve record
+  order, so group insertion order, ``record_ids`` tuples, path order,
+  and the exception-mining inputs all coincide.
 
 Both entry points accept ``jobs``: with ``jobs > 1`` the per-partition
 scans of each pass run concurrently on a
@@ -49,14 +53,14 @@ import time
 from collections import Counter
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.core.aggregation import aggregate_path
+from repro.core.aggregation import aggregate_path, weight_paths
 from repro.core.flowcube import Cell, CellKey, Cuboid, FlowCube
 from repro.core.flowgraph import FlowGraph
 from repro.core.flowgraph_exceptions import (
     Segment,
-    mine_exceptions,
+    mine_exceptions_weighted,
     resolve_min_support,
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
@@ -73,6 +77,15 @@ from repro.mining.shared import (
 )
 from repro.mining.stats import MiningStats
 from repro.perf.bitmap import count_candidates_masks
+from repro.perf.measure_rollup import (
+    ENGINES,
+    assemble_cuboids,
+    derivation_plan,
+    derive_levels,
+    merge_scan,
+    prune_to_iceberg,
+    scan_records,
+)
 from repro.store.pathstore import PartitionedPathStore
 
 __all__ = ["BuildStats", "build_cube", "shared_mine_store"]
@@ -97,6 +110,12 @@ class BuildStats:
         cuboids: Cuboids materialised.
         cells: Iceberg cells materialised.
         elapsed_seconds: Wall-clock time of the build.
+        phase_seconds: Wall-clock per build phase — ``membership`` (the
+            direct engine's id-grouping pass), ``aggregate`` (record
+            scanning / path aggregation), and ``materialize`` (measure
+            derivation, cell assembly, and exception mining) — alongside
+            the mining phases a :class:`~repro.mining.stats.MiningStats`
+            tracks.
     """
 
     partitions: int = 0
@@ -106,6 +125,11 @@ class BuildStats:
     cuboids: int = 0
     cells: int = 0
     elapsed_seconds: float = 0.0
+    phase_seconds: dict = field(default_factory=dict)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time into the named phase bucket."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
 
 class _LiveTracker:
@@ -356,6 +380,11 @@ def _worker_task(task: tuple):
     if kind == "membership":
         (levels,) = payload
         return _membership_partition(database, levels, store.schema.dimensions)
+    if kind == "rollup_scan":
+        (root_levels,) = payload
+        return scan_records(
+            database, path_lattice, root_levels, store.schema.dimensions
+        )
     if kind == "aggregate_batch":
         # One task covers every item level: loading and iterating the
         # partition once per level would drown this scale of work in
@@ -441,6 +470,12 @@ def _scan_partitions(
                     (levels,) = payload
                     yield _membership_partition(
                         database, levels, store.schema.dimensions
+                    )
+                elif kind == "rollup_scan":
+                    (root_levels,) = payload
+                    yield scan_records(
+                        database, path_lattice, root_levels,
+                        store.schema.dimensions,
                     )
                 else:
                     item_level, iceberg_keys = payload
@@ -634,13 +669,21 @@ def build_cube(
     stats: BuildStats | None = None,
     kernel: str = "bitmap",
     jobs: int = 1,
+    engine: str = "rollup",
 ):
     """Materialise the iceberg flowcube of a partitioned store.
 
     Produces exactly the cube :meth:`FlowCube.build` would produce over
-    the concatenated store (same cuboids, cell keys, record ids, path
-    order, flowgraphs, and exceptions) while reading one partition at a
-    time:
+    the concatenated store (same cuboids, cell keys, record ids,
+    flowgraphs, and exceptions) while reading one partition at a time.
+
+    With the default ``engine="rollup"`` (the aggregate-once engine of
+    :mod:`repro.perf.measure_rollup`) there is a single *roll-up scan*:
+    each partition is read once, producing membership groups and weighted
+    base paths for the root item levels only; every other level's cells
+    derive in memory by merging child cells along the item lattice, and no
+    partition is read again.  With ``engine="direct"`` the original two
+    scan families run:
 
     1. *Membership pass* — one scan grouping record ids per cell for every
        requested item level (ids only; partitions preserve record order,
@@ -676,11 +719,19 @@ def build_cube(
         jobs: Partition scans (membership, aggregation, and the optional
             Shared pre-mine) run on a process pool of this size when
             ``> 1``; the built cube is identical either way.
+        engine: ``"rollup"`` (default) or ``"direct"``; both engines —
+            serial or parallel, in-memory or out-of-core — produce
+            byte-identical serialised cubes (asserted by the property
+            tests).
 
     Returns:
         The :class:`FlowCube`, or *into* (flushed) when a cube store was
         given.
     """
+    if engine not in ENGINES:
+        raise CubeError(
+            f"unknown measure engine {engine!r}; expected one of {ENGINES}"
+        )
     jobs = _validate_jobs(jobs)
     started = time.perf_counter()
     build_stats = stats if stats is not None else BuildStats()
@@ -710,10 +761,18 @@ def build_cube(
             jobs=jobs,
         ).segments_by_cell()
 
+    if engine == "rollup":
+        return _build_cube_rollup(
+            store, path_lattice, levels, item_lattice, threshold,
+            min_support, min_deviation, compute_exceptions, segments_by_cell,
+            into, build_stats, jobs, started,
+        )
+
     tracker = _LiveTracker()
     pools = _open_pools(store, path_lattice, jobs)
     try:
         # --- Membership pass: record ids per cell, for every item level --
+        phase = time.perf_counter()
         groups: dict[ItemLevel, dict[CellKey, list[int]]] = {
             item_level: {} for item_level in levels
         }
@@ -728,6 +787,7 @@ def build_cube(
                 merged = groups[item_level]
                 for key, ids in part_groups[index].items():
                     merged.setdefault(key, []).extend(ids)
+        build_stats.add_phase("membership", time.perf_counter() - phase)
 
         if into is not None:
             into.create(path_lattice, min_support, min_deviation)
@@ -764,15 +824,19 @@ def build_cube(
             for level_id, path_level in enumerate(path_lattice):
                 cuboid = Cuboid(item_level, path_level)
                 for key, record_ids in iceberg.items():
-                    paths = tuple(paths_by_cell.get((key, level_id), ()))
-                    graph = FlowGraph(paths)
+                    weighted = weight_paths(
+                        paths_by_cell.get((key, level_id), ())
+                    )
+                    graph = FlowGraph()
+                    for path, weight in weighted:
+                        graph.add_path(path, weight)
                     cell = Cell(
                         key=key,
                         item_level=item_level,
                         path_level=path_level,
                         record_ids=tuple(record_ids),
                         flowgraph=graph,
-                        paths=paths,
+                        paths=weighted,
                     )
                     if compute_exceptions:
                         segments = None
@@ -780,9 +844,9 @@ def build_cube(
                             segments = segments_by_cell.get(
                                 (item_level, path_level, key)
                             )
-                        mine_exceptions(
+                        mine_exceptions_weighted(
                             graph,
-                            paths,
+                            weighted,
                             min_support=min_support,
                             min_deviation=min_deviation,
                             segments=segments,
@@ -797,6 +861,7 @@ def build_cube(
                 else:
                     cube._cuboids[(item_level, path_level)] = cuboid
 
+        phase = time.perf_counter()
         if pools is None:
             for item_level, iceberg in zip(levels, iceberg_by_level):
                 paths_by_cell: dict[tuple[CellKey, int], list] = {}
@@ -828,8 +893,95 @@ def build_cube(
                 levels, iceberg_by_level, merged
             ):
                 assemble_level(item_level, iceberg, paths_by_cell)
+        build_stats.add_phase("materialize", time.perf_counter() - phase)
     finally:
         _close_pools(pools)
+
+    build_stats.max_live_transaction_dbs = max(
+        build_stats.max_live_transaction_dbs, tracker.peak
+    )
+    build_stats.elapsed_seconds += time.perf_counter() - started
+    if into is not None:
+        into.flush()
+        return into
+    return cube
+
+
+def _build_cube_rollup(
+    store: PartitionedPathStore,
+    path_lattice: PathLattice,
+    levels: list[ItemLevel],
+    item_lattice: ItemLattice,
+    threshold: int,
+    min_support: float,
+    min_deviation: float,
+    compute_exceptions: bool,
+    segments_by_cell,
+    into,
+    build_stats: BuildStats,
+    jobs: int,
+    started: float,
+):
+    """``build_cube``'s roll-up engine body: one scan, then pure merges.
+
+    A single ``rollup_scan`` pass reads each partition once, computing
+    membership and weighted base paths for the *root* item levels; partial
+    results merge in partition order (:func:`merge_scan`), which makes
+    them identical to an in-memory single scan.  Every remaining level
+    derives by merging child cells — no further partition reads — so the
+    whole build costs one pass regardless of how many item levels are
+    materialised.
+    """
+    plan = derivation_plan(levels)
+    root_levels = tuple(level for level, source in plan if source is None)
+    tracker = _LiveTracker()
+    pools = _open_pools(store, path_lattice, jobs)
+    try:
+        phase = time.perf_counter()
+        groups_by_root: list[dict[CellKey, list[int]]] = [
+            {} for _ in root_levels
+        ]
+        weighted_by_root: list[list[dict]] = [
+            [{} for _ in path_lattice] for _ in root_levels
+        ]
+        for part_groups, part_weighted in _scan_partitions(
+            store, pools, tracker, build_stats,
+            "rollup_scan", (root_levels,), path_lattice,
+        ):
+            merge_scan(
+                groups_by_root, weighted_by_root, part_groups, part_weighted
+            )
+        build_stats.add_phase("aggregate", time.perf_counter() - phase)
+    finally:
+        _close_pools(pools)
+
+    if into is not None:
+        into.create(path_lattice, min_support, min_deviation)
+        cube = None
+    else:
+        cube = FlowCube(
+            store.load_all(), item_lattice, path_lattice, min_support,
+            min_deviation,
+        )
+
+    phase = time.perf_counter()
+    data = derive_levels(
+        plan, groups_by_root, weighted_by_root, root_levels,
+        store.schema.dimensions, len(path_lattice), threshold,
+    )
+    prune_to_iceberg(data, threshold)
+    del groups_by_root, weighted_by_root
+    for cuboid in assemble_cuboids(
+        levels, path_lattice, data, threshold, min_support, min_deviation,
+        compute_exceptions, segments_by_cell,
+    ):
+        build_stats.cuboids += 1
+        build_stats.cells += len(cuboid)
+        if into is not None:
+            into.put_cuboid(cuboid)
+        else:
+            cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
+    build_stats.add_phase("materialize", time.perf_counter() - phase)
 
     build_stats.max_live_transaction_dbs = max(
         build_stats.max_live_transaction_dbs, tracker.peak

@@ -124,6 +124,16 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run partition scans on N worker processes (default 1: serial)",
     )
+    build.add_argument(
+        "--engine",
+        choices=("rollup", "direct"),
+        default="rollup",
+        help=(
+            "measure engine: 'rollup' scans records once and derives "
+            "ancestor cuboids by merging child cells; 'direct' re-scans "
+            "per item level (identical output)"
+        ),
+    )
 
     query = sub.add_parser("query", help="render one cell's flowgraph")
     query.add_argument("store")
@@ -246,6 +256,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         into=cube_store,
         stats=stats,
         jobs=args.jobs,
+        engine=args.engine,
     )
     print(
         f"built {stats.cells} cells in {stats.cuboids} cuboids from "
