@@ -1,10 +1,13 @@
 """Persistent-store overhead: in-memory vs out-of-core construction.
 
-Five questions the store and perf layers have to answer honestly:
+Six questions the store and perf layers have to answer honestly:
 
 * what does the interned bitmap counting kernel buy over the item-space
   tid-set kernel on the same Shared mining run (warm, on a shared
   encoded transaction database, and cold end-to-end);
+* what does the bitmap exception kernel buy over the path-scanning
+  exception pass on full with-exceptions builds, given that both emit
+  identical exception lists and byte-identical cubes;
 * what does out-of-core construction cost over ``FlowCube.build`` as the
   same database is split into 1 / 4 / 16 partitions (wall time + peak
   traced allocation, which is where out-of-core should win);
@@ -196,11 +199,21 @@ def _jobs_section(store, database, repeats: int, jobs_sweep) -> dict:
             ),
             repeats,
         )
+        # With exceptions, the per-cell holistic pass fans out across the
+        # same worker pool (bitmap kernel), so the jobs sweep shows how it
+        # scales alongside the partition scans.
+        exc_seconds, _ = _best(
+            lambda j=jobs: build_cube(
+                store, min_support=MIN_SUPPORT, jobs=j
+            ),
+            repeats,
+        )
         building.append(
             {
                 "jobs": jobs,
                 "seconds": round(seconds, 4),
                 "vs_in_memory": round(seconds / build_baseline, 2),
+                "with_exceptions_seconds": round(exc_seconds, 4),
             }
         )
     return {
@@ -216,7 +229,7 @@ def _jobs_section(store, database, repeats: int, jobs_sweep) -> dict:
     }
 
 
-def _engine_section(store, database, repeats: int, jobs_sweep, quick: bool) -> dict:
+def _engine_section(store, database, repeats: int, jobs_sweep) -> dict:
     """Direct vs roll-up measure engine on identical (byte-for-byte) cubes.
 
     The direct builder re-aggregates every record's path once per
@@ -225,7 +238,9 @@ def _engine_section(store, database, repeats: int, jobs_sweep, quick: bool) -> d
     (Lemma 4.2).  The sweep times both in memory and out-of-core across
     worker-pool sizes.  Exceptions are holistic either way, so the
     headline rows skip them (like the other build rows in this file) and
-    a with-exceptions pair shows the diluted end-to-end ratio.
+    the with-exceptions rows pit the bitmap exception kernel against the
+    path-scanning pass (plus the direct engine) on full builds — all
+    three byte-identical, with identical per-cell exception lists.
     """
     engines = ("direct", "rollup")
     cubes = {}
@@ -248,21 +263,44 @@ def _engine_section(store, database, repeats: int, jobs_sweep, quick: bool) -> d
             "speedup": round(in_memory["direct"] / in_memory["rollup"], 2),
         },
     }
-    if not quick:
-        with_exc = {
-            engine: _best(
-                lambda e=engine: FlowCube.build(
-                    database, min_support=MIN_SUPPORT, engine=e
-                ),
-                repeats,
-            )[0]
-            for engine in engines
-        }
-        section["in_memory_with_exceptions"] = {
-            "direct_seconds": round(with_exc["direct"], 4),
-            "rollup_seconds": round(with_exc["rollup"], 4),
-            "speedup": round(with_exc["direct"] / with_exc["rollup"], 2),
-        }
+    # The exception-kernel ratio is a headline number, so this block runs
+    # in quick mode too (with >= 2 repeats, like the mining kernels).
+    exc_repeats = max(repeats, 2)
+    exc_seconds: dict[str, float] = {}
+    exc_cubes = {}
+    for kernel in ("scan", "bitmap"):
+        exc_seconds[kernel], exc_cubes[kernel] = _best(
+            lambda k=kernel: FlowCube.build(
+                database, min_support=MIN_SUPPORT, kernel=k
+            ),
+            exc_repeats,
+        )
+    direct_exc_seconds, direct_exc_cube = _best(
+        lambda: FlowCube.build(
+            database, min_support=MIN_SUPPORT, engine="direct"
+        ),
+        exc_repeats,
+    )
+    reference = cube_to_json(exc_cubes["bitmap"])
+    assert cube_to_json(exc_cubes["scan"]) == reference
+    assert cube_to_json(direct_exc_cube) == reference
+    scan_cells = list(exc_cubes["scan"].cells())
+    bitmap_cells = list(exc_cubes["bitmap"].cells())
+    assert len(scan_cells) == len(bitmap_cells)
+    assert all(
+        a.flowgraph.exceptions == b.flowgraph.exceptions
+        for a, b in zip(scan_cells, bitmap_cells)
+    )
+    section["in_memory_with_exceptions"] = {
+        "scan_kernel_seconds": round(exc_seconds["scan"], 4),
+        "bitmap_kernel_seconds": round(exc_seconds["bitmap"], 4),
+        "direct_seconds": round(direct_exc_seconds, 4),
+        "speedup": round(exc_seconds["scan"] / exc_seconds["bitmap"], 2),
+        "engine_speedup": round(
+            direct_exc_seconds / exc_seconds["bitmap"], 2
+        ),
+        "kernels_identical": True,
+    }
     sweep = []
     for jobs in jobs_sweep:
         row: dict = {"jobs": jobs}
@@ -349,7 +387,7 @@ def run_suite(quick: bool = False) -> dict:
                     store, database, repeats, jobs_sweep
                 )
                 report["engines"] = _engine_section(
-                    store, database, repeats, jobs_sweep, quick
+                    store, database, repeats, jobs_sweep
                 )
             cache = _cache_hit_rate(store)
             report["partitioned"].append(

@@ -29,6 +29,7 @@ from repro.core.aggregation import (
 )
 from repro.core.flowgraph import FlowGraph
 from repro.core.flowgraph_exceptions import (
+    EXCEPTION_KERNELS,
     Segment,
     mine_exceptions_weighted,
     resolve_min_support,
@@ -138,6 +139,7 @@ class FlowCube:
         ]
         | None = None,
         engine: str = "rollup",
+        kernel: str = "bitmap",
         stats: object | None = None,
     ) -> "FlowCube":
         """Materialise an iceberg flowcube.
@@ -163,10 +165,14 @@ class FlowCube:
                 the semantics-defining per-cell builder the cross-check
                 tests validate the roll-up engine against.  Both produce
                 byte-identical serialised cubes.
+            kernel: Exception-pass kernel — ``"bitmap"`` (AND+popcount over
+                per-cell tid-sets, :mod:`repro.perf.exception_kernel`; the
+                default) or ``"scan"`` (per-path re-scan).  Identical
+                exception lists either way.
             stats: Optional stats sink with an ``add_phase(name, seconds)``
                 method (e.g. :class:`repro.mining.stats.MiningStats`); the
                 measure construction time lands in its ``materialize``
-                bucket.
+                bucket and the exception pass in ``exceptions``.
         """
         if engine == "rollup":
             from repro.perf.measure_rollup import build_rollup
@@ -180,13 +186,21 @@ class FlowCube:
                 min_deviation=min_deviation,
                 compute_exceptions=compute_exceptions,
                 segments_by_cell=segments_by_cell,
+                kernel=kernel,
                 stats=stats,
             )
         if engine != "direct":
             raise CubeError(
                 f"unknown measure engine {engine!r}; use 'direct' or 'rollup'"
             )
+        if kernel not in EXCEPTION_KERNELS:
+            raise CubeError(
+                f"unknown exception kernel {kernel!r}; expected one of "
+                f"{EXCEPTION_KERNELS}"
+            )
         started = perf_counter()
+        exception_seconds = 0.0
+        index_cache: dict | None = {} if compute_exceptions else None
         schema = database.schema
         item_lattice = ItemLattice([h.depth for h in schema.dimensions])
         if path_lattice is None:
@@ -226,17 +240,25 @@ class FlowCube:
                             segments = segments_by_cell.get(
                                 (item_level, path_level, key)
                             )
+                        mine_started = perf_counter()
                         mine_exceptions_weighted(
                             graph,
                             weighted,
                             min_support=min_support,
                             min_deviation=min_deviation,
                             segments=segments,
+                            kernel=kernel,
+                            index_cache=index_cache,
                         )
+                        exception_seconds += perf_counter() - mine_started
                     cuboid.cells[key] = cell
                 cube._cuboids[(item_level, path_level)] = cuboid
         if stats is not None:
-            stats.add_phase("materialize", perf_counter() - started)
+            if compute_exceptions:
+                stats.add_phase("exceptions", exception_seconds)
+            stats.add_phase(
+                "materialize", perf_counter() - started - exception_seconds
+            )
         return cube
 
     def _group_records(self, item_level: ItemLevel) -> dict[CellKey, list[int]]:

@@ -16,6 +16,14 @@ Exceptions are a *holistic* measure (Lemma 4.3): they require the frequent
 path segments of the cell.  :func:`mine_exceptions` accepts those segments
 from the Shared algorithm's output, or mines them locally with the built-in
 level-wise miner (:func:`mine_frequent_segments`) when none are supplied.
+
+Two interchangeable kernels implement the pass (``kernel=`` on the
+``mine_exceptions*`` entry points): ``"bitmap"`` (the default) indexes the
+cell once into big-int tid-sets and answers every support and conditional
+count with an AND + weighted popcount (:mod:`repro.perf.exception_kernel`);
+``"scan"`` is the direct per-path implementation in this module.  Both
+produce identical exception lists — same supports, distributions, and
+canonical order — enforced by the parity property tests.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.core.aggregation import (
 from repro.core.flowgraph import FlowGraph
 
 __all__ = [
+    "EXCEPTION_KERNELS",
     "SegmentConstraint",
     "Segment",
     "FlowException",
@@ -43,7 +52,11 @@ __all__ = [
     "mine_frequent_segments_weighted",
     "mine_exceptions",
     "mine_exceptions_weighted",
+    "serial_exception_pass",
 ]
+
+#: Interchangeable exception-pass implementations; first entry is the default.
+EXCEPTION_KERNELS = ("bitmap", "scan")
 
 #: One constraint: the stage at this location prefix had this duration label.
 SegmentConstraint = tuple[tuple[str, ...], str]
@@ -111,9 +124,17 @@ def _stage_items(path: AggregatedPath) -> list[SegmentConstraint]:
 def _satisfies(path: AggregatedPath, segment: Segment) -> bool:
     """Whether *path* meets every constraint of *segment*."""
     locations = tuple(location for location, _ in path)
+    return _satisfies_locations(path, locations, segment)
+
+
+def _satisfies_locations(
+    path: AggregatedPath, locations: tuple[str, ...], segment: Segment
+) -> bool:
+    """:func:`_satisfies` with the path's location tuple precomputed."""
+    n = len(path)
     for constraint_prefix, duration in segment:
         index = len(constraint_prefix) - 1
-        if index >= len(path):
+        if index >= n:
             return False
         if locations[: index + 1] != constraint_prefix:
             return False
@@ -173,6 +194,12 @@ def mine_frequent_segments_weighted(
         (item,): n for item, n in counts.items() if n >= threshold
     }
     result = dict(frequent)
+    # Each candidate's item frozenset is its parent's set plus the appended
+    # constraint; carrying the sets level to level replaces the per-level
+    # frozenset(c) rebuild with one set union per candidate.
+    item_sets: dict[Segment, frozenset[SegmentConstraint]] = {
+        segment: frozenset(segment) for segment in frequent
+    }
 
     length = 1
     while frequent and length < max_length:
@@ -180,13 +207,16 @@ def mine_frequent_segments_weighted(
         if not candidates:
             break
         support: Counter[Segment] = Counter()
-        candidate_sets = {c: frozenset(c) for c in candidates}
+        candidate_sets = [
+            (c, item_sets[c[:-1]] | {c[-1]}) for c in candidates
+        ]
         for transaction, weight in transactions:
-            for candidate, item_set in candidate_sets.items():
+            for candidate, item_set in candidate_sets:
                 if item_set <= transaction:
                     support[candidate] += weight
         frequent = {c: n for c, n in support.items() if n >= threshold}
         result.update(frequent)
+        item_sets = {c: s for c, s in candidate_sets if c in frequent}
         length += 1
     return result
 
@@ -201,21 +231,29 @@ def _join_segments(segments: list[Segment]) -> list[Segment]:
     frequent_set = set(segments)
     for head, tails in by_prefix.items():
         tails.sort(key=lambda c: (len(c[0]), c[0], c[1]))
+        n_head = len(head)
         for i, a in enumerate(tails):
             for b in tails[i + 1 :]:
                 if a[0] == b[0]:
                     continue  # same stage, two durations: unsatisfiable
                 if not _nested(a[0], b[0]):
                     continue  # unlinkable stages
-                candidate = tuple(
-                    sorted(head + (a, b), key=lambda c: (len(c[0]), c[1]))
-                )
+                # Prefixes within a candidate are nested and pairwise
+                # distinct, so their lengths are strictly distinct, and
+                # a segment's canonical (len, duration) order is its
+                # length order alone.  Every head item sorts below its
+                # segment's last item, and the tails are length-sorted,
+                # so head + (a, b) IS the canonical order — no sort.
+                candidate = head + (a, b)
                 if candidate in seen:
                     continue
                 seen.add(candidate)
+                # Dropping a gives head + (b,) and dropping b gives
+                # head + (a,) — the two joined parents, frequent by
+                # construction; only the head drops need checking.
                 if all(
                     _drop(candidate, j) in frequent_set
-                    for j in range(len(candidate))
+                    for j in range(n_head)
                 ):
                     out.append(candidate)
     return out
@@ -250,6 +288,8 @@ def mine_exceptions(
     min_deviation: float,
     segments: Iterable[Segment] | None = None,
     max_segment_length: int = 4,
+    kernel: str = "bitmap",
+    index_cache: dict | None = None,
 ) -> list[FlowException]:
     """Find all (ε, δ) exceptions of *graph* over the cell's *paths*.
 
@@ -261,6 +301,10 @@ def mine_exceptions(
         segments: Frequent segments from a shared mining run; mined locally
             when omitted.
         max_segment_length: Bound for the local miner.
+        kernel: ``"bitmap"`` (AND+popcount over tid-sets, the default) or
+            ``"scan"`` (per-path re-scan) — identical results.
+        index_cache: Optional dict shared across calls so cells with the
+            same path multiset reuse one bitmap index (bitmap kernel only).
 
     The exceptions are also attached to ``graph.exceptions``, in the
     canonical :func:`exception_sort_key` order.
@@ -272,6 +316,8 @@ def mine_exceptions(
         min_deviation,
         segments=segments,
         max_segment_length=max_segment_length,
+        kernel=kernel,
+        index_cache=index_cache,
     )
 
 
@@ -282,6 +328,8 @@ def mine_exceptions_weighted(
     min_deviation: float,
     segments: Iterable[Segment] | None = None,
     max_segment_length: int = 4,
+    kernel: str = "bitmap",
+    index_cache: dict | None = None,
 ) -> list[FlowException]:
     """:func:`mine_exceptions` over the cell's ``(path, weight)`` pairs.
 
@@ -290,11 +338,32 @@ def mine_exceptions_weighted(
     deviations — are exactly those of the expanded path multiset while the
     holistic pass touches each distinct path once.
     """
+    if kernel not in EXCEPTION_KERNELS:
+        raise ValueError(
+            f"unknown exception kernel {kernel!r}; expected one of "
+            f"{EXCEPTION_KERNELS}"
+        )
+    if kernel == "bitmap":
+        from repro.perf.exception_kernel import mine_exceptions_bitmap
+
+        return mine_exceptions_bitmap(
+            graph,
+            weighted,
+            min_support,
+            min_deviation,
+            segments=segments,
+            max_segment_length=max_segment_length,
+            index_cache=index_cache,
+        )
     threshold = resolve_min_support(min_support, total_weight(weighted))
     if segments is None:
         segments = mine_frequent_segments_weighted(
             weighted, min_support, max_length=max_segment_length
         )
+    prepared = [
+        (path, weight, tuple(location for location, _ in path))
+        for path, weight in weighted
+    ]
     exceptions: list[FlowException] = []
     for segment in segments:
         if not segment:
@@ -305,8 +374,8 @@ def mine_exceptions_weighted(
             continue
         satisfying = [
             (path, weight)
-            for path, weight in weighted
-            if _satisfies(path, ordered)
+            for path, weight, locations in prepared
+            if _satisfies_locations(path, locations, ordered)
         ]
         if total_weight(satisfying) < threshold:
             continue
@@ -411,3 +480,40 @@ def _max_deviation(baseline: dict[str, float], conditional: dict[str, float]) ->
     return max(
         abs(baseline.get(k, 0.0) - conditional.get(k, 0.0)) for k in keys
     )
+
+
+def serial_exception_pass(
+    min_support: float, min_deviation: float, kernel: str = "bitmap"
+):
+    """An in-process runner for cube builders' per-cell exception phase.
+
+    Returns a callable ``run(batch)`` where *batch* is a list of
+    ``(graph, weighted, segments)`` triples; it mines each cell in place
+    (attaching ``graph.exceptions``) and accumulates wall time spent in
+    ``run.seconds`` for the builders' ``"exceptions"`` phase bucket.  One
+    bitmap index cache spans the runner's lifetime, so lattice cells that
+    roll up to identical path multisets share an index across cuboids.
+
+    The parallel counterpart (fanning a batch out over the ``jobs=N``
+    worker pools) lives in :mod:`repro.store.builder`.
+    """
+    from time import perf_counter
+
+    index_cache: dict = {}
+
+    def run(batch) -> None:
+        started = perf_counter()
+        for graph, weighted, segments in batch:
+            mine_exceptions_weighted(
+                graph,
+                weighted,
+                min_support,
+                min_deviation,
+                segments=segments,
+                kernel=kernel,
+                index_cache=index_cache,
+            )
+        run.seconds += perf_counter() - started
+
+    run.seconds = 0.0
+    return run

@@ -34,9 +34,9 @@ class MiningStats:
             generation), ``"count"`` (support counting), and ``"prune"``
             (pre-count pruning); the measure builders add ``"membership"``
             (record-id grouping), ``"aggregate"`` (path aggregation /
-            record scanning), and ``"materialize"`` (measure derivation,
-            cell assembly, and exception mining).  Phases that never ran
-            are absent.
+            record scanning), ``"materialize"`` (measure derivation and
+            cell assembly), and ``"exceptions"`` (the per-cell holistic
+            exception pass).  Phases that never ran are absent.
     """
 
     candidates_per_length: Counter = field(default_factory=Counter)

@@ -17,7 +17,12 @@ fast counting paths run on:
   one record scan materialises the base item levels' weighted paths, and
   every ancestor cuboid's cells derive by merging child cells along the
   item lattice (``FlowGraph.merge``), with the holistic exception pass
-  re-run per cell.
+  re-run per cell;
+* :mod:`repro.perf.exception_kernel` — the holistic pass itself as
+  AND+popcount: one per-cell bitmap index over the deduplicated
+  ``(path, weight)`` multiset answers segment supports and every
+  conditional transition/duration count, with indexes shared across cells
+  by path-multiset fingerprint.
 
 The kernels are exact: for every miner the bitmap path is kept behind a
 ``kernel=`` switch next to the original tid-set path, the measure engines
@@ -30,16 +35,26 @@ from repro.perf.bitmap import (
     count_candidates_masks,
     item_masks,
 )
+from repro.perf.exception_kernel import (
+    CellExceptionIndex,
+    cell_index,
+    mine_exceptions_bitmap,
+    mine_segments_bitmap,
+)
 from repro.perf.interning import InternedTransactions, ItemInterner
 from repro.perf.measure_rollup import ENGINES, build_rollup, derivation_plan
 
 __all__ = [
     "ENGINES",
+    "CellExceptionIndex",
     "InternedTransactions",
     "ItemInterner",
     "build_rollup",
+    "cell_index",
     "count_candidates_bitmap",
     "count_candidates_masks",
     "derivation_plan",
     "item_masks",
+    "mine_exceptions_bitmap",
+    "mine_segments_bitmap",
 ]

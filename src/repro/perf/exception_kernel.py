@@ -1,0 +1,632 @@
+"""Bitmap kernel for the holistic exception pass (Lemma 4.3).
+
+The scan implementation in :mod:`repro.core.flowgraph_exceptions` pays a
+Python loop per (segment × path) pair twice over: the level-wise segment
+miner subset-tests every candidate against every transaction, and the
+exception pass re-walks every weighted path per frequent segment to count
+conditional outcomes.  Both are counting problems over the *same* small
+universe — the cell's deduplicated ``(path, weight)`` multiset — which is
+exactly the shape the PR 2 bitmap kernel (:mod:`repro.perf.bitmap`) solves
+with big-int tid-sets.
+
+:class:`CellExceptionIndex` indexes a cell once.  Bit *t* of every mask
+refers to the *t*-th distinct path; multiplicities are grouped into
+per-weight class masks, so every count is an AND followed by a weighted
+popcount (:meth:`CellExceptionIndex.count`: one
+``weight * bit_count()`` term per distinct multiplicity, collapsing to a
+single term when all weights are equal).  Four mask families cover the
+whole pass:
+
+* **exact stage constraints** ``(location prefix, duration)`` — the
+  Apriori alphabet, interned to dense ids with the PR 2
+  :class:`~repro.perf.interning.ItemInterner` and packed with
+  :func:`~repro.perf.bitmap.item_masks`;
+* **location prefixes** — what a ``*``-duration constraint matches;
+* **per-(depth, next location) / per-(depth, duration) outcomes** — the
+  conditional counts of transition/duration exceptions;
+* **cumulative path-length masks** — the ``TERMINATE`` outcome.
+
+:func:`mine_segments_bitmap` reruns the level-wise miner on tid-sets: a
+candidate is a frequent segment extended by one frequent 1-constraint
+whose location prefix strictly extends the chain, and its mask is the
+parent segment's mask AND the appended constraint's mask (memoised along
+the lattice), which deletes the candidates × transactions subset-check
+loop.  Candidates the scan miner's full Apriori subset prune would have
+dropped are supersets of infrequent segments, so they fail the support
+threshold here and the mined dictionaries agree exactly.  The mined masks
+are then reused verbatim by :func:`mine_exceptions_bitmap`, where each
+conditional count in the transition/duration pass is one more
+AND+popcount.
+
+Parity with the scan kernel is exact and non-negotiable: supports and
+conditional counts are identical integers (same candidate universe, same
+thresholds via ``resolve_min_support``), so the
+derived float distributions, deviations, and the canonically-sorted
+exception lists are identical — and serialised cubes stay byte-identical
+(property-tested in ``tests/test_exception_kernel.py``).
+
+Indexes are shared across cells through an optional cache keyed by the
+path-multiset fingerprint (:func:`cell_index`): lattice cells that roll up
+to identical multisets — common near the apex — reuse one index, its mined
+segment masks, and (when segments are mined locally) whole cached
+exception lists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.aggregation import DURATION_ANY_LABEL, WeightedPath
+from repro.core.flowgraph import TERMINATE, FlowGraph
+from repro.core.flowgraph_exceptions import (
+    FlowException,
+    Segment,
+    SegmentConstraint,
+    exception_sort_key,
+    resolve_min_support,
+)
+from repro.perf.bitmap import item_masks
+from repro.perf.interning import ItemInterner
+
+__all__ = [
+    "CellExceptionIndex",
+    "cell_index",
+    "mine_segments_bitmap",
+    "mine_exceptions_bitmap",
+]
+
+class CellExceptionIndex:
+    """One cell's deduplicated path multiset as big-int tid bitmaps.
+
+    Built once per distinct multiset; every question the exception pass
+    asks — segment support, conditional transition counts, conditional
+    duration counts — becomes an AND of masks plus a weighted popcount.
+
+    Attributes:
+        interner: Exact stage constraint → dense id (the Apriori alphabet).
+        exact: Per interned constraint id, the tid mask of paths
+            satisfying it (``item_masks`` layout).
+        prefixes: Location prefix → tid mask of paths whose own location
+            chain starts with it — what a ``*``-duration constraint tests.
+        transitions: Stage depth → {next location → tid mask of paths
+            whose stage at that depth is the location}.
+        durations: Stage depth → {duration label → tid mask of paths with
+            that label at the depth}.
+        weights: Per tid, the path's multiplicity.  Counting never walks
+            this array — paths are grouped by multiplicity into per-weight
+            class masks, so a weighted popcount is a handful of
+            ``weight * (mask & class).bit_count()`` terms.
+        total: Sum of all weights (the cell's path count).
+        mining_cache: ``(min_support, max_length)`` → mined
+            ``(segments, masks)`` pair (see :func:`mine_segments_bitmap`).
+        result_cache: ``(min_support, min_deviation, max_length)`` → the
+            finished exception tuple, for locally-mined runs.
+    """
+
+    __slots__ = (
+        "interner",
+        "exact",
+        "prefixes",
+        "transitions",
+        "durations",
+        "weights",
+        "total",
+        "_uniform",
+        "_classes",
+        "_terminate",
+        "_star_mixed",
+        "mining_cache",
+        "result_cache",
+    )
+
+    def __init__(self, weighted: Sequence[WeightedPath]) -> None:
+        interner = ItemInterner()
+        rows: list[list[int]] = []
+        prefixes: dict[tuple[str, ...], int] = {}
+        transitions: dict[int, dict[str, int]] = {}
+        durations: dict[int, dict[str, int]] = {}
+        lengths: dict[int, int] = {}
+        weights: list[int] = []
+        classes: dict[int, int] = {}
+        max_len = 0
+        bit = 1
+        for path, weight in weighted:
+            weights.append(weight)
+            classes[weight] = classes.get(weight, 0) | bit
+            row: list[int] = []
+            prefix: tuple[str, ...] = ()
+            for depth, (location, duration) in enumerate(path):
+                prefix += (location,)
+                row.append(interner.intern((prefix, duration)))
+                prefixes[prefix] = prefixes.get(prefix, 0) | bit
+                at_depth = transitions.setdefault(depth, {})
+                at_depth[location] = at_depth.get(location, 0) | bit
+                labels = durations.setdefault(depth, {})
+                labels[duration] = labels.get(duration, 0) | bit
+            rows.append(row)
+            n = len(path)
+            lengths[n] = lengths.get(n, 0) | bit
+            if n > max_len:
+                max_len = n
+            bit <<= 1
+        # terminate[d] = paths of length <= d: a path "terminates at" the
+        # node of depth d exactly when it has no stage at index d.
+        terminate: list[int] = []
+        cumulative = 0
+        for depth in range(max_len + 1):
+            cumulative |= lengths.get(depth, 0)
+            terminate.append(cumulative)
+        self.interner = interner
+        self.exact = item_masks(rows, len(interner))
+        self.prefixes = prefixes
+        self.transitions = transitions
+        self.durations = durations
+        self.weights = weights
+        self.total = sum(weights)
+        self._uniform = next(iter(classes)) if len(classes) == 1 else (
+            1 if not classes else None
+        )
+        self._classes = list(classes.items())
+        self._terminate = terminate
+        # The segment miners count a "*"-duration stage as an exact item,
+        # but the exception pass treats the constraint as a wildcard
+        # (``_satisfies``).  The two agree unless the multiset mixes "*"
+        # with concrete durations at the same prefix — flag that case so
+        # the pass knows when a mined mask can't stand in for the
+        # wildcard one.
+        self._star_mixed = any(
+            item[1] == DURATION_ANY_LABEL
+            and self.exact[item_id] != prefixes[item[0]]
+            for item_id, item in enumerate(interner.items)
+        )
+        self.mining_cache: dict = {}
+        self.result_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def count(self, mask: int) -> int:
+        """Weighted popcount: total multiplicity of the mask's paths."""
+        if not mask:
+            return 0
+        uniform = self._uniform
+        if uniform is not None:
+            return uniform * mask.bit_count()
+        total = 0
+        for weight, class_mask in self._classes:
+            hit = mask & class_mask
+            if hit:
+                total += weight * hit.bit_count()
+        return total
+
+    def terminate_mask(self, depth: int) -> int:
+        """Tid mask of paths with no stage at index *depth*."""
+        terminate = self._terminate
+        return terminate[depth] if depth < len(terminate) else terminate[-1]
+
+    def constraint_mask(self, constraint: SegmentConstraint) -> int:
+        """Tid mask of paths satisfying one stage constraint.
+
+        Mirrors ``_satisfies`` exactly: a ``*`` duration matches any label
+        at the stage (the location-prefix mask), anything else needs the
+        exact ``(prefix, duration)`` stage, and a constraint deeper than
+        the path never matches (such paths simply carry no bit).
+        """
+        prefix, duration = constraint
+        if duration == DURATION_ANY_LABEL:
+            return self.prefixes.get(prefix, 0)
+        interner = self.interner
+        if constraint in interner:
+            return self.exact[interner.id_of(constraint)]
+        return 0
+
+    def segment_mask(self, segment: Segment) -> int:
+        """Tid mask of paths satisfying every constraint of *segment*."""
+        mask = self.constraint_mask(segment[0])
+        for constraint in segment[1:]:
+            if not mask:
+                break
+            mask &= self.constraint_mask(constraint)
+        return mask
+
+
+def cell_index(
+    weighted: Sequence[WeightedPath], cache: dict | None = None
+) -> CellExceptionIndex:
+    """The cell's index, shared via *cache* by path-multiset fingerprint.
+
+    The fingerprint is the frozenset of ``(path, weight)`` pairs: cells
+    store each distinct path once (the PR 3 weighted dedupe), so the
+    frozenset determines the multiset exactly, and every count the pass
+    derives is invariant to pair order — lattice cells that roll up to
+    identical multisets share one index, its mined segment masks, and its
+    cached exception lists.  Inputs that *do* repeat a pair (legal for the
+    public ``mine_exceptions`` entry points) would collapse under the
+    fingerprint, so they bypass the cache.
+    """
+    if cache is None:
+        return CellExceptionIndex(weighted)
+    key = frozenset(weighted)
+    if len(key) != len(weighted):
+        return CellExceptionIndex(weighted)
+    index = cache.get(key)
+    if index is None:
+        index = CellExceptionIndex(weighted)
+        cache[key] = index
+    return index
+
+
+def mine_segments_bitmap(
+    index: CellExceptionIndex,
+    min_support: float,
+    max_length: int = 4,
+) -> tuple[dict[Segment, int], dict[Segment, int]]:
+    """Bitmap twin of ``mine_frequent_segments_weighted`` over one index.
+
+    Same thresholds, same frequent segments, but both candidate generation
+    and counting exploit the chain structure.  A segment is a chain of
+    nested prefixes with strictly increasing lengths, so every frequent
+    ``(k+1)``-segment is its drop-last parent (frequent at level *k*)
+    extended by one frequent constraint whose prefix strictly extends the
+    chain's deepest prefix — each candidate is generated exactly once from
+    its unique parent, replacing the pairwise Apriori join (tail sorting,
+    nesting checks, subset probes) with a per-prefix extension table.  A
+    candidate's mask is its parent's memoised mask AND the appended
+    constraint's exact mask; candidates the full subset prune would have
+    dropped simply fail the ≥ δ count (any superset of an infrequent set
+    is infrequent), so the mined result is identical to the scan miner's.
+
+    Returns:
+        ``(segment → support, segment → tid mask)``; the masks cover every
+        frequent segment so the exception pass reuses them directly, and
+        the segments are already in canonical (prefix-length) order.
+    """
+    cache_key = (min_support, max_length)
+    cached = index.mining_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    threshold = resolve_min_support(min_support, index.total)
+    exact = index.exact
+    # Inline the weighted popcount (see ``CellExceptionIndex.count``):
+    # the candidate loops below are the hottest counting site in the
+    # kernel, and a per-candidate method call costs as much as the AND.
+    uniform = index._uniform
+    classes = index._classes
+    result: dict[Segment, int] = {}
+    masks: dict[Segment, int] = {}
+    frequent_items: list[tuple[SegmentConstraint, int]] = []
+    for item_id, item in enumerate(index.interner.items):
+        mask = exact[item_id]
+        if uniform is not None:
+            support = uniform * mask.bit_count()
+        else:
+            support = 0
+            for weight, class_mask in classes:
+                hit = mask & class_mask
+                if hit:
+                    support += weight * hit.bit_count()
+        if support >= threshold:
+            segment = (item,)
+            result[segment] = support
+            masks[segment] = mask
+            frequent_items.append((item, item_id))
+    # extensions[p] = frequent constraints whose prefix strictly extends p.
+    extensions: dict[tuple[str, ...], list[tuple[SegmentConstraint, int]]] = {}
+    for item, item_id in frequent_items:
+        prefix = item[0]
+        for cut in range(1, len(prefix)):
+            extensions.setdefault(prefix[:cut], []).append((item, item_id))
+    frontier: list[Segment] = list(result)
+    length = 1
+    while frontier and length < max_length:
+        next_frontier: list[Segment] = []
+        for segment in frontier:
+            grow = extensions.get(segment[-1][0])
+            if not grow:
+                continue
+            segment_mask = masks[segment]
+            for item, item_id in grow:
+                mask = segment_mask & exact[item_id]
+                if not mask:
+                    continue
+                if uniform is not None:
+                    support = uniform * mask.bit_count()
+                else:
+                    support = 0
+                    for weight, class_mask in classes:
+                        hit = mask & class_mask
+                        if hit:
+                            support += weight * hit.bit_count()
+                if support >= threshold:
+                    candidate = segment + (item,)
+                    result[candidate] = support
+                    masks[candidate] = mask
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+        length += 1
+    index.mining_cache[cache_key] = (result, masks)
+    return result, masks
+
+
+def mine_exceptions_bitmap(
+    graph: FlowGraph,
+    weighted: Sequence[WeightedPath],
+    min_support: float,
+    min_deviation: float,
+    segments: Iterable[Segment] | None = None,
+    max_segment_length: int = 4,
+    index_cache: dict | None = None,
+) -> list[FlowException]:
+    """``mine_exceptions_weighted``'s body under ``kernel="bitmap"``.
+
+    Semantics, arguments, and output are exactly the scan kernel's —
+    including attaching the sorted list to ``graph.exceptions``.  With an
+    *index_cache* and locally-mined segments, the finished exception list
+    itself is memoised per ``(δ, ε, max length)``: the exceptions are a
+    pure function of the path multiset (the graph's distributions are
+    derived from the same multiset), so cells sharing a fingerprint share
+    the result outright.
+    """
+    index = cell_index(weighted, index_cache)
+    result_key = None
+    if segments is None and index_cache is not None:
+        result_key = (min_support, min_deviation, max_segment_length)
+        cached = index.result_cache.get(result_key)
+        if cached is not None:
+            exceptions = list(cached)
+            graph.exceptions = exceptions
+            return exceptions
+    threshold = resolve_min_support(min_support, index.total)
+    local = False
+    supports: dict[Segment, int] = {}
+    masks: dict[Segment, int] = {}
+    if segments is None:
+        supports, masks = mine_segments_bitmap(
+            index, min_support, max_length=max_segment_length
+        )
+        segments = supports
+        local = True
+    count = index.count
+    # When every path has the same multiplicity, a weighted popcount is
+    # just ``uniform * bit_count()`` — inline it in the hot loops to skip
+    # the method dispatch on every AND.
+    uniform = index._uniform
+    star_mixed = index._star_mixed
+    exceptions: list[FlowException] = []
+    #: deepest prefix -> per-node invariants, or None for absent nodes.
+    node_cache: dict[tuple[str, ...], tuple | None] = {}
+    #: (deepest prefix, tid mask) -> probe templates.  Segments that pin
+    #: the same node with the same satisfying path set produce the same
+    #: supports, deviations, and conditionals — only their ``condition``
+    #: differs — and duplicate probes dominate dense lattices, so the
+    #: counting work is done once per distinct (node, mask) pair.
+    probe_cache: dict[tuple[tuple[str, ...], int], list] = {}
+    for segment in segments:
+        if not segment:
+            continue
+        if local:
+            # Mined segments are already canonical (sorted by prefix
+            # length) with known ≥-threshold supports and memoised masks.
+            ordered = segment
+        else:
+            ordered = tuple(sorted(segment, key=lambda c: len(c[0])))
+        deepest_prefix = ordered[-1][0]
+        at_node = node_cache.get(deepest_prefix, _MISSING)
+        if at_node is _MISSING:
+            at_node = _node_invariants(graph, index, deepest_prefix)
+            node_cache[deepest_prefix] = at_node
+        if at_node is None:
+            continue  # the graph has no such node
+        if local:
+            if star_mixed and any(
+                duration == DURATION_ANY_LABEL for _, duration in ordered
+            ):
+                # The mined mask counted "*" as an exact stage; the pass
+                # treats it as a wildcard.  The wildcard mask is a
+                # superset of the exact one, so the segment stays
+                # frequent — just recount through the prefix masks.
+                mask = index.segment_mask(ordered)
+                support = count(mask)
+            else:
+                mask = masks[ordered]
+                support = supports[ordered]
+        else:
+            mask = index.segment_mask(ordered)
+            support = count(mask)
+            if support < threshold:
+                continue
+        probe_key = (deepest_prefix, mask)
+        templates = probe_cache.get(probe_key)
+        if templates is None:
+            templates = _probe_node(
+                deepest_prefix, at_node, mask, support, threshold,
+                uniform, count, min_deviation,
+            )
+            probe_cache[probe_key] = templates
+        for prefix, kind, probe_support, baseline, conditional, dev in templates:
+            exceptions.append(
+                FlowException(
+                    node_prefix=prefix,
+                    condition=ordered,
+                    kind=kind,
+                    support=probe_support,
+                    baseline=baseline,
+                    conditional=conditional,
+                    deviation=dev,
+                )
+            )
+    exceptions.sort(key=exception_sort_key)
+    if result_key is not None:
+        index.result_cache[result_key] = tuple(exceptions)
+    graph.exceptions = exceptions
+    return exceptions
+
+
+_MISSING = object()
+
+
+def _probe_node(
+    node_prefix: tuple[str, ...],
+    at_node: tuple,
+    mask: int,
+    support: int,
+    threshold: int,
+    uniform: int | None,
+    count,
+    min_deviation: float,
+) -> list[tuple]:
+    """All exceptions one (node, mask) pair yields, minus the condition.
+
+    Returns ``(node_prefix, kind, support, baseline, conditional,
+    deviation)`` templates — everything a :class:`FlowException` needs
+    except the triggering segment, which the caller stamps on.  Cached per
+    ``(deepest prefix, mask)``: distinct segments routinely select the
+    same path set at the same node, and the probe is a pure function of
+    that pair.
+    """
+    (_, transition_baseline, transition_items, ended_mask,
+     label_items, children) = at_node
+    templates: list[tuple] = []
+
+    # --- transition exception at the deepest node ----------------------
+    counts: dict[str, int] = {}
+    if uniform is not None:
+        for location, location_mask in transition_items:
+            hits = mask & location_mask
+            if hits:
+                counts[location] = uniform * hits.bit_count()
+        ended = mask & ended_mask
+        if ended:
+            counts[TERMINATE] = uniform * ended.bit_count()
+    else:
+        for location, location_mask in transition_items:
+            hits = mask & location_mask
+            if hits:
+                counts[location] = count(hits)
+        ended = mask & ended_mask
+        if ended:
+            counts[TERMINATE] = count(ended)
+    # Every masked path either continues to some location at this depth
+    # or terminates here, so the counts partition the mask and sum
+    # exactly to the segment's support.
+    deviation, conditional = _deviate(
+        transition_baseline, counts, support, min_deviation
+    )
+    if conditional is not None:
+        templates.append((
+            node_prefix, "transition", support,
+            transition_baseline, conditional, deviation,
+        ))
+
+    # --- duration exceptions at the node's children --------------------
+    for location, location_mask, child_prefix, child_baseline in children:
+        child_mask = mask & location_mask
+        if not child_mask:
+            continue
+        child_support = (
+            uniform * child_mask.bit_count()
+            if uniform is not None
+            else count(child_mask)
+        )
+        if child_support < threshold:
+            continue
+        counts = {}
+        if uniform is not None:
+            for label, label_mask in label_items:
+                hits = child_mask & label_mask
+                if hits:
+                    counts[label] = uniform * hits.bit_count()
+        else:
+            for label, label_mask in label_items:
+                hits = child_mask & label_mask
+                if hits:
+                    counts[label] = count(hits)
+        # Every path through the child has exactly one duration label
+        # there, so the counts sum to the child's support.
+        deviation, conditional = _deviate(
+            child_baseline, counts, child_support, min_deviation
+        )
+        if conditional is not None:
+            templates.append((
+                child_prefix, "duration", child_support,
+                child_baseline, conditional, deviation,
+            ))
+    return templates
+
+
+def _node_invariants(
+    graph: FlowGraph, index: CellExceptionIndex, prefix: tuple[str, ...]
+) -> tuple | None:
+    """Everything about one deepest node that is segment-independent.
+
+    Many segments share a deepest node; its baselines, outcome mask lists,
+    and child table only depend on the node, so they are computed once per
+    cell and reused across those segments.  Returns ``None`` when the
+    graph has no node at *prefix*.
+    """
+    if not graph.has_node(prefix):
+        return None
+    node = graph.node(prefix)
+    depth = len(prefix)
+    at_depth = index.transitions.get(depth, {})
+    children = [
+        (
+            location,
+            at_depth.get(location, 0),
+            child.prefix,
+            child.duration_distribution(),
+        )
+        for location, child in node.children.items()
+    ]
+    return (
+        node,
+        node.transition_distribution(),
+        list(at_depth.items()),
+        index.terminate_mask(depth),
+        list(index.durations.get(depth, {}).items()),
+        children,
+    )
+
+
+def _deviate(
+    baseline: dict[str, float],
+    counts: dict[str, int],
+    total: int,
+    min_deviation: float,
+) -> tuple[float, dict[str, float] | None]:
+    """Fused ``_normalise`` + ``_max_deviation`` with a lazy conditional.
+
+    Returns ``(deviation, conditional)`` where *conditional* is the
+    normalised distribution when ``deviation > min_deviation`` and
+    ``None`` otherwise — most probes don't deviate, so the float dict is
+    only materialised for actual exceptions.  *total* is the caller's
+    already-counted mask support (the counts partition the mask, so it
+    equals their sum), and the divisions are the same ``n / total`` the
+    scan kernel performs, so emitted values are bit-identical.
+    """
+    deviation = 0.0
+    if total == 0:
+        for probability in baseline.values():
+            magnitude = abs(probability)
+            if magnitude > deviation:
+                deviation = magnitude
+        if deviation > min_deviation:
+            return deviation, {}
+        return deviation, None
+    get = baseline.get
+    for key, n in counts.items():
+        magnitude = abs(get(key, 0.0) - n / total)
+        if magnitude > deviation:
+            deviation = magnitude
+    if len(counts) != len(baseline):
+        # The masked paths are a subset of the cell's paths, so every
+        # counted outcome appears in the baseline: equal sizes mean equal
+        # key sets and the absent-outcome sweep has nothing to add.
+        for key, probability in baseline.items():
+            if key not in counts:
+                magnitude = abs(probability)
+                if magnitude > deviation:
+                    deviation = magnitude
+    if deviation > min_deviation:
+        return deviation, {key: n / total for key, n in counts.items()}
+    return deviation, None

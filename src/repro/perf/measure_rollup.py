@@ -45,9 +45,10 @@ from repro.core.aggregation import AggregatedPath, aggregate_path
 from repro.core.flowcube import Cell, CellKey, Cuboid
 from repro.core.flowgraph import FlowGraph
 from repro.core.flowgraph_exceptions import (
+    EXCEPTION_KERNELS,
     Segment,
-    mine_exceptions_weighted,
     resolve_min_support,
+    serial_exception_pass,
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
 from repro.errors import CubeError
@@ -360,16 +361,28 @@ def assemble_cuboids(
         tuple[ItemLevel, PathLevel, CellKey], Sequence[Segment]
     ]
     | None,
+    kernel: str = "bitmap",
+    exception_pass=None,
 ) -> Iterator[Cuboid]:
     """Yield finished cuboids in the direct builder's (item, path) order.
 
     Applies the iceberg threshold, builds cells from the derived weighted
-    paths and flowgraphs, and runs the holistic exception pass per cell.
+    paths and flowgraphs, and runs the holistic exception pass per cuboid
+    batch through *exception_pass* — a ``run(batch)`` callable over
+    ``(graph, weighted, segments)`` triples (see
+    :func:`~repro.core.flowgraph_exceptions.serial_exception_pass`; the
+    out-of-core builder substitutes a pool-fanned runner).  Defaults to a
+    fresh serial runner over *kernel*.
     """
+    if exception_pass is None and compute_exceptions:
+        exception_pass = serial_exception_pass(
+            min_support, min_deviation, kernel=kernel
+        )
     for item_level in levels:
         level_data = data[item_level]
         for level_id, path_level in enumerate(path_lattice):
             cuboid = Cuboid(item_level, path_level)
+            batch = []
             for key, record_ids in level_data.groups.items():
                 if len(record_ids) < threshold:
                     continue  # iceberg condition
@@ -389,14 +402,10 @@ def assemble_cuboids(
                         segments = segments_by_cell.get(
                             (item_level, path_level, key)
                         )
-                    mine_exceptions_weighted(
-                        graph,
-                        weighted,
-                        min_support=min_support,
-                        min_deviation=min_deviation,
-                        segments=segments,
-                    )
+                    batch.append((graph, weighted, segments))
                 cuboid.cells[key] = cell
+            if batch:
+                exception_pass(batch)
             yield cuboid
 
 
@@ -412,6 +421,7 @@ def build_rollup(
         tuple[ItemLevel, PathLevel, CellKey], Sequence[Segment]
     ]
     | None = None,
+    kernel: str = "bitmap",
     stats: object | None = None,
 ):
     """In-memory roll-up build — ``FlowCube.build(engine="rollup")``'s body.
@@ -420,12 +430,18 @@ def build_rollup(
         cube_cls: The :class:`~repro.core.flowcube.FlowCube` class (passed
             in to keep the import lazy on the flowcube side).
         database: The path database.
+        kernel: Exception-pass kernel, ``"bitmap"`` or ``"scan"``.
         stats: Optional sink with ``add_phase(name, seconds)``; the record
-            scan lands in ``aggregate`` and derivation + assembly in
-            ``materialize``.
+            scan lands in ``aggregate``, derivation + assembly in
+            ``materialize``, and the holistic pass in ``exceptions``.
 
     The remaining arguments mirror :meth:`FlowCube.build`.
     """
+    if kernel not in EXCEPTION_KERNELS:
+        raise CubeError(
+            f"unknown exception kernel {kernel!r}; expected one of "
+            f"{EXCEPTION_KERNELS}"
+        )
     schema = database.schema
     item_lattice = ItemLattice([h.depth for h in schema.dimensions])
     if path_lattice is None:
@@ -456,11 +472,22 @@ def build_rollup(
     )
     prune_to_iceberg(data, threshold)
     del groups_by_root, weighted_by_root
+    runner = (
+        serial_exception_pass(min_support, min_deviation, kernel=kernel)
+        if compute_exceptions
+        else None
+    )
     for cuboid in assemble_cuboids(
         levels, path_lattice, data, threshold, min_support, min_deviation,
-        compute_exceptions, segments_by_cell,
+        compute_exceptions, segments_by_cell, kernel=kernel,
+        exception_pass=runner,
     ):
         cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
     if stats is not None:
-        stats.add_phase("materialize", perf_counter() - phase)
+        exception_seconds = runner.seconds if runner is not None else 0.0
+        if compute_exceptions:
+            stats.add_phase("exceptions", exception_seconds)
+        stats.add_phase(
+            "materialize", perf_counter() - phase - exception_seconds
+        )
     return cube

@@ -54,6 +54,7 @@ from collections import Counter
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.aggregation import aggregate_path, weight_paths
 from repro.core.flowcube import Cell, CellKey, Cuboid, FlowCube
@@ -62,6 +63,7 @@ from repro.core.flowgraph_exceptions import (
     Segment,
     mine_exceptions_weighted,
     resolve_min_support,
+    serial_exception_pass,
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
 from repro.encoding.transactions import TransactionDatabase
@@ -112,10 +114,11 @@ class BuildStats:
         elapsed_seconds: Wall-clock time of the build.
         phase_seconds: Wall-clock per build phase — ``membership`` (the
             direct engine's id-grouping pass), ``aggregate`` (record
-            scanning / path aggregation), and ``materialize`` (measure
-            derivation, cell assembly, and exception mining) — alongside
-            the mining phases a :class:`~repro.mining.stats.MiningStats`
-            tracks.
+            scanning / path aggregation), ``materialize`` (measure
+            derivation and cell assembly), and ``exceptions`` (the
+            per-cell holistic exception pass, serial or pool-fanned) —
+            alongside the mining phases a
+            :class:`~repro.mining.stats.MiningStats` tracks.
     """
 
     partitions: int = 0
@@ -130,6 +133,22 @@ class BuildStats:
     def add_phase(self, name: str, seconds: float) -> None:
         """Accumulate wall-clock time into the named phase bucket."""
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot, e.g. for ``CubeStore`` metadata."""
+        return {
+            "partitions": self.partitions,
+            "records": self.records,
+            "scans": self.scans,
+            "max_live_transaction_dbs": self.max_live_transaction_dbs,
+            "cuboids": self.cuboids,
+            "cells": self.cells,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "phase_seconds": {
+                name: round(seconds, 4)
+                for name, seconds in sorted(self.phase_seconds.items())
+            },
+        }
 
 
 class _LiveTracker:
@@ -360,8 +379,47 @@ def _worker_partition(partition_id: int, encode: bool):
     return cached
 
 
+def _exceptions_batch(
+    batch: list, min_support: float, min_deviation: float, kernel: str
+) -> list:
+    """Mine one batch of cells' exceptions inside a worker process.
+
+    Each entry is ``(weighted, segments)``; the flowgraph is rebuilt
+    worker-side from the weighted multiset — its distributions are pure
+    functions of the multiset (Lemma 4.2), so the baselines match the
+    parent's graph exactly — and only the picklable exception list travels
+    back.  The per-process index cache persists across batches, so cells
+    sharing a path-multiset fingerprint reuse one bitmap index even when
+    they arrive in different cuboid batches.
+    """
+    index_cache = _WORKER_CTX.setdefault("exception_indexes", {})
+    out = []
+    for weighted, segments in batch:
+        graph = FlowGraph()
+        for path, weight in weighted:
+            graph.add_path(path, weight)
+        out.append(
+            mine_exceptions_weighted(
+                graph,
+                weighted,
+                min_support=min_support,
+                min_deviation=min_deviation,
+                segments=segments,
+                kernel=kernel,
+                index_cache=index_cache,
+            )
+        )
+    return out
+
+
 def _worker_task(task: tuple):
     kind, partition_id, payload = task
+    if kind == "exceptions":
+        # Cell-level work: no partition to load (the batch already carries
+        # the weighted path multisets), so branch before the partition
+        # cache — partition_id is only the pool's round-robin slot here.
+        batch, min_support, min_deviation, kernel = payload
+        return _exceptions_batch(batch, min_support, min_deviation, kernel)
     store: PartitionedPathStore = _WORKER_CTX["store"]
     path_lattice: PathLattice = _WORKER_CTX["lattice"]
     cached = _worker_partition(partition_id, encode=kind in ("scan1", "count"))
@@ -424,6 +482,51 @@ def _close_pools(pools: list[ProcessPoolExecutor] | None) -> None:
     if pools:
         for pool in pools:
             pool.shutdown()
+
+
+def _pooled_exception_pass(
+    pools: list[ProcessPoolExecutor],
+    min_support: float,
+    min_deviation: float,
+    kernel: str,
+):
+    """Per-cell exception mining fanned out over the partition pools.
+
+    Cube assembly runs after aggregation, when the partition-affine pools
+    sit idle — so each cuboid's cell batch is striped round-robin across
+    them (``batch[i::n_pools]``, a deterministic split) and the returned
+    exception lists are reattached positionally to the parents' graphs.
+    Same ``run(batch)`` contract and ``run.seconds`` accounting as
+    :func:`~repro.core.flowgraph_exceptions.serial_exception_pass`; the
+    lists are identical to a serial pass because each worker rebuilds the
+    cell graph from the same weighted multiset and the per-cell mining is
+    independent.
+    """
+    n_pools = len(pools)
+
+    def run(batch) -> None:
+        started = perf_counter()
+        futures = []
+        for index, pool in enumerate(pools):
+            chunk = batch[index::n_pools]
+            if not chunk:
+                continue
+            payload = (
+                [(weighted, segments) for _, weighted, segments in chunk],
+                min_support,
+                min_deviation,
+                kernel,
+            )
+            futures.append(
+                (chunk, pool.submit(_worker_task, ("exceptions", index, payload)))
+            )
+        for chunk, future in futures:
+            for (graph, _, _), exceptions in zip(chunk, future.result()):
+                graph.exceptions = exceptions
+        run.seconds += perf_counter() - started
+
+    run.seconds = 0.0
+    return run
 
 
 def _scan_partitions(
@@ -714,11 +817,15 @@ def build_cube(
             persisted and dropped as soon as it is built, keeping the
             output out-of-core too.
         stats: Optional :class:`BuildStats` to fill.
-        kernel: Counting kernel forwarded to :func:`shared_mine_store`
-            when *use_shared* is set.
-        jobs: Partition scans (membership, aggregation, and the optional
-            Shared pre-mine) run on a process pool of this size when
-            ``> 1``; the built cube is identical either way.
+        kernel: ``"bitmap"`` (default) or ``"scan"`` — selects both the
+            counting kernel :func:`shared_mine_store` uses when
+            *use_shared* is set and the per-cell exception kernel
+            (:mod:`repro.perf.exception_kernel` vs the per-path re-scan).
+            Identical cubes either way.
+        jobs: Partition scans (membership, aggregation, the optional
+            Shared pre-mine, and the per-cell exception pass) run on a
+            process pool of this size when ``> 1``; the built cube is
+            identical either way.
         engine: ``"rollup"`` (default) or ``"direct"``; both engines —
             serial or parallel, in-memory or out-of-core — produce
             byte-identical serialised cubes (asserted by the property
@@ -731,6 +838,10 @@ def build_cube(
     if engine not in ENGINES:
         raise CubeError(
             f"unknown measure engine {engine!r}; expected one of {ENGINES}"
+        )
+    if kernel not in STORE_KERNELS:
+        raise CubeError(
+            f"unknown kernel {kernel!r}; expected one of {STORE_KERNELS}"
         )
     jobs = _validate_jobs(jobs)
     started = time.perf_counter()
@@ -765,11 +876,18 @@ def build_cube(
         return _build_cube_rollup(
             store, path_lattice, levels, item_lattice, threshold,
             min_support, min_deviation, compute_exceptions, segments_by_cell,
-            into, build_stats, jobs, started,
+            into, build_stats, jobs, started, kernel,
         )
 
     tracker = _LiveTracker()
     pools = _open_pools(store, path_lattice, jobs)
+    exception_pass = None
+    if compute_exceptions:
+        exception_pass = (
+            _pooled_exception_pass(pools, min_support, min_deviation, kernel)
+            if pools is not None
+            else serial_exception_pass(min_support, min_deviation, kernel)
+        )
     try:
         # --- Membership pass: record ids per cell, for every item level --
         phase = time.perf_counter()
@@ -823,6 +941,7 @@ def build_cube(
         ) -> None:
             for level_id, path_level in enumerate(path_lattice):
                 cuboid = Cuboid(item_level, path_level)
+                batch = []
                 for key, record_ids in iceberg.items():
                     weighted = weight_paths(
                         paths_by_cell.get((key, level_id), ())
@@ -844,14 +963,10 @@ def build_cube(
                             segments = segments_by_cell.get(
                                 (item_level, path_level, key)
                             )
-                        mine_exceptions_weighted(
-                            graph,
-                            weighted,
-                            min_support=min_support,
-                            min_deviation=min_deviation,
-                            segments=segments,
-                        )
+                        batch.append((graph, weighted, segments))
                     cuboid.cells[key] = cell
+                if batch:
+                    exception_pass(batch)
                 build_stats.cuboids += 1
                 build_stats.cells += len(cuboid)
                 if into is not None:
@@ -893,7 +1008,14 @@ def build_cube(
                 levels, iceberg_by_level, merged
             ):
                 assemble_level(item_level, iceberg, paths_by_cell)
-        build_stats.add_phase("materialize", time.perf_counter() - phase)
+        exception_seconds = (
+            exception_pass.seconds if exception_pass is not None else 0.0
+        )
+        if compute_exceptions:
+            build_stats.add_phase("exceptions", exception_seconds)
+        build_stats.add_phase(
+            "materialize", time.perf_counter() - phase - exception_seconds
+        )
     finally:
         _close_pools(pools)
 
@@ -902,7 +1024,7 @@ def build_cube(
     )
     build_stats.elapsed_seconds += time.perf_counter() - started
     if into is not None:
-        into.flush()
+        into.flush(build_stats=build_stats)
         return into
     return cube
 
@@ -921,6 +1043,7 @@ def _build_cube_rollup(
     build_stats: BuildStats,
     jobs: int,
     started: float,
+    kernel: str = "bitmap",
 ):
     """``build_cube``'s roll-up engine body: one scan, then pure merges.
 
@@ -930,12 +1053,20 @@ def _build_cube_rollup(
     them identical to an in-memory single scan.  Every remaining level
     derives by merging child cells — no further partition reads — so the
     whole build costs one pass regardless of how many item levels are
-    materialised.
+    materialised.  The pools outlive the scan: assembly re-uses them to
+    fan the per-cell exception pass out across cells.
     """
     plan = derivation_plan(levels)
     root_levels = tuple(level for level, source in plan if source is None)
     tracker = _LiveTracker()
     pools = _open_pools(store, path_lattice, jobs)
+    exception_pass = None
+    if compute_exceptions:
+        exception_pass = (
+            _pooled_exception_pass(pools, min_support, min_deviation, kernel)
+            if pools is not None
+            else serial_exception_pass(min_support, min_deviation, kernel)
+        )
     try:
         phase = time.perf_counter()
         groups_by_root: list[dict[CellKey, list[int]]] = [
@@ -952,42 +1083,50 @@ def _build_cube_rollup(
                 groups_by_root, weighted_by_root, part_groups, part_weighted
             )
         build_stats.add_phase("aggregate", time.perf_counter() - phase)
+
+        if into is not None:
+            into.create(path_lattice, min_support, min_deviation)
+            cube = None
+        else:
+            cube = FlowCube(
+                store.load_all(), item_lattice, path_lattice, min_support,
+                min_deviation,
+            )
+
+        phase = time.perf_counter()
+        data = derive_levels(
+            plan, groups_by_root, weighted_by_root, root_levels,
+            store.schema.dimensions, len(path_lattice), threshold,
+        )
+        prune_to_iceberg(data, threshold)
+        del groups_by_root, weighted_by_root
+        for cuboid in assemble_cuboids(
+            levels, path_lattice, data, threshold, min_support, min_deviation,
+            compute_exceptions, segments_by_cell, kernel=kernel,
+            exception_pass=exception_pass,
+        ):
+            build_stats.cuboids += 1
+            build_stats.cells += len(cuboid)
+            if into is not None:
+                into.put_cuboid(cuboid)
+            else:
+                cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
+        exception_seconds = (
+            exception_pass.seconds if exception_pass is not None else 0.0
+        )
+        if compute_exceptions:
+            build_stats.add_phase("exceptions", exception_seconds)
+        build_stats.add_phase(
+            "materialize", time.perf_counter() - phase - exception_seconds
+        )
     finally:
         _close_pools(pools)
-
-    if into is not None:
-        into.create(path_lattice, min_support, min_deviation)
-        cube = None
-    else:
-        cube = FlowCube(
-            store.load_all(), item_lattice, path_lattice, min_support,
-            min_deviation,
-        )
-
-    phase = time.perf_counter()
-    data = derive_levels(
-        plan, groups_by_root, weighted_by_root, root_levels,
-        store.schema.dimensions, len(path_lattice), threshold,
-    )
-    prune_to_iceberg(data, threshold)
-    del groups_by_root, weighted_by_root
-    for cuboid in assemble_cuboids(
-        levels, path_lattice, data, threshold, min_support, min_deviation,
-        compute_exceptions, segments_by_cell,
-    ):
-        build_stats.cuboids += 1
-        build_stats.cells += len(cuboid)
-        if into is not None:
-            into.put_cuboid(cuboid)
-        else:
-            cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
-    build_stats.add_phase("materialize", time.perf_counter() - phase)
 
     build_stats.max_live_transaction_dbs = max(
         build_stats.max_live_transaction_dbs, tracker.peak
     )
     build_stats.elapsed_seconds += time.perf_counter() - started
     if into is not None:
-        into.flush()
+        into.flush(build_stats=build_stats)
         return into
     return cube

@@ -134,6 +134,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "per item level (identical output)"
         ),
     )
+    build.add_argument(
+        "--kernel",
+        choices=("bitmap", "scan"),
+        default="bitmap",
+        help=(
+            "counting kernel for Shared pre-mining and the per-cell "
+            "exception pass: 'bitmap' answers every count with an AND + "
+            "popcount over tid bitmaps; 'scan' re-walks the paths "
+            "(identical output)"
+        ),
+    )
 
     query = sub.add_parser("query", help="render one cell's flowgraph")
     query.add_argument("store")
@@ -257,6 +268,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         stats=stats,
         jobs=args.jobs,
         engine=args.engine,
+        kernel=args.kernel,
     )
     print(
         f"built {stats.cells} cells in {stats.cuboids} cuboids from "
@@ -265,6 +277,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
         f"({stats.scans} partition scans, peak "
         f"{stats.max_live_transaction_dbs} encoded partition(s) in memory)"
     )
+    if stats.phase_seconds:
+        breakdown = ", ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in sorted(stats.phase_seconds.items())
+        )
+        print(f"phases: {breakdown}")
     return 0
 
 

@@ -115,6 +115,9 @@ class CubeStore:
         self.min_support: float | None = None
         self.min_deviation: float | None = None
         self.path_lattice: PathLattice | None = None
+        #: :meth:`BuildStats.as_dict` snapshot of the build that produced
+        #: the persisted cube, when the builder passed one to :meth:`flush`.
+        self.build_stats: dict | None = None
         self._cache: LRUCache = LRUCache(cache_size)
         #: (item level, path-level id) -> {cell key -> index entry}.
         self._index: dict[tuple[ItemLevel, int], dict[CellKey, dict]] = {}
@@ -140,6 +143,7 @@ class CubeStore:
         self.path_lattice = path_lattice
         self.min_support = min_support
         self.min_deviation = min_deviation
+        self.build_stats = None
         self._index.clear()
         self._cache.clear()
         self._n_files = 0
@@ -191,8 +195,16 @@ class CubeStore:
         for cell in cuboid:
             self.put_cell(cell)
 
-    def flush(self) -> None:
-        """Write the meta file (index + lattice + thresholds) atomically."""
+    def flush(self, build_stats=None) -> None:
+        """Write the meta file (index + lattice + thresholds) atomically.
+
+        Args:
+            build_stats: Optional :class:`~repro.store.builder.BuildStats`
+                of the build being flushed; its :meth:`~BuildStats.as_dict`
+                snapshot (records, cells, per-phase seconds — including the
+                ``exceptions`` bucket) is persisted alongside the index so
+                ``flowcube-store stats`` can report it later.
+        """
         lattice = self._require_built()
         cells = []
         for (item_level, level_id), entries in self._index.items():
@@ -205,6 +217,8 @@ class CubeStore:
                         **entry,
                     }
                 )
+        if build_stats is not None:
+            self.build_stats = build_stats.as_dict()
         payload = {
             "min_support": self.min_support,
             "min_deviation": self.min_deviation,
@@ -212,6 +226,8 @@ class CubeStore:
             "n_files": self._n_files,
             "cells": cells,
         }
+        if self.build_stats is not None:
+            payload["build_stats"] = self.build_stats
         self.directory.mkdir(parents=True, exist_ok=True)
         temp = self.directory / (META_FILENAME + ".tmp")
         temp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
@@ -227,6 +243,7 @@ class CubeStore:
             for level in payload["path_lattice"]
         )
         self._n_files = int(payload.get("n_files", len(payload["cells"])))
+        self.build_stats = payload.get("build_stats")
         self._index.clear()
         for entry in payload["cells"]:
             item_level = ItemLevel(entry["item_level"])
@@ -368,7 +385,7 @@ class CubeStore:
 
     def describe(self) -> dict[str, object]:
         """Summary statistics for reporting."""
-        return {
+        out: dict[str, object] = {
             "built": self.is_built,
             "cuboids": len(self._index),
             "cells": self.n_cells(),
@@ -376,3 +393,6 @@ class CubeStore:
             "min_deviation": self.min_deviation,
             "cache": self.cache_stats(),
         }
+        if self.build_stats is not None:
+            out["build_stats"] = self.build_stats
+        return out

@@ -46,6 +46,32 @@ class TestResolveMinSupport:
         assert resolve_min_support(0, 100) == 1
         assert resolve_min_support(0.0001, 10) == 1
 
+    def test_one_boundary_pins_fraction_vs_absolute(self):
+        """δ = 1.0 is an *absolute* count of 1; δ = 0.999 is a fraction.
+
+        The boundary is easy to get backwards in a kernel rewrite: 0.999
+        of 250 paths rounds up to all 250 of them, while 1.0 falls through
+        to the absolute branch and keeps everything with a single
+        occurrence.
+        """
+        assert resolve_min_support(1.0, 250) == 1
+        assert resolve_min_support(0.999, 250) == 250
+        assert resolve_min_support(1.0, 1) == 1
+        assert resolve_min_support(0.999, 1) == 1
+
+    def test_one_boundary_changes_mined_segments(self):
+        """The δ = 1.0 / 0.999 split is visible in mining output."""
+        paths = make_paths(
+            [
+                ((("f", "1"), ("w", "2")), 9),
+                ((("f", "2"), ("s", "1")), 1),
+            ]
+        )
+        everything = mine_frequent_segments(paths, min_support=1.0)
+        unanimous = mine_frequent_segments(paths, min_support=0.999)
+        assert ((("f",), "2"),) in everything  # absolute threshold 1
+        assert unanimous == {}  # no stage constraint holds on all 10
+
 
 class TestSatisfies:
     def test_exact_constraint(self):
