@@ -17,13 +17,20 @@ Six questions the store and perf layers have to answer honestly:
   direct per-item-level builder (in memory and out-of-core, across
   worker-pool sizes), given that both produce byte-identical cubes;
 * what hit rate does the cube-store LRU cache reach once a query
-  workload re-reads cells it has already materialised.
+  workload re-reads cells it has already materialised;
+* what the bitmap query kernel buys on the serving path: a cold slice
+  over the cube store with the index-first kernel (predicates answered
+  from the key catalog, only matching cells read) vs the seed full scan,
+  a warm slice served from the query cache, and a roll-up answered by
+  the derivation planner vs read from a materialised cuboid — with the
+  derived answer checked byte-identical to a direct build.
 
 ``python benchmarks/bench_store.py`` runs the full sweep and writes
 ``BENCH_store.json`` at the repository root plus the measure-engine
-section alone as ``BENCH_flowgraph.json``; ``--quick`` runs a
-CI-smoke-sized subset of the same paths in well under a minute.  The
-pytest entries below are CI-sized spot checks.
+section alone as ``BENCH_flowgraph.json`` and the query sweep as
+``BENCH_query.json``; ``--quick`` runs a CI-smoke-sized subset of the
+same paths in well under a minute.  The pytest entries below are
+CI-sized spot checks.
 """
 
 from __future__ import annotations
@@ -41,11 +48,11 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.core import FlowCube
-from repro.core.lattice import PathLattice
+from repro.core.lattice import ItemLevel, PathLattice
 from repro.core.serialization import cube_to_json
 from repro.encoding.transactions import TransactionDatabase
 from repro.mining import shared_mine
-from repro.query import FlowCubeQuery
+from repro.query import FlowCubeQuery, derive_cuboid, plan_derivation
 from repro.store import (
     BuildStats,
     PartitionedPathStore,
@@ -342,6 +349,143 @@ def _cache_hit_rate(store: PartitionedPathStore) -> dict:
     return served.cache_stats()
 
 
+def _derived_byte_identical(database) -> bool:
+    """Derived roll-up vs direct build, byte-for-byte (unpruned source).
+
+    The planner's exactness contract: with the resolved iceberg threshold
+    at 1 the source cuboid covers every record, so merging its cells
+    (Lemma 4.2) must reproduce a direct build of the target cuboids
+    exactly — same cells, same order, same serialisation.
+    """
+    base = ItemLevel([h.depth for h in database.schema.dimensions])
+    source_cube = FlowCube.build(
+        database, item_levels=[base], min_support=1, compute_exceptions=False
+    )
+    target = ItemLevel([1] + [0] * (len(base) - 1))
+    direct = FlowCube.build(
+        database, item_levels=[target], min_support=1, compute_exceptions=False
+    )
+    shell = FlowCube(
+        database,
+        direct.item_lattice,
+        direct.path_lattice,
+        direct.min_support,
+        direct.min_deviation,
+    )
+    for path_level in source_cube.path_lattice:
+        plan = plan_derivation(source_cube, target, path_level)
+        cuboid = derive_cuboid(source_cube, plan)
+        shell._cuboids[(target, path_level)] = cuboid
+    return cube_to_json(shell) == cube_to_json(direct)
+
+
+def _query_section(store: PartitionedPathStore, database, repeats: int) -> dict:
+    """The serving path: index vs scan slice, cached repeats, derivation.
+
+    *Cold* rows open a fresh :class:`CubeStore` handle per run, so every
+    cell the kernel touches is a JSON file read — exactly what separates
+    index-first slicing (reads = matches) from the seed full scan (reads
+    = every cell at the path level).  The *warm* row repeats the slice on
+    one query object, which the query cache answers without touching the
+    store at all.
+    """
+    h0 = database.schema.dimensions[0]
+    value = sorted(h0.concepts_at_level(1))[0]
+    leaf = sorted(h0.concepts_at_level(h0.depth))[0]
+    slice_repeats = max(repeats, 3)
+    rows = []
+    cold_index_lvl1 = None
+    for dims in ({"d0": value}, {"d0": leaf}):
+        cold: dict[str, float] = {}
+        cells: dict[str, list] = {}
+        for kernel in ("scan", "index"):
+            best = math.inf
+            for _ in range(slice_repeats):
+                # A fresh handle per run keeps the cell reads cold; the
+                # handle open itself (meta + key index) is identical for
+                # both kernels and not what the sweep measures.
+                query = FlowCubeQuery(
+                    store.cube_store(cache_size=CACHE_SIZE), kernel=kernel
+                )
+                start = time.perf_counter()
+                result = [
+                    (c.item_level, c.key) for c in query.slice(**dims)
+                ]
+                best = min(best, time.perf_counter() - start)
+            cold[kernel], cells[kernel] = best, result
+        assert cells["index"] == cells["scan"]  # same cells, same order
+        if cold_index_lvl1 is None:
+            cold_index_lvl1 = cold["index"]
+        rows.append(
+            {
+                "constraint": dims,
+                "n_matching_cells": len(cells["index"]),
+                "scan_seconds": round(cold["scan"], 4),
+                "index_seconds": round(cold["index"], 4),
+                "speedup": round(cold["scan"] / cold["index"], 2),
+            }
+        )
+
+    served = FlowCubeQuery(store.cube_store(cache_size=CACHE_SIZE))
+    list(served.slice(d0=value))  # populate the query cache
+    warm_seconds, _ = _best(
+        lambda: list(served.slice(d0=value)), max(repeats, 2)
+    )
+
+    # Roll-up serving: a materialised cuboid read vs the planner merging
+    # the same answer out of a partially built store that only kept the
+    # dim-0 observation layer (the base level is fully iceberg-pruned at
+    # this δ, so the drill-path leaf level is the realistic source).
+    materialised_seconds, _ = _best(
+        lambda: FlowCubeQuery(
+            store.cube_store(cache_size=CACHE_SIZE)
+        ).flowgraph(d0=value),
+        repeats,
+    )
+    n_dims = len(database.schema.dimensions)
+    observation = ItemLevel(
+        [database.schema.dimensions[0].depth] + [0] * (n_dims - 1)
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        partial = _make_store(Path(tmp) / "wh", database, 4)
+        build_cube(
+            partial,
+            item_levels=[observation],
+            min_support=MIN_SUPPORT,
+            compute_exceptions=False,
+            into=partial.cube_store(),
+        )
+        derived_seconds, _ = _best(
+            lambda: FlowCubeQuery(
+                partial.cube_store(cache_size=CACHE_SIZE), derive=True
+            ).flowgraph(d0=value),
+            repeats,
+        )
+    return {
+        "cold_slice": {
+            "sweep": rows,
+            # Headline: the reads the index kernel avoids scale with the
+            # slice's selectivity, so the leaf-level constraint shows the
+            # index-first effect in full.
+            "speedup": max(row["speedup"] for row in rows),
+            "kernels_identical": True,
+        },
+        "warm_slice": {
+            "seconds": round(warm_seconds, 4),
+            "vs_cold_index": round(warm_seconds / cold_index_lvl1, 4),
+            "cache_stats": served.cache_stats(),
+        },
+        "rollup": {
+            "materialised_seconds": round(materialised_seconds, 4),
+            "derived_seconds": round(derived_seconds, 4),
+            "derived_vs_materialised": round(
+                derived_seconds / materialised_seconds, 2
+            ),
+            "derived_byte_identical": _derived_byte_identical(database),
+        },
+    }
+
+
 def run_suite(quick: bool = False) -> dict:
     repeats = 1 if quick else REPEATS
     partition_counts = (4,) if quick else PARTITION_COUNTS
@@ -390,6 +534,10 @@ def run_suite(quick: bool = False) -> dict:
                     store, database, repeats, jobs_sweep
                 )
             cache = _cache_hit_rate(store)
+            if n_partitions == 4:
+                # _cache_hit_rate built the cube into the store's cube
+                # directory, which is what the serving sweep reads.
+                report["query"] = _query_section(store, database, repeats)
             report["partitioned"].append(
                 {
                     "n_partitions": len(store.catalog.partitions),
@@ -444,6 +592,28 @@ def test_kernel_speedup_floor(store_db):
     assert section["shared_transaction_db"]["speedup"] >= 3.0
 
 
+@pytest.mark.parametrize("kernel", ["scan", "index"])
+def test_slice_over_store(benchmark, store_db, kernel, tmp_path):
+    store = _make_store(tmp_path / "wh", store_db, 4)
+    build_cube(
+        store,
+        min_support=MIN_SUPPORT,
+        compute_exceptions=False,
+        into=store.cube_store(),
+    )
+    h0 = store_db.schema.dimensions[0]
+    value = sorted(h0.concepts_at_level(1))[0]
+    cells = run_once(
+        benchmark,
+        lambda: list(
+            FlowCubeQuery(
+                store.cube_store(cache_size=CACHE_SIZE), kernel=kernel
+            ).slice(d0=value)
+        ),
+    )
+    assert cells
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Store construction/kernel/jobs sweep -> BENCH_store.json"
@@ -462,6 +632,11 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_flowgraph.json)",
     )
     parser.add_argument(
+        "--query-out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_query.json"),
+        help="query-sweep section output (default: repo root BENCH_query.json)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke: single repeat, 4 partitions only, jobs 1 and 4",
@@ -475,8 +650,12 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.flowgraph_out).write_text(
         json.dumps(engines, indent=2) + "\n", encoding="utf-8"
     )
+    query = {"config": report["config"], "query": report["query"]}
+    Path(args.query_out).write_text(
+        json.dumps(query, indent=2) + "\n", encoding="utf-8"
+    )
     print(json.dumps(report, indent=2))
-    print(f"\nwrote {args.out} and {args.flowgraph_out}")
+    print(f"\nwrote {args.out}, {args.flowgraph_out} and {args.query_out}")
     return 0
 
 

@@ -27,11 +27,15 @@ from repro.core.path_database import PathDatabase
 from repro.errors import CubeError
 
 __all__ = [
+    "DERIVABILITY",
     "MaterializationPlan",
     "plan_between_layers",
     "estimate_cells",
     "plan_by_budget",
 ]
+
+#: :meth:`MaterializationPlan.derivability` verdicts, most to least served.
+DERIVABILITY = ("materialised", "derivable", "unreachable")
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,40 @@ class MaterializationPlan:
 
     def __len__(self) -> int:
         return len(self.item_levels)
+
+    def derivation_source(self, level: ItemLevel) -> ItemLevel | None:
+        """The planned level the query-time planner would merge from.
+
+        The shallowest planned *strict descendant* of *level* — the same
+        preference order as the build-time
+        :func:`~repro.perf.measure_rollup.derivation_plan` and the
+        query-time :func:`~repro.query.planner.plan_derivation` (which
+        additionally weighs measured cell counts).  ``None`` when no
+        planned level can answer *level*.
+        """
+        descendants = [
+            planned
+            for planned in self.item_levels
+            if planned != level and level.is_higher_or_equal(planned)
+        ]
+        if not descendants:
+            return None
+        return min(descendants, key=lambda lv: (sum(lv.levels), lv.levels))
+
+    def derivability(self, level: ItemLevel) -> str:
+        """How a query at *level* would be served under this plan.
+
+        One of :data:`DERIVABILITY`: ``"materialised"`` (the level is in
+        the plan), ``"derivable"`` (absent, but a planned strict
+        descendant exists for the roll-up planner to merge from), or
+        ``"unreachable"`` (a query there raises
+        :class:`~repro.errors.QueryError` even with derivation enabled).
+        """
+        if level in self.item_levels:
+            return "materialised"
+        if self.derivation_source(level) is not None:
+            return "derivable"
+        return "unreachable"
 
     def build(
         self,

@@ -22,7 +22,12 @@ fast counting paths run on:
   AND+popcount: one per-cell bitmap index over the deduplicated
   ``(path, weight)`` multiset answers segment supports and every
   conditional transition/duration count, with indexes shared across cells
-  by path-multiset fingerprint.
+  by path-multiset fingerprint;
+* :mod:`repro.perf.query_kernel` — the read path's counterpart: per-cuboid
+  key catalogs packing cell ordinals into (dimension, concept) bitmaps
+  with hierarchy descendant-closure masks, so slice/dice predicates are
+  AND + iterate-set-bits over the index with no cell IO for non-matching
+  cells, plus the LRU query cache with hit/miss/derivation counters.
 
 The kernels are exact: for every miner the bitmap path is kept behind a
 ``kernel=`` switch next to the original tid-set path, the measure engines
@@ -43,18 +48,30 @@ from repro.perf.exception_kernel import (
 )
 from repro.perf.interning import InternedTransactions, ItemInterner
 from repro.perf.measure_rollup import ENGINES, build_rollup, derivation_plan
+from repro.perf.query_kernel import (
+    CuboidKeyCatalog,
+    QueryCache,
+    iter_set_bits,
+    load_query_stats,
+    merge_query_stats,
+)
 
 __all__ = [
     "ENGINES",
     "CellExceptionIndex",
+    "CuboidKeyCatalog",
     "InternedTransactions",
     "ItemInterner",
+    "QueryCache",
     "build_rollup",
     "cell_index",
     "count_candidates_bitmap",
     "count_candidates_masks",
     "derivation_plan",
     "item_masks",
+    "iter_set_bits",
+    "load_query_stats",
+    "merge_query_stats",
     "mine_exceptions_bitmap",
     "mine_segments_bitmap",
 ]

@@ -1,0 +1,231 @@
+"""Bitmap query kernel: index-first slice/dice over materialised cuboids.
+
+The seed read path answered ``FlowCubeQuery.slice`` by iterating *every*
+cell of every cuboid and testing the key predicate afterwards — over a
+:class:`~repro.store.cube_store.CubeStore` that means JSON-parsing every
+cell file whether or not the cell matches.  This module turns the
+predicate into index arithmetic, the same big-int bitmap idiom as the
+counting kernel (:mod:`repro.perf.bitmap`):
+
+* :class:`CuboidKeyCatalog` packs one cuboid's cell *ordinals* into
+  bitmaps per ``(dimension, concept)`` — bit *i* is set iff the *i*-th
+  cell key holds that concept on that dimension — built from the key
+  index alone, with **zero cell-file IO**;
+* a slice constraint ``(dimension, wanted)`` becomes the OR of the
+  concept masks over ``wanted``'s hierarchy descendant closure (a cell
+  matches when its value *is* the wanted concept or a descendant of it —
+  exactly the seed ``_matches`` semantics, ``"*"`` matching only
+  ``"*"``), memoised per catalog;
+* a conjunction of constraints is one AND over closure masks, and the
+  matching cells are read off the set bits — only *those* cells are ever
+  materialised.
+
+:class:`QueryCache` is the serving-side memo: an
+:class:`~repro.store.cache.LRUCache` keyed by canonicalised query tuples,
+with a ``derivations`` counter for answers the roll-up planner
+(:mod:`repro.query.planner`) had to merge from a descendant cuboid, and a
+JSON-persistable stats snapshot so ``flowcube-store stats`` can report
+serving behaviour across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path as FsPath
+from typing import Any
+
+from repro.core.hierarchy import ConceptHierarchy
+
+__all__ = [
+    "CuboidKeyCatalog",
+    "QueryCache",
+    "iter_set_bits",
+    "load_query_stats",
+    "merge_query_stats",
+]
+
+#: A cell key as the catalog sees it: one concept per item dimension.
+CellKey = tuple[str, ...]
+
+
+def iter_set_bits(mask: int) -> Iterator[int]:
+    """Yield the positions of *mask*'s set bits, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class CuboidKeyCatalog:
+    """Per-cuboid key index: cell ordinals as ``(dimension, concept)`` bitmaps.
+
+    Args:
+        keys: The cuboid's cell keys, in the cuboid's iteration order —
+            the ordinal of a key is its position here, so iterating the
+            set bits of a match mask yields cells in cuboid order.
+        hierarchies: One :class:`ConceptHierarchy` per dimension (the
+            schema's ``dimensions``), used for descendant closures.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[CellKey],
+        hierarchies: Sequence[ConceptHierarchy],
+    ) -> None:
+        self.keys = tuple(keys)
+        self._hierarchies = tuple(hierarchies)
+        n_dims = len(self._hierarchies)
+        masks: list[dict[str, int]] = [{} for _ in range(n_dims)]
+        bit = 1
+        for key in self.keys:
+            for dim, value in enumerate(key):
+                per_dim = masks[dim]
+                per_dim[value] = per_dim.get(value, 0) | bit
+            bit <<= 1
+        self._value_masks = masks
+        self._all_mask = bit - 1
+        #: (dimension, wanted concept) -> descendant-closure mask.
+        self._closure_cache: dict[tuple[int, str], int] = {}
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def all_mask(self) -> int:
+        """Mask with one bit per cell (the unconstrained match)."""
+        return self._all_mask
+
+    def value_mask(self, dim: int, value: str) -> int:
+        """Cells whose key holds exactly *value* on dimension *dim*."""
+        return self._value_masks[dim].get(value, 0)
+
+    def closure_mask(self, dim: int, wanted: str) -> int:
+        """Cells matching the slice constraint ``(dim, wanted)``.
+
+        The seed semantics: a cell matches when its value equals *wanted*
+        or is a strict hierarchy descendant of it; a stored ``"*"``
+        matches only ``wanted == "*"`` (and ``"*"``'s closure is every
+        concept, so an unconstrained dimension matches everything).
+        """
+        cached = self._closure_cache.get((dim, wanted))
+        if cached is not None:
+            return cached
+        per_dim = self._value_masks[dim]
+        hierarchy = self._hierarchies[dim]
+        mask = 0
+        # Walk whichever side is smaller: a narrow closure ORs its few
+        # concepts' masks; a wide one (near the apex) tests the stored
+        # values against the closure instead of materialising it.
+        closure = hierarchy.descendants(wanted, include_self=True)
+        if len(closure) <= len(per_dim):
+            for concept in closure:
+                mask |= per_dim.get(concept, 0)
+        else:
+            members = set(closure)
+            for value, value_mask in per_dim.items():
+                if value in members:
+                    mask |= value_mask
+        self._closure_cache[(dim, wanted)] = mask
+        return mask
+
+    def match_mask(self, constraints: Iterable[tuple[int, str]]) -> int:
+        """AND of the closure masks — the slice/dice answer as one bitmap."""
+        mask = self._all_mask
+        for dim, wanted in constraints:
+            mask &= self.closure_mask(dim, wanted)
+            if not mask:
+                break
+        return mask
+
+    def matching_keys(
+        self, constraints: Iterable[tuple[int, str]]
+    ) -> Iterator[CellKey]:
+        """The matching cell keys, in cuboid order, via set-bit iteration."""
+        keys = self.keys
+        for ordinal in iter_set_bits(self.match_mask(constraints)):
+            yield keys[ordinal]
+
+
+class QueryCache:
+    """Memoised query answers with hit/miss/derivation counters.
+
+    A thin serving wrapper over :class:`~repro.store.cache.LRUCache`:
+    callers canonicalise their query into a hashable key (operation name,
+    path-level id, sorted constraints), and the cache tracks — next to the
+    LRU's own hit/miss/eviction counters — how many answers were derived
+    by the roll-up planner rather than read from a materialised cuboid.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        # Imported lazily: repro.perf is a dependency of the miners, and
+        # importing repro.store at module level would close the cycle
+        # mining -> perf -> store -> builder -> mining.
+        from repro.store.cache import LRUCache
+
+        self._lru = LRUCache(capacity)
+        self.derivations = 0
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._lru.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._lru.put(key, value)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        """Drop the entries; counters keep accumulating (LRU semantics)."""
+        self._lru.clear()
+
+    def stats(self) -> dict[str, float | int]:
+        """LRU counters plus the planner's derivation count."""
+        out = self._lru.stats()
+        out["derivations"] = self.derivations
+        return out
+
+
+#: Filename for persisted query-cache counters inside a cube directory.
+QUERY_STATS_FILENAME = "query_stats.json"
+
+#: Counter keys that accumulate across processes.
+_ACCUMULATING = ("hits", "misses", "evictions", "derivations")
+
+
+def load_query_stats(directory: FsPath | str) -> dict[str, float | int] | None:
+    """The persisted query-cache counters of a cube directory, if any."""
+    path = FsPath(directory) / QUERY_STATS_FILENAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def merge_query_stats(
+    directory: FsPath | str, stats: dict[str, float | int]
+) -> dict[str, float | int]:
+    """Fold one process's query-cache counters into the cube's persisted file.
+
+    ``flowcube-store query`` runs one process per invocation, so its
+    in-memory :class:`QueryCache` counters would vanish on exit;
+    accumulating them here lets ``flowcube-store stats`` report serving
+    behaviour across invocations.  Hit rate is recomputed from the merged
+    totals.  Returns the merged snapshot.
+    """
+    directory = FsPath(directory)
+    merged = load_query_stats(directory) or {}
+    for key in _ACCUMULATING:
+        merged[key] = int(merged.get(key, 0)) + int(stats.get(key, 0))
+    merged["capacity"] = stats.get("capacity", merged.get("capacity", 0))
+    merged["size"] = stats.get("size", merged.get("size", 0))
+    total = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = merged["hits"] / total if total else 0.0
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / QUERY_STATS_FILENAME
+    temp = directory / (QUERY_STATS_FILENAME + ".tmp")
+    temp.write_text(json.dumps(merged, indent=1), encoding="utf-8")
+    temp.replace(path)
+    return merged

@@ -7,17 +7,28 @@ from repro.query.analysis import (
     lead_time_deviations,
     typical_paths,
 )
-from repro.query.api import FlowCubeQuery
+from repro.query.api import QUERY_KERNELS, FlowCubeQuery
+from repro.query.planner import (
+    DerivationPlan,
+    derive_cell,
+    derive_cuboid,
+    plan_derivation,
+)
 from repro.query.render import render_dot, render_text
 from repro.query.report import flow_report
 
 __all__ = [
+    "QUERY_KERNELS",
+    "DerivationPlan",
     "FlowCubeQuery",
     "TypicalPath",
     "compare_flowgraphs",
+    "derive_cell",
+    "derive_cuboid",
     "duration_outcome_correlation",
     "flow_report",
     "lead_time_deviations",
+    "plan_derivation",
     "render_dot",
     "render_text",
     "typical_paths",

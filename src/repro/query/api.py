@@ -13,18 +13,36 @@ the classic operations, phrased in flowcube terms:
 
 Dimension values are given by *name* (``product="outerwear"``); the query
 derives the item level from where each named value sits in its hierarchy.
+
+The read path is index-first: slice/dice runs on the bitmap key catalogs
+of :mod:`repro.perf.query_kernel` (predicates answered by AND over
+per-(dimension, concept) masks before any cell is materialised), answers
+are memoised in a :class:`~repro.perf.query_kernel.QueryCache`, and —
+with ``derive=True`` — non-materialised coordinates are answered by the
+roll-up planner (:mod:`repro.query.planner`) instead of raising.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.core.flowcube import Cell, FlowCube
+from repro.core.flowcube import Cell, CellKey, Cuboid, FlowCube
 from repro.core.flowgraph import FlowGraph
 from repro.core.lattice import ItemLevel, PathLevel
 from repro.errors import QueryError
+from repro.perf.query_kernel import CuboidKeyCatalog, QueryCache
+from repro.query.planner import (
+    DerivationPlan,
+    derive_cell,
+    derive_cuboid,
+    plan_derivation,
+)
 
-__all__ = ["FlowCubeQuery"]
+__all__ = ["FlowCubeQuery", "QUERY_KERNELS"]
+
+#: Slice kernels: ``"index"`` answers predicates from bitmap key catalogs
+#: before touching cells; ``"scan"`` is the cell-at-a-time reference.
+QUERY_KERNELS = ("index", "scan")
 
 
 class FlowCubeQuery:
@@ -35,16 +53,67 @@ class FlowCubeQuery:
     :class:`~repro.store.cube_store.CubeStore` (which has no ``database``
     but exposes its ``schema`` directly) — both provide the same
     ``cuboids`` / ``cell`` / ``flowgraph_for`` lookup surface.
+
+    Args:
+        cube: The flowcube (or cube store) to query.
+        kernel: Slice kernel, one of :data:`QUERY_KERNELS`.  The default
+            ``"index"`` evaluates key predicates on bitmap catalogs built
+            from the cuboid key index, so only matching cells are ever
+            materialised; ``"scan"`` re-checks every cell (the seed
+            behaviour, kept as the byte-identical reference).
+        derive: When true, coordinates whose cuboid was not materialised
+            are answered by the roll-up planner — merged from the
+            cheapest materialised descendant cuboid — instead of raising
+            :class:`~repro.errors.QueryError`.
+        derive_exceptions: Re-mine (ε, δ) exceptions on derived cells.
+            Requires source cells that still carry their paths (in-memory
+            cubes); exceptions are holistic (Lemma 4.3), so stored cells —
+            which persist only the measure — cannot support it.
+        cache_size: Capacity of the per-query-object answer cache.
     """
 
-    def __init__(self, cube: FlowCube) -> None:
+    def __init__(
+        self,
+        cube: FlowCube,
+        kernel: str = "index",
+        derive: bool = False,
+        derive_exceptions: bool = False,
+        cache_size: int = 128,
+    ) -> None:
+        if kernel not in QUERY_KERNELS:
+            raise QueryError(
+                f"unknown query kernel {kernel!r}; expected one of "
+                f"{QUERY_KERNELS}"
+            )
         self.cube = cube
+        self.kernel = kernel
+        self.derive = derive
+        self.derive_exceptions = derive_exceptions
         database = getattr(cube, "database", None)
         self._schema = database.schema if database is not None else cube.schema
+        self._hierarchies = self._schema.dimensions
+        self._dims: dict[str, int] = {}
+        self._default_path_level: PathLevel | None = None
+        #: (item level, path level) -> (cell count, key catalog).
+        self._catalogs: dict[
+            tuple[ItemLevel, PathLevel], tuple[int, CuboidKeyCatalog]
+        ] = {}
+        self._plans: dict[
+            tuple[ItemLevel, PathLevel], DerivationPlan | None
+        ] = {}
+        self._cache = QueryCache(cache_size)
 
     # ------------------------------------------------------------------
     # coordinate helpers
     # ------------------------------------------------------------------
+    def _dim_index(self, name: str) -> int:
+        """``schema.dimension_index(name)``, memoised per query object."""
+        index = self._dims.get(name)
+        if index is None:
+            index = self._schema.dimension_index(name)
+            self._dims[name] = index
+        return index
+
     def coordinates(self, **dims: str) -> tuple[ItemLevel, tuple[str, ...]]:
         """Resolve named dimension values into (item level, cell key).
 
@@ -55,8 +124,8 @@ class FlowCubeQuery:
         levels = [0] * self._schema.n_dimensions
         key = ["*"] * self._schema.n_dimensions
         for name, value in dims.items():
-            index = self._schema.dimension_index(name)
-            hierarchy = self._schema.dimensions[index]
+            index = self._dim_index(name)
+            hierarchy = self._hierarchies[index]
             if value not in hierarchy:
                 raise QueryError(
                     f"{value!r} is not a {name!r} concept"
@@ -66,11 +135,89 @@ class FlowCubeQuery:
         return ItemLevel(levels), tuple(key)
 
     def default_path_level(self) -> PathLevel:
-        """The most detailed materialised path level."""
-        return max(
-            self.cube.path_lattice,
-            key=lambda lv: (lv.duration_level, len(lv.view.concepts)),
+        """The most detailed materialised path level (computed once)."""
+        if self._default_path_level is None:
+            self._default_path_level = max(
+                self.cube.path_lattice,
+                key=lambda lv: (lv.duration_level, len(lv.view.concepts)),
+            )
+        return self._default_path_level
+
+    def _version(self) -> object:
+        """The cube's mutation counter, folded into every cache key."""
+        return getattr(self.cube, "version", 0)
+
+    # ------------------------------------------------------------------
+    # derivation (roll-up planner)
+    # ------------------------------------------------------------------
+    def plan_for(
+        self, item_level: ItemLevel, path_level: PathLevel | None = None
+    ) -> DerivationPlan | None:
+        """The planner's choice for a coordinate (memoised), or ``None``."""
+        level = path_level or self.default_path_level()
+        coords = (item_level, level)
+        if coords not in self._plans:
+            self._plans[coords] = plan_derivation(self.cube, item_level, level)
+        return self._plans[coords]
+
+    def _require_plan(
+        self, item_level: ItemLevel, level: PathLevel
+    ) -> DerivationPlan:
+        plan = self.plan_for(item_level, level)
+        if plan is None:
+            raise QueryError(
+                f"cuboid for levels {item_level.levels!r} was not "
+                "materialised and no materialised descendant cuboid can "
+                "derive it"
+            )
+        return plan
+
+    def _derived_cell(
+        self, item_level: ItemLevel, key: CellKey, level: PathLevel
+    ) -> Cell:
+        cache_key = ("cell", self._version(), item_level, key, level)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        plan = self._require_plan(item_level, level)
+        cell = derive_cell(
+            self.cube, plan, key, mine_exceptions=self.derive_exceptions
         )
+        self._cache.derivations += 1
+        self._cache.put(cache_key, cell)
+        return cell
+
+    def derived_cuboid(
+        self, item_level: ItemLevel, path_level: PathLevel | None = None
+    ) -> Cuboid:
+        """The whole cuboid at a non-materialised coordinate, derived.
+
+        Merged from the planner's chosen source with the build-time
+        roll-up grouping; memoised per coordinate.  See
+        :mod:`repro.query.planner` for the exactness contract.
+        """
+        level = path_level or self.default_path_level()
+        cache_key = ("cuboid", self._version(), item_level, level)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        plan = self._require_plan(item_level, level)
+        cuboid = derive_cuboid(
+            self.cube, plan, mine_exceptions=self.derive_exceptions
+        )
+        self._cache.derivations += 1
+        self._cache.put(cache_key, cuboid)
+        return cuboid
+
+    def _cell_at(
+        self, item_level: ItemLevel, key: CellKey, level: PathLevel
+    ) -> Cell:
+        """Cell lookup that falls back to derivation when enabled."""
+        if self.cube.has_cuboid(item_level, level):
+            return self.cube.cell(item_level, key, level)
+        if self.derive:
+            return self._derived_cell(item_level, key, level)
+        return self.cube.cell(item_level, key, level)  # raises CubeError
 
     # ------------------------------------------------------------------
     # core operations
@@ -79,11 +226,15 @@ class FlowCubeQuery:
         """The cell at the named coordinates.
 
         Raises :class:`~repro.errors.QueryError` when the cell fell below
-        the iceberg threshold (it was never materialised).
+        the iceberg threshold (it was never materialised).  With
+        ``derive=True`` a missing *cuboid* is answered by the roll-up
+        planner instead.
         """
         item_level, key = self.coordinates(**dims)
         level = path_level or self.default_path_level()
         if not self.cube.has_cuboid(item_level, level):
+            if self.derive:
+                return self._derived_cell(item_level, key, level)
             raise QueryError(
                 f"cuboid for levels {item_level.levels!r} was not materialised "
                 "(adjust the materialisation plan)"
@@ -102,7 +253,16 @@ class FlowCubeQuery:
         """The measure at the named coordinates, with redundancy inference."""
         item_level, key = self.coordinates(**dims)
         level = path_level or self.default_path_level()
-        return self.cube.flowgraph_for(item_level, key, level)
+        cache_key = ("flowgraph", self._version(), item_level, key, level)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        if self.derive and not self.cube.has_cuboid(item_level, level):
+            graph = self._derived_cell(item_level, key, level).flowgraph
+        else:
+            graph = self.cube.flowgraph_for(item_level, key, level)
+        self._cache.put(cache_key, graph)
+        return graph
 
     def slice(
         self, path_level: PathLevel | None = None, **dims: str
@@ -111,29 +271,71 @@ class FlowCubeQuery:
 
         A cell matches when, on every named dimension, its value equals the
         given concept or is a descendant of it; other dimensions may hold
-        anything at any level.
+        anything at any level.  With the default ``"index"`` kernel the
+        predicate is answered from the cuboid key catalogs, so cells that
+        do not match are never materialised (no cell-file IO over a
+        :class:`~repro.store.cube_store.CubeStore`).
         """
         level = path_level or self.default_path_level()
         constraints: list[tuple[int, str]] = []
         for name, value in dims.items():
-            index = self._schema.dimension_index(name)
-            if value not in self._schema.dimensions[index]:
+            index = self._dim_index(name)
+            if value not in self._hierarchies[index]:
                 raise QueryError(f"{value!r} is not a {name!r} concept")
             constraints.append((index, value))
+        cache_key = (
+            "slice",
+            self._version(),
+            level,
+            tuple(sorted(constraints)),
+            self.kernel,
+        )
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            yield from cached
+            return
+        out: list[Cell] = []
+        for cell in self._slice_cells(level, constraints):
+            out.append(cell)
+            yield cell
+        self._cache.put(cache_key, tuple(out))
+
+    def _slice_cells(
+        self, level: PathLevel, constraints: list[tuple[int, str]]
+    ) -> Iterator[Cell]:
         for cuboid in self.cube.cuboids:
             if cuboid.path_level != level:
                 continue
-            for cell in cuboid:
-                if all(
-                    self._matches(index, value, cell.key[index])
-                    for index, value in constraints
-                ):
-                    yield cell
+            if self.kernel == "index":
+                catalog = self._catalog(cuboid)
+                for key in catalog.matching_keys(constraints):
+                    yield cuboid.cell(key)
+            else:
+                for cell in cuboid:
+                    if all(
+                        self._matches(index, value, cell.key[index])
+                        for index, value in constraints
+                    ):
+                        yield cell
+
+    def _catalog(self, cuboid) -> CuboidKeyCatalog:
+        """The cuboid's bitmap key catalog, rebuilt when its size changes."""
+        coords = (cuboid.item_level, cuboid.path_level)
+        n_cells = len(cuboid)
+        cached = self._catalogs.get(coords)
+        if cached is not None and cached[0] == n_cells:
+            return cached[1]
+        keys = getattr(cuboid, "keys", None)
+        if keys is None:  # in-memory Cuboid
+            keys = tuple(cuboid.cells)
+        catalog = CuboidKeyCatalog(keys, self._hierarchies)
+        self._catalogs[coords] = (n_cells, catalog)
+        return catalog
 
     def _matches(self, dim: int, wanted: str, actual: str) -> bool:
         if actual == "*":
             return wanted == "*"
-        hierarchy = self._schema.dimensions[dim]
+        hierarchy = self._hierarchies[dim]
         return actual == wanted or hierarchy.is_ancestor(wanted, actual)
 
     # ------------------------------------------------------------------
@@ -141,10 +343,10 @@ class FlowCubeQuery:
     # ------------------------------------------------------------------
     def roll_up(self, cell: Cell, dimension: str) -> Cell:
         """The parent cell with *dimension* one hierarchy level higher."""
-        index = self._schema.dimension_index(dimension)
+        index = self._dim_index(dimension)
         if cell.item_level[index] == 0:
             raise QueryError(f"dimension {dimension!r} is already at '*'")
-        hierarchy = self._schema.dimensions[index]
+        hierarchy = self._hierarchies[index]
         levels = list(cell.item_level.levels)
         key = list(cell.key)
         levels[index] -= 1
@@ -152,24 +354,25 @@ class FlowCubeQuery:
             "*" if levels[index] == 0
             else hierarchy.ancestor_at_level(key[index], levels[index])
         )
-        return self.cube.cell(
-            ItemLevel(levels), tuple(key), cell.path_level
-        )
+        return self._cell_at(ItemLevel(levels), tuple(key), cell.path_level)
 
     def drill_down(self, cell: Cell, dimension: str) -> list[Cell]:
         """All materialised children with *dimension* one level deeper."""
-        index = self._schema.dimension_index(dimension)
-        hierarchy = self._schema.dimensions[index]
+        index = self._dim_index(dimension)
+        hierarchy = self._hierarchies[index]
         if cell.item_level[index] >= hierarchy.depth:
             raise QueryError(f"dimension {dimension!r} is already at leaves")
         levels = list(cell.item_level.levels)
         levels[index] += 1
         child_level = ItemLevel(levels)
-        if not self.cube.has_cuboid(child_level, cell.path_level):
+        if self.cube.has_cuboid(child_level, cell.path_level):
+            cuboid = self.cube.cuboid(child_level, cell.path_level)
+        elif self.derive:
+            cuboid = self.derived_cuboid(child_level, cell.path_level)
+        else:
             raise QueryError(
                 f"child cuboid {child_level.levels!r} was not materialised"
             )
-        cuboid = self.cube.cuboid(child_level, cell.path_level)
         children = (
             hierarchy.concepts_at_level(1)
             if cell.key[index] == "*"
@@ -185,4 +388,11 @@ class FlowCubeQuery:
 
     def change_path_level(self, cell: Cell, path_level: PathLevel) -> Cell:
         """The same item coordinates at another path abstraction level."""
-        return self.cube.cell(cell.item_level, cell.key, path_level)
+        return self._cell_at(cell.item_level, cell.key, path_level)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, float | int]:
+        """The query cache's hit/miss/eviction/derivation counters."""
+        return self._cache.stats()

@@ -15,7 +15,11 @@ example, or the Section 6.1 generator (whose configuration ``init``
 recorded in the catalog, so later ingests reuse the same hierarchies);
 ``build`` materialises the iceberg cube out-of-core into the store's
 ``cube/`` directory, scanning partitions on ``--jobs`` worker processes
-when asked; ``query`` renders a cell's flowgraph measure.
+when asked; ``query`` renders a cell's flowgraph measure — with
+``--derive``, coordinates whose cuboid was not materialised are merged
+from the cheapest materialised descendant (the roll-up planner), and the
+query-cache counters are folded into ``cube/query_stats.json`` so
+``stats`` can report serving behaviour across invocations.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from pathlib import Path as FsPath
 from repro.core.path import PathRecord
 from repro.core.path_database import PathDatabase, example_path_database
 from repro.errors import FlowCubeError, StoreError
+from repro.perf.query_kernel import load_query_stats, merge_query_stats
 from repro.query.api import FlowCubeQuery
 from repro.query.render import render_text
 from repro.store.builder import BuildStats, build_cube
@@ -163,6 +168,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="path-lattice index (default: most detailed level)",
     )
     query.add_argument("--cache-size", type=int, default=128)
+    query.add_argument(
+        "--derive",
+        action="store_true",
+        help=(
+            "answer non-materialised coordinates by merging the cheapest "
+            "materialised descendant cuboid (roll-up planner) instead of "
+            "failing"
+        ),
+    )
 
     stats = sub.add_parser("stats", help="catalog, cube, and cache statistics")
     stats.add_argument("store")
@@ -304,7 +318,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"no cube has been built at {store.directory} "
             "(run `flowcube-store build` first)"
         )
-    query = FlowCubeQuery(cube_store)
+    query = FlowCubeQuery(cube_store, derive=args.derive)
     path_level = None
     if args.path_level is not None:
         lattice = cube_store.path_lattice
@@ -314,8 +328,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
     dims = _parse_dims(args.dim)
     graph = query.flowgraph(path_level, **dims)
     label = ", ".join(f"{k}={v}" for k, v in dims.items()) or "the apex cell"
+    stats = query.cache_stats()
+    if stats["derivations"]:
+        item_level, _ = query.coordinates(**dims)
+        plan = query.plan_for(item_level, path_level)
+        note = "" if plan is None or plan.exact else (
+            " (iceberg-pruned source: derived counts are lower bounds)"
+        )
+        print(
+            f"derived from cuboid {plan.source.levels!r} "
+            f"({plan.source_cells} cells, lattice distance {plan.distance})"
+            f"{note}"
+        )
     print(f"flowgraph measure of {label}:")
     print(render_text(graph))
+    merge_query_stats(cube_store.directory, stats)
     return 0
 
 
@@ -324,7 +351,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report: dict[str, object] = {"store": store.describe()}
     cube_store = store.cube_store()
     if cube_store.is_built:
-        report["cube"] = cube_store.describe()
+        cube_report = cube_store.describe()
+        query_stats = load_query_stats(cube_store.directory)
+        if query_stats is not None:
+            cube_report["query_cache"] = query_stats
+        report["cube"] = cube_report
     print(json.dumps(report, indent=2))
     return 0
 

@@ -70,12 +70,13 @@ class StoredCuboid:
         self.item_level = item_level
         self.path_level = path_level
         self._keys = keys
+        self._key_set = frozenset(keys)
 
     def __len__(self) -> int:
         return len(self._keys)
 
     def __contains__(self, key: CellKey) -> bool:
-        return key in set(self._keys)
+        return key in self._key_set
 
     def __iter__(self) -> Iterator[Cell]:
         for key in self._keys:
@@ -86,7 +87,7 @@ class StoredCuboid:
         return self._keys
 
     def cell(self, key: CellKey) -> Cell:
-        if key not in set(self._keys):
+        if key not in self._key_set:
             raise CubeError(
                 f"cell {key!r} is not materialised in cuboid "
                 f"{self.item_level.levels!r}"
@@ -122,6 +123,11 @@ class CubeStore:
         #: (item level, path-level id) -> {cell key -> index entry}.
         self._index: dict[tuple[ItemLevel, int], dict[CellKey, dict]] = {}
         self._n_files = 0
+        #: Bumped on every index mutation; memoised views (the ``cuboids``
+        #: tuple here, key catalogs and cached answers in the query layer)
+        #: key off it to invalidate.
+        self._version = 0
+        self._cuboids_cache: tuple[int, tuple[StoredCuboid, ...]] | None = None
         if (self.directory / META_FILENAME).exists():
             self._load_meta()
 
@@ -146,6 +152,7 @@ class CubeStore:
         self.build_stats = None
         self._index.clear()
         self._cache.clear()
+        self._version += 1
         self._n_files = 0
         cells_dir = self.directory / CELLS_DIR
         cells_dir.mkdir(parents=True, exist_ok=True)
@@ -189,6 +196,7 @@ class CubeStore:
             "redundant": cell.redundant,
         }
         self._index.setdefault((cell.item_level, level_id), {})[cell.key] = entry
+        self._version += 1
 
     def put_cuboid(self, cuboid) -> None:
         """Persist every cell of an in-memory cuboid."""
@@ -232,6 +240,7 @@ class CubeStore:
         temp = self.directory / (META_FILENAME + ".tmp")
         temp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
         temp.replace(self.directory / META_FILENAME)
+        self._version += 1
 
     def _load_meta(self) -> None:
         path = self.directory / META_FILENAME
@@ -245,6 +254,7 @@ class CubeStore:
         self._n_files = int(payload.get("n_files", len(payload["cells"])))
         self.build_stats = payload.get("build_stats")
         self._index.clear()
+        self._version += 1
         for entry in payload["cells"]:
             item_level = ItemLevel(entry["item_level"])
             level_id = int(entry["path_level"])
@@ -320,12 +330,34 @@ class CubeStore:
         return StoredCuboid(self, item_level, path_level, tuple(entries))
 
     @property
+    def version(self) -> int:
+        """Index mutation counter (invalidation token for memoised views)."""
+        return self._version
+
+    def cell_sizes(
+        self, item_level: ItemLevel, path_level: PathLevel
+    ) -> dict[CellKey, int]:
+        """Per-cell ``n_paths`` of one cuboid, from the index (no file IO)."""
+        lattice = self._require_built()
+        entries = self._index.get((item_level, lattice.index_of(path_level)))
+        if entries is None:
+            raise CubeError(
+                f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
+            )
+        return {key: entry["n_paths"] for key, entry in entries.items()}
+
+    @property
     def cuboids(self) -> tuple[StoredCuboid, ...]:
         lattice = self._require_built()
-        return tuple(
+        cached = self._cuboids_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        cuboids = tuple(
             StoredCuboid(self, item_level, lattice[level_id], tuple(entries))
             for (item_level, level_id), entries in self._index.items()
         )
+        self._cuboids_cache = (self._version, cuboids)
+        return cuboids
 
     def cells(self) -> Iterator[Cell]:
         """Every persisted cell, materialised through the cache."""

@@ -335,9 +335,14 @@ def test_query_over_cube_store_hits_cache_on_repeat(store, reference_cube):
     cube_store = store.cube_store(cache_size=16)
     query = FlowCubeQuery(cube_store)
     first = query.flowgraph()  # apex cell, first touch materialises
-    hits_before = cube_store.cache_stats()["hits"]
-    second = query.flowgraph()  # repeat must be served from the cache
-    assert cube_store.cache_stats()["hits"] > hits_before
+    hits_before = query.cache_stats()["hits"]
+    second = query.flowgraph()  # repeat must be served from the query cache
+    assert query.cache_stats()["hits"] > hits_before
+    # A fresh query object (empty query cache) over the same store is
+    # served by the store's LRU instead: the cell file is not re-read.
+    store_hits_before = cube_store.cache_stats()["hits"]
+    FlowCubeQuery(cube_store).flowgraph()
+    assert cube_store.cache_stats()["hits"] > store_hits_before
     assert {n.prefix for n in first.nodes()} == {n.prefix for n in second.nodes()}
     # The measure matches the in-memory cube's apex measure.
     reference_query = FlowCubeQuery(reference_cube)
