@@ -1,0 +1,296 @@
+"""Serving-path throughput: the HTTP slicer under closed-loop load.
+
+The numbers the serving layer has to answer for:
+
+* sustained QPS and tail latency (p50/p99) on the 320-path example cube
+  (``bench_store.CONFIG``) for the workloads a dashboard actually sends:
+  a *warm* repeated slice (answered from the tenant's rendered-response
+  byte cache), a *mixed* rotation over every level-1 cut (response +
+  query cache interplay), point queries, and ``/stats`` polls;
+* whether the bytes coming off the socket under load are the same bytes
+  a fresh seed ``"scan"`` kernel renders for the same cut — throughput
+  that serves wrong answers does not count.
+
+Each client is a closed-loop thread with one persistent keep-alive
+connection: it fires a request, waits for the full response, records the
+latency, repeats until the measurement window closes.  QPS is total
+completed requests over the window; percentiles are over every
+individual request from every client.
+
+``python -m benchmarks.bench_serve`` runs the sweep and writes
+``BENCH_serve.json`` at the repository root; ``--quick`` shrinks the
+window and client count to CI-smoke size.  The pytest entries below are
+CI-sized spot checks of the same paths.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_store import CONFIG, MIN_SUPPORT, _make_store
+from repro.query.api import FlowCubeQuery
+from repro.serve import ServerThread, create_app, slice_payload
+from repro.serve.http import encode_json
+from repro.store import build_cube
+from repro.synth import generate_path_database
+
+N_PARTITIONS = 4
+CLIENTS = 4
+DURATION_SECONDS = 2.0
+WORKERS = 8
+
+
+def _build_store(directory: Path, database):
+    store = _make_store(directory, database, N_PARTITIONS)
+    build_cube(
+        store,
+        min_support=MIN_SUPPORT,
+        compute_exceptions=False,
+        into=store.cube_store(),
+    )
+    return store
+
+
+def _level1_cuts(database) -> list[dict[str, str]]:
+    """One single-dimension cut per level-1 concept of every dimension."""
+    cuts = []
+    for hierarchy in database.schema.dimensions:
+        for concept in sorted(hierarchy.concepts_at_level(1)):
+            cuts.append({hierarchy.name: concept})
+    return cuts
+
+
+def _requests_for(workload: str, cuts) -> list[tuple[str, str, bytes | None]]:
+    """The request rotation one closed-loop client plays for a workload."""
+    first = "|".join(f"{k}:{v}" for k, v in sorted(cuts[0].items()))
+    if workload == "slice_warm":
+        return [("GET", f"/cubes/wh/slice?cut={first}", None)]
+    if workload == "slice_mix":
+        return [
+            (
+                "POST",
+                "/cubes/wh/slice",
+                json.dumps(
+                    {"cut": "|".join(f"{k}:{v}" for k, v in sorted(c.items()))}
+                ).encode(),
+            )
+            for c in cuts
+        ]
+    if workload == "query_point":
+        return [
+            ("POST", "/cubes/wh/query", json.dumps({"cut": first}).encode())
+        ]
+    if workload == "stats":
+        return [("GET", "/stats", None)]
+    raise ValueError(workload)
+
+
+def _client_loop(
+    address: tuple[str, int],
+    requests: list[tuple[str, str, bytes | None]],
+    deadline: float,
+    latencies: list[float],
+    failures: list[int],
+) -> None:
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    bad = 0
+    index = 0
+    try:
+        while time.perf_counter() < deadline:
+            method, path, body = requests[index % len(requests)]
+            index += 1
+            headers = {"Content-Type": "application/json"} if body else {}
+            start = time.perf_counter()
+            conn.request(method, path, body, headers)
+            response = conn.getresponse()
+            response.read()
+            latencies.append(time.perf_counter() - start)
+            if response.status != 200:
+                bad += 1
+    finally:
+        failures.append(bad)
+        conn.close()
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _measure(
+    server: ServerThread,
+    requests: list[tuple[str, str, bytes | None]],
+    clients: int,
+    duration: float,
+) -> dict:
+    per_client: list[list[float]] = [[] for _ in range(clients)]
+    failures: list[int] = []
+    start = time.perf_counter()
+    deadline = start + duration
+    threads = [
+        threading.Thread(
+            target=_client_loop,
+            args=(server.address, requests, deadline, latencies, failures),
+        )
+        for latencies in per_client
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    latencies = sorted(lat for bucket in per_client for lat in bucket)
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "seconds": round(elapsed, 3),
+        "qps": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1000, 3)
+        if latencies
+        else 0.0,
+        "errors": sum(failures),
+    }
+
+
+def _parity(server: ServerThread, database) -> bool:
+    """Socket slice bytes == the seed scan kernel's rendered payload."""
+    tenant = server.app.tenants["wh"]
+    dims = _level1_cuts(database)[0]
+    cut = "|".join(f"{k}:{v}" for k, v in sorted(dims.items()))
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", f"/cubes/wh/slice?cut={cut}")
+        body = conn.getresponse().read()
+    finally:
+        conn.close()
+    scan = FlowCubeQuery(tenant.cube_store, kernel="scan")
+    cells = scan.slice_cells(None, **dims)
+    return body == encode_json(slice_payload(tenant, dims, None, cells, False))
+
+
+def run_suite(
+    quick: bool = False,
+    clients: int = CLIENTS,
+    duration: float = DURATION_SECONDS,
+    workers: int = WORKERS,
+) -> dict:
+    if quick:
+        clients = min(clients, 2)
+        duration = min(duration, 0.5)
+    database = generate_path_database(CONFIG)
+    cuts = _level1_cuts(database)
+    with tempfile.TemporaryDirectory() as tmp:
+        _build_store(Path(tmp) / "wh", database)
+        app = create_app({"wh": Path(tmp) / "wh"})
+        with ServerThread(app, workers=workers) as server:
+            # One warm-up pass per workload primes every cache layer, so
+            # the measured windows see steady-state behaviour.
+            workloads = ("slice_warm", "slice_mix", "query_point", "stats")
+            for workload in workloads:
+                _measure(server, _requests_for(workload, cuts), 1, 0.2)
+            report_workloads = {
+                workload: _measure(
+                    server, _requests_for(workload, cuts), clients, duration
+                )
+                for workload in workloads
+            }
+            parity = _parity(server, database)
+            tenant_stats = app.tenants["wh"].stats()
+    return {
+        "config": {
+            "n_paths": len(database),
+            "min_support": MIN_SUPPORT,
+            "n_partitions": N_PARTITIONS,
+            "clients": clients,
+            "duration_seconds": duration,
+            "server_workers": workers,
+            "quick": quick,
+        },
+        "workloads": report_workloads,
+        "parity": {"slice_byte_identical_to_scan_kernel": parity},
+        "tenant": tenant_stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# CI-sized pytest entries (same paths, short windows)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def serve_db():
+    return generate_path_database(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory, serve_db):
+    directory = tmp_path_factory.mktemp("bench-serve") / "wh"
+    _build_store(directory, serve_db)
+    with ServerThread(create_app({"wh": directory})) as running:
+        yield running
+
+
+def test_served_slice_matches_scan_kernel(server, serve_db):
+    assert _parity(server, serve_db)
+
+
+def test_warm_slice_sustains_load(server, serve_db):
+    cuts = _level1_cuts(serve_db)
+    requests = _requests_for("slice_warm", cuts)
+    _measure(server, requests, 1, 0.2)  # warm the response cache
+    result = _measure(server, requests, 2, 0.5)
+    assert result["errors"] == 0
+    assert result["requests"] > 0
+    # Soft CI floor; the full benchmark documents the real headline.
+    assert result["qps"] > 50
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HTTP slicer closed-loop load sweep -> BENCH_serve.json"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_serve.json"),
+        help="output JSON path (default: repo root BENCH_serve.json)",
+    )
+    parser.add_argument("--clients", type=int, default=CLIENTS)
+    parser.add_argument("--duration", type=float, default=DURATION_SECONDS)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 2 clients, 0.5s windows",
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(
+        quick=args.quick,
+        clients=args.clients,
+        duration=args.duration,
+        workers=args.workers,
+    )
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""End-to-end smoke of ``flowcube-store serve`` against the example store.
+
+What CI's serve-smoke job runs: build the built-in retail example store
+with the CLI, start the server as a real subprocess on a free port, and
+script a round trip over the JSON API — cube listing, a slice, a
+roll-up, a drill-down, a point query, and the stats report — asserting
+status codes and the shape of every payload.  The server is then asked
+to shut down with SIGINT and must exit cleanly.
+
+Usage:  python scripts/serve_smoke.py [workdir]
+
+Exits non-zero (with an AssertionError traceback) on any failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+CLI = [sys.executable, "-m", "repro.store.cli"]
+ADDRESS = re.compile(r"at http://([\d.]+):(\d+)")
+
+
+def cli(*args: str) -> None:
+    subprocess.run([*CLI, *args], check=True)
+
+
+def request(host, port, method, path, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def wait_for_address(process) -> tuple[str, int]:
+    """The (host, port) the serve subprocess prints once it is bound."""
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = ADDRESS.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise AssertionError("server never printed its address")
+
+
+def round_trip(host: str, port: int) -> None:
+    status, info = request(host, port, "GET", "/")
+    assert status == 200 and info["cubes"] == ["wh"], info
+
+    status, detail = request(host, port, "GET", "/cubes/wh")
+    assert status == 200, detail
+    assert detail["cells"] > 0, detail
+    assert detail["version"], "build version missing from /cubes/wh"
+
+    status, cuboids = request(host, port, "GET", "/cubes/wh/cuboids")
+    assert status == 200 and cuboids["cuboids"], cuboids
+
+    status, sliced = request(
+        host, port, "POST", "/cubes/wh/slice", {"cut": "product:clothing"}
+    )
+    assert status == 200 and sliced["n_cells"] >= 1, sliced
+    # The cut matches the concept and everything under it.
+    assert any(c["key"] == ["clothing", "*"] for c in sliced["cells"]), sliced
+
+    status, rolled = request(
+        host,
+        port,
+        "POST",
+        "/cubes/wh/rollup",
+        {"cut": "product:clothing", "dimension": "product"},
+    )
+    assert status == 200 and rolled["cell"]["key"][0] == "*", rolled
+
+    status, drilled = request(
+        host, port, "POST", "/cubes/wh/drilldown", {"dimension": "brand"}
+    )
+    assert status == 200 and drilled["n_cells"] >= 1, drilled
+
+    status, queried = request(
+        host, port, "POST", "/cubes/wh/query", {"cut": "product:clothing"}
+    )
+    assert status == 200 and queried["cell"]["flowgraph"]["nodes"], queried
+
+    status, _ = request(host, port, "GET", "/cubes/nope")
+    assert status == 404
+
+    status, stats = request(host, port, "GET", "/stats")
+    assert status == 200, stats
+    tenant = stats["cubes"]["wh"]
+    assert tenant["response_cache"]["misses"] >= 1, tenant
+    assert stats["server"]["requests"] >= 8, stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    workdir = Path(argv[0]) if argv else Path(tempfile.mkdtemp("serve-smoke"))
+    store = workdir / "wh"
+    cli("init", "--example", str(store))
+    cli("ingest", "--example", str(store))
+    cli("build", str(store))
+
+    process = subprocess.Popen(
+        [*CLI, "serve", "--cubes", f"wh={store}", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        host, port = wait_for_address(process)
+        round_trip(host, port)
+    finally:
+        process.send_signal(signal.SIGINT)
+        exit_code = process.wait(timeout=15)
+    assert exit_code == 0, f"server exited with {exit_code}"
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ __all__ = [
     "GenerationError",
     "CleaningError",
     "StoreError",
+    "ServeError",
 ]
 
 
@@ -76,3 +77,7 @@ class CleaningError(FlowCubeError):
 
 class StoreError(FlowCubeError):
     """A persistent path/cube store is missing, corrupt, or misused."""
+
+
+class ServeError(FlowCubeError):
+    """An HTTP serving request was malformed (bad cut, body, or route)."""

@@ -49,6 +49,7 @@ from repro.perf.exception_kernel import (
 from repro.perf.interning import InternedTransactions, ItemInterner
 from repro.perf.measure_rollup import ENGINES, build_rollup, derivation_plan
 from repro.perf.query_kernel import (
+    CatalogPool,
     CuboidKeyCatalog,
     QueryCache,
     iter_set_bits,
@@ -59,6 +60,7 @@ from repro.perf.query_kernel import (
 __all__ = [
     "ENGINES",
     "CellExceptionIndex",
+    "CatalogPool",
     "CuboidKeyCatalog",
     "InternedTransactions",
     "ItemInterner",

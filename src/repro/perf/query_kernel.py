@@ -31,13 +31,23 @@ serving behaviour across processes.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import threading
 from collections.abc import Iterable, Iterator, Sequence
+from contextlib import contextmanager
 from pathlib import Path as FsPath
 from typing import Any
+
+try:  # POSIX advisory locking for cross-process stats merges
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.core.hierarchy import ConceptHierarchy
 
 __all__ = [
+    "CatalogPool",
     "CuboidKeyCatalog",
     "QueryCache",
     "iter_set_bits",
@@ -147,6 +157,71 @@ class CuboidKeyCatalog:
             yield keys[ordinal]
 
 
+class CatalogPool:
+    """Shared, versioned registry of :class:`CuboidKeyCatalog` instances.
+
+    A long-lived server answers many requests over the same cuboids;
+    rebuilding the key catalog per :class:`~repro.query.api.FlowCubeQuery`
+    object (or per request) would redo the same index pass.  The pool
+    memoises one catalog per cuboid coordinate, keyed by the cube's
+    mutation *version* and the cuboid's cell count, so a store rebuild
+    naturally replaces stale entries instead of leaking them.  All
+    methods are thread-safe; catalog construction happens outside the
+    lock (two racing builders do redundant work, never corrupt state).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (item level, path level) -> (version, n_cells, catalog).
+        self._entries: dict[tuple, tuple[Any, int, CuboidKeyCatalog]] = {}
+        self.hits = 0
+        self.builds = 0
+
+    def catalog(
+        self,
+        cuboid,
+        hierarchies: Sequence[ConceptHierarchy],
+        version: Any = 0,
+    ) -> CuboidKeyCatalog:
+        """The cuboid's catalog, built at most once per (version, size)."""
+        coords = (cuboid.item_level, cuboid.path_level)
+        n_cells = len(cuboid)
+        with self._lock:
+            entry = self._entries.get(coords)
+            if (
+                entry is not None
+                and entry[0] == version
+                and entry[1] == n_cells
+            ):
+                self.hits += 1
+                return entry[2]
+        keys = getattr(cuboid, "keys", None)
+        if keys is None:  # in-memory Cuboid
+            keys = tuple(cuboid.cells)
+        catalog = CuboidKeyCatalog(keys, hierarchies)
+        with self._lock:
+            self._entries[coords] = (version, n_cells, catalog)
+            self.builds += 1
+        return catalog
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Reuse counters: catalogs served from the pool vs built."""
+        with self._lock:
+            return {
+                "catalogs": len(self._entries),
+                "hits": self.hits,
+                "builds": self.builds,
+            }
+
+
 class QueryCache:
     """Memoised query answers with hit/miss/derivation counters.
 
@@ -155,6 +230,11 @@ class QueryCache:
     path-level id, sorted constraints), and the cache tracks — next to the
     LRU's own hit/miss/eviction counters — how many answers were derived
     by the roll-up planner rather than read from a materialised cuboid.
+
+    Every operation takes an internal lock, so one cache can back
+    concurrent server workers: the underlying ``OrderedDict`` recency
+    moves are not safe to interleave (a racing eviction between an
+    unlocked get's lookup and its refresh would raise ``KeyError``).
     """
 
     def __init__(self, capacity: int = 128) -> None:
@@ -164,36 +244,77 @@ class QueryCache:
         from repro.store.cache import LRUCache
 
         self._lru = LRUCache(capacity)
+        self._lock = threading.Lock()
         self.derivations = 0
 
     def get(self, key: Any, default: Any = None) -> Any:
-        return self._lru.get(key, default)
+        with self._lock:
+            return self._lru.get(key, default)
 
     def put(self, key: Any, value: Any) -> None:
-        self._lru.put(key, value)
+        with self._lock:
+            self._lru.put(key, value)
+
+    def note_derivation(self) -> None:
+        """Count one answer the roll-up planner had to derive."""
+        with self._lock:
+            self.derivations += 1
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._lru
+        with self._lock:
+            return key in self._lru
 
     def __len__(self) -> int:
-        return len(self._lru)
+        with self._lock:
+            return len(self._lru)
 
     def clear(self) -> None:
         """Drop the entries; counters keep accumulating (LRU semantics)."""
-        self._lru.clear()
+        with self._lock:
+            self._lru.clear()
 
     def stats(self) -> dict[str, float | int]:
         """LRU counters plus the planner's derivation count."""
-        out = self._lru.stats()
-        out["derivations"] = self.derivations
-        return out
+        with self._lock:
+            out = self._lru.stats()
+            out["derivations"] = self.derivations
+            return out
 
 
 #: Filename for persisted query-cache counters inside a cube directory.
 QUERY_STATS_FILENAME = "query_stats.json"
 
+#: Sidecar lock file serialising read-modify-write merges.
+QUERY_STATS_LOCKFILE = "query_stats.lock"
+
 #: Counter keys that accumulate across processes.
 _ACCUMULATING = ("hits", "misses", "evictions", "derivations")
+
+#: Process-wide fallback when POSIX file locking is unavailable — still
+#: serialises threads inside one process (the common concurrent case:
+#: server workers flushing stats for the same cube directory).
+_STATS_THREAD_LOCK = threading.Lock()
+
+
+@contextmanager
+def _stats_lock(directory: FsPath):
+    """Exclusive advisory lock over a cube directory's stats file.
+
+    ``flock`` on a sidecar file (never the stats file itself, whose inode
+    is replaced on every merge) makes the load→add→rename sequence atomic
+    across processes; the thread lock covers in-process concurrency and
+    platforms without ``fcntl``.
+    """
+    with _STATS_THREAD_LOCK:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        fd = os.open(directory / QUERY_STATS_LOCKFILE, os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
 
 
 def load_query_stats(directory: FsPath | str) -> dict[str, float | int] | None:
@@ -214,18 +335,34 @@ def merge_query_stats(
     accumulating them here lets ``flowcube-store stats`` report serving
     behaviour across invocations.  Hit rate is recomputed from the merged
     totals.  Returns the merged snapshot.
+
+    The merge is atomic under concurrency: an exclusive lock serialises
+    the whole read-modify-write (so no increment is lost between racing
+    workers), the new snapshot is written to a uniquely named temp file,
+    and the temp is renamed over ``query_stats.json`` — a reader can
+    never observe partial JSON.
     """
     directory = FsPath(directory)
-    merged = load_query_stats(directory) or {}
-    for key in _ACCUMULATING:
-        merged[key] = int(merged.get(key, 0)) + int(stats.get(key, 0))
-    merged["capacity"] = stats.get("capacity", merged.get("capacity", 0))
-    merged["size"] = stats.get("size", merged.get("size", 0))
-    total = merged["hits"] + merged["misses"]
-    merged["hit_rate"] = merged["hits"] / total if total else 0.0
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / QUERY_STATS_FILENAME
-    temp = directory / (QUERY_STATS_FILENAME + ".tmp")
-    temp.write_text(json.dumps(merged, indent=1), encoding="utf-8")
-    temp.replace(path)
+    with _stats_lock(directory):
+        merged = load_query_stats(directory) or {}
+        for key in _ACCUMULATING:
+            merged[key] = int(merged.get(key, 0)) + int(stats.get(key, 0))
+        merged["capacity"] = stats.get("capacity", merged.get("capacity", 0))
+        merged["size"] = stats.get("size", merged.get("size", 0))
+        total = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = merged["hits"] / total if total else 0.0
+        fd, temp_name = tempfile.mkstemp(
+            prefix=QUERY_STATS_FILENAME + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(merged, indent=1))
+            os.replace(temp_name, directory / QUERY_STATS_FILENAME)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
     return merged

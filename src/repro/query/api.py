@@ -30,7 +30,7 @@ from repro.core.flowcube import Cell, CellKey, Cuboid, FlowCube
 from repro.core.flowgraph import FlowGraph
 from repro.core.lattice import ItemLevel, PathLevel
 from repro.errors import QueryError
-from repro.perf.query_kernel import CuboidKeyCatalog, QueryCache
+from repro.perf.query_kernel import CatalogPool, CuboidKeyCatalog, QueryCache
 from repro.query.planner import (
     DerivationPlan,
     derive_cell,
@@ -70,6 +70,17 @@ class FlowCubeQuery:
             cubes); exceptions are holistic (Lemma 4.3), so stored cells —
             which persist only the measure — cannot support it.
         cache_size: Capacity of the per-query-object answer cache.
+        catalogs: Optional shared :class:`CatalogPool`.  A server keeps
+            one pool per tenant so the bitmap key catalogs survive across
+            requests (and query objects) instead of being rebuilt; when
+            omitted, catalogs are memoised per query object as before.
+
+    One query object may be shared by concurrent threads (the serving
+    layer reuses a single façade per tenant): the answer cache and the
+    catalog pool lock internally, the cube's mutation ``version`` is
+    folded into every cache key, and the remaining memos (dimension
+    indices, derivation plans) are version-independent values where a
+    racing double-compute is idempotent.
     """
 
     def __init__(
@@ -79,6 +90,7 @@ class FlowCubeQuery:
         derive: bool = False,
         derive_exceptions: bool = False,
         cache_size: int = 128,
+        catalogs: CatalogPool | None = None,
     ) -> None:
         if kernel not in QUERY_KERNELS:
             raise QueryError(
@@ -94,14 +106,16 @@ class FlowCubeQuery:
         self._hierarchies = self._schema.dimensions
         self._dims: dict[str, int] = {}
         self._default_path_level: PathLevel | None = None
-        #: (item level, path level) -> (cell count, key catalog).
+        #: (item level, path level) -> (cell count, key catalog); used
+        #: only when no shared pool was given.
         self._catalogs: dict[
             tuple[ItemLevel, PathLevel], tuple[int, CuboidKeyCatalog]
         ] = {}
-        self._plans: dict[
-            tuple[ItemLevel, PathLevel], DerivationPlan | None
-        ] = {}
+        #: (cube version, item level, path level) -> plan; the version in
+        #: the key keeps plans from outliving a store mutation.
+        self._plans: dict[tuple, DerivationPlan | None] = {}
         self._cache = QueryCache(cache_size)
+        self._pool = catalogs
 
     # ------------------------------------------------------------------
     # coordinate helpers
@@ -155,7 +169,7 @@ class FlowCubeQuery:
     ) -> DerivationPlan | None:
         """The planner's choice for a coordinate (memoised), or ``None``."""
         level = path_level or self.default_path_level()
-        coords = (item_level, level)
+        coords = (self._version(), item_level, level)
         if coords not in self._plans:
             self._plans[coords] = plan_derivation(self.cube, item_level, level)
         return self._plans[coords]
@@ -183,7 +197,7 @@ class FlowCubeQuery:
         cell = derive_cell(
             self.cube, plan, key, mine_exceptions=self.derive_exceptions
         )
-        self._cache.derivations += 1
+        self._cache.note_derivation()
         self._cache.put(cache_key, cell)
         return cell
 
@@ -205,7 +219,7 @@ class FlowCubeQuery:
         cuboid = derive_cuboid(
             self.cube, plan, mine_exceptions=self.derive_exceptions
         )
-        self._cache.derivations += 1
+        self._cache.note_derivation()
         self._cache.put(cache_key, cuboid)
         return cuboid
 
@@ -276,6 +290,17 @@ class FlowCubeQuery:
         do not match are never materialised (no cell-file IO over a
         :class:`~repro.store.cube_store.CubeStore`).
         """
+        yield from self.slice_cells(path_level, **dims)
+
+    def slice_cells(
+        self, path_level: PathLevel | None = None, **dims: str
+    ) -> tuple[Cell, ...]:
+        """:meth:`slice` as a fully materialised (and cached) tuple.
+
+        The serving layer prefers this form: the whole answer is computed
+        against one consistent cube version and memoised, so concurrent
+        requests can never observe a half-built entry.
+        """
         level = path_level or self.default_path_level()
         constraints: list[tuple[int, str]] = []
         for name, value in dims.items():
@@ -292,13 +317,10 @@ class FlowCubeQuery:
         )
         cached = self._cache.get(cache_key)
         if cached is not None:
-            yield from cached
-            return
-        out: list[Cell] = []
-        for cell in self._slice_cells(level, constraints):
-            out.append(cell)
-            yield cell
-        self._cache.put(cache_key, tuple(out))
+            return cached
+        out = tuple(self._slice_cells(level, constraints))
+        self._cache.put(cache_key, out)
+        return out
 
     def _slice_cells(
         self, level: PathLevel, constraints: list[tuple[int, str]]
@@ -319,7 +341,16 @@ class FlowCubeQuery:
                         yield cell
 
     def _catalog(self, cuboid) -> CuboidKeyCatalog:
-        """The cuboid's bitmap key catalog, rebuilt when its size changes."""
+        """The cuboid's bitmap key catalog, rebuilt when its size changes.
+
+        With a shared :class:`CatalogPool` the lookup (and invalidation,
+        via the cube version) happens in the pool, so catalogs are reused
+        across every query object mounted on the same cube.
+        """
+        if self._pool is not None:
+            return self._pool.catalog(
+                cuboid, self._hierarchies, self._version()
+            )
         coords = (cuboid.item_level, cuboid.path_level)
         n_cells = len(cuboid)
         cached = self._catalogs.get(coords)

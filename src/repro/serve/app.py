@@ -1,0 +1,442 @@
+"""The slicer application: JSON routes over mounted flowcube tenants.
+
+Route map (all responses JSON)::
+
+    GET  /                              server identity + mounted cubes
+    GET  /cubes                         tenant summaries
+    GET  /cubes/{name}                  one cube: shape, δ/ε, build version
+    GET  /cubes/{name}/cuboids          materialised cuboids (index only)
+    GET|POST /cubes/{name}/slice        cells matching a cut
+    POST /cubes/{name}/rollup           a cell's parent along one dimension
+    POST /cubes/{name}/drilldown        a cell's children along one dimension
+    POST /cubes/{name}/query            one cell (''derive'': planner support)
+    GET  /cubes/{name}/flowgraph        flowgraph report for a cut
+    GET  /cubes/{name}/exceptions       (ε, δ) exceptions across a cut
+    GET  /stats                         per-tenant cache/derivation counters
+
+Constraints arrive as a *cut* string (``product:outerwear|brand:nike``,
+see :mod:`repro.serve.cuts`) in the ``cut=`` query parameter or the
+``"cut"`` body field; an explicit ``"dims"`` object merges over it.
+``path_level`` selects a path-lattice index (default: most detailed).
+``"measure": true`` includes each cell's full flowgraph payload.
+
+Read handling is deliberately layered: a warm request is answered from
+the tenant's rendered-response cache (bytes out, zero query work); a
+cooler one from the query cache; a cold one runs the bitmap index
+kernel — and, for ``"derive": true`` queries, the roll-up planner — and
+pays cell-file IO only for matching cells.  Every cache key folds in the
+store version, and each tenant request first ``stat``\\ s the cube's meta
+file, so a rebuild by another process invalidates all three layers at
+once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable
+
+from repro import __version__
+from repro.core.serialization import flowgraph_to_dict
+from repro.errors import (
+    CubeError,
+    FlowCubeError,
+    QueryError,
+    ServeError,
+)
+from repro.query.render import render_text
+from repro.serve.cuts import format_cut, parse_cut
+from repro.serve.http import Request, Response, encode_json
+from repro.serve.tenant import CubeTenant
+
+__all__ = ["SlicerApp", "cell_payload", "slice_payload"]
+
+
+def cell_payload(tenant: CubeTenant, cell, measure: bool = False) -> dict:
+    """One cell as the API renders it (index fields, optional measure)."""
+    lattice = tenant.cube_store.path_lattice
+    out: dict = {
+        "key": list(cell.key),
+        "item_level": list(cell.item_level.levels),
+        "path_level": lattice.index_of(cell.path_level),
+        "n_paths": cell.n_paths,
+        "redundant": cell.redundant,
+    }
+    if measure:
+        out["flowgraph"] = flowgraph_to_dict(cell.flowgraph)
+    return out
+
+
+def slice_payload(
+    tenant: CubeTenant,
+    dims: dict[str, str],
+    path_level_id: int | None,
+    cells: Iterable,
+    measure: bool = False,
+) -> dict:
+    """The canonical slice response body.
+
+    Kept as a free function so tests can rebuild the exact payload from
+    independently computed cells and assert byte-equality against the
+    server's response.
+    """
+    cells = [cell_payload(tenant, cell, measure) for cell in cells]
+    return {
+        "cube": tenant.name,
+        "cut": format_cut(dims),
+        "path_level": path_level_id,
+        "n_cells": len(cells),
+        "cells": cells,
+    }
+
+
+class SlicerApp:
+    """Multi-tenant slicer over one or more mounted cubes.
+
+    Args:
+        tenants: The cubes to serve.
+        token: Optional bearer token; when set, every request must carry
+            ``Authorization: Bearer <token>`` (the auth hook — swap in a
+            real authenticator by overriding :meth:`authorize`).
+    """
+
+    def __init__(
+        self, tenants: Iterable[CubeTenant], token: str | None = None
+    ) -> None:
+        self._tenants: dict[str, CubeTenant] = {}
+        for tenant in tenants:
+            if tenant.name in self._tenants:
+                raise ServeError(f"duplicate tenant name {tenant.name!r}")
+            self._tenants[tenant.name] = tenant
+        if not self._tenants:
+            raise ServeError("the slicer needs at least one cube to serve")
+        self._token = token
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.started = time.time()
+
+    @property
+    def tenants(self) -> dict[str, CubeTenant]:
+        return self._tenants
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def handle(self, request: Request) -> Response:
+        """Synchronous request handling (runs on the server's pool)."""
+        with self._lock:
+            self.requests += 1
+        if not self.authorize(request):
+            return Response.json({"error": "unauthorized"}, 401)
+        try:
+            return self._route(request)
+        except ServeError as exc:
+            return Response.json({"error": str(exc)}, 400)
+        except (QueryError, CubeError) as exc:
+            return Response.json({"error": str(exc)}, 404)
+        except FlowCubeError as exc:
+            return Response.json({"error": str(exc)}, 400)
+
+    def authorize(self, request: Request) -> bool:
+        """The auth hook: bearer-token check when a token is configured."""
+        if self._token is None:
+            return True
+        return request.headers.get("authorization") == f"Bearer {self._token}"
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, request: Request) -> Response:
+        segments = [part for part in request.path.split("/") if part]
+        if not segments:
+            return self._info()
+        if segments == ["stats"]:
+            return self._stats()
+        if segments[0] != "cubes":
+            raise QueryError(f"no route for {request.path!r}")
+        if len(segments) == 1:
+            return Response.json(
+                [tenant.describe() for tenant in self._tenants.values()]
+            )
+        tenant = self._tenants.get(segments[1])
+        if tenant is None:
+            raise QueryError(f"no cube named {segments[1]!r} is mounted")
+        tenant.refresh()
+        if len(segments) == 2:
+            return Response.json(tenant.describe())
+        if len(segments) > 3:
+            raise QueryError(f"no route for {request.path!r}")
+        verb = segments[2]
+        handlers = {
+            "cuboids": self._cuboids,
+            "slice": self._slice,
+            "rollup": self._rollup,
+            "drilldown": self._drilldown,
+            "query": self._query,
+            "flowgraph": self._flowgraph,
+            "exceptions": self._exceptions,
+        }
+        handler = handlers.get(verb)
+        if handler is None:
+            raise QueryError(f"no route for {request.path!r}")
+        if verb in ("rollup", "drilldown", "query") and request.method != (
+            "POST"
+        ):
+            return Response.json({"error": "use POST"}, 405)
+        return handler(tenant, request)
+
+    # ------------------------------------------------------------------
+    # request parsing helpers
+    # ------------------------------------------------------------------
+    def _params(self, request: Request) -> dict:
+        """Merged request parameters: query string under a JSON body."""
+        params: dict = dict(request.query)
+        if request.method == "POST":
+            params.update(request.json())
+        return params
+
+    def _dims(self, params: dict) -> dict[str, str]:
+        dims = parse_cut(str(params.get("cut", "") or ""))
+        extra = params.get("dims", {})
+        if not isinstance(extra, dict):
+            raise ServeError('"dims" must be an object of dimension:value')
+        for name, value in extra.items():
+            dims[str(name)] = str(value)
+        return dims
+
+    def _path_level(self, tenant: CubeTenant, params: dict):
+        """(path-level id or None, PathLevel or None) from parameters."""
+        raw = params.get("path_level")
+        if raw is None or raw == "":
+            return None, None
+        try:
+            level_id = int(raw)
+        except (TypeError, ValueError):
+            raise ServeError(f"bad path_level {raw!r}; expected an integer")
+        lattice = tenant.cube_store.path_lattice
+        if lattice is None or not 0 <= level_id < len(lattice):
+            raise QueryError(f"no path level {level_id} in the cube")
+        return level_id, lattice[level_id]
+
+    def _flag(self, params: dict, name: str) -> bool:
+        value = params.get(name, False)
+        if isinstance(value, str):
+            return value.lower() in ("1", "true", "yes")
+        return bool(value)
+
+    # ------------------------------------------------------------------
+    # server-level endpoints
+    # ------------------------------------------------------------------
+    def _info(self) -> Response:
+        return Response.json(
+            {
+                "server": "flowcube-slicer",
+                "version": __version__,
+                "cubes": sorted(self._tenants),
+            }
+        )
+
+    def _stats(self) -> Response:
+        with self._lock:
+            requests = self.requests
+        return Response.json(
+            {
+                "server": {
+                    "requests": requests,
+                    "uptime_seconds": round(time.time() - self.started, 3),
+                },
+                "cubes": {
+                    name: tenant.stats()
+                    for name, tenant in sorted(self._tenants.items())
+                },
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # cube endpoints
+    # ------------------------------------------------------------------
+    def _cuboids(self, tenant: CubeTenant, request: Request) -> Response:
+        lattice = tenant.cube_store.path_lattice
+        payload = []
+        for cuboid in tenant.cube_store.cuboids:
+            payload.append(
+                {
+                    "item_level": list(cuboid.item_level.levels),
+                    "path_level": lattice.index_of(cuboid.path_level),
+                    "n_cells": len(cuboid),
+                }
+            )
+        payload.sort(key=lambda c: (c["path_level"], c["item_level"]))
+        return Response.json({"cube": tenant.name, "cuboids": payload})
+
+    def _cached(
+        self, tenant: CubeTenant, key: tuple, build
+    ) -> Response:
+        """Serve rendered bytes from the tenant's response cache."""
+        body = tenant.cached_response(key)
+        if body is None:
+            body = encode_json(build())
+            tenant.store_response(key, body)
+        return Response(body=body)
+
+    def _slice(self, tenant: CubeTenant, request: Request) -> Response:
+        params = self._params(request)
+        dims = self._dims(params)
+        level_id, path_level = self._path_level(tenant, params)
+        measure = self._flag(params, "measure")
+        key = ("slice", tuple(sorted(dims.items())), level_id, measure)
+
+        def build():
+            cells = tenant.query.slice_cells(path_level, **dims)
+            return slice_payload(tenant, dims, level_id, cells, measure)
+
+        return self._cached(tenant, key, build)
+
+    def _point_cell(
+        self, tenant: CubeTenant, params: dict
+    ):
+        """The cell a rollup/drilldown request anchors on."""
+        dims = self._dims(params)
+        _, path_level = self._path_level(tenant, params)
+        derive = self._flag(params, "derive")
+        facade = tenant.derive_query if derive else tenant.query
+        return facade, facade.cell(path_level, **dims), dims
+
+    def _rollup(self, tenant: CubeTenant, request: Request) -> Response:
+        params = self._params(request)
+        dimension = params.get("dimension")
+        if not dimension:
+            raise ServeError('rollup needs a "dimension" to roll up along')
+        measure = self._flag(params, "measure")
+        dims = self._dims(params)
+        level_id, _ = self._path_level(tenant, params)
+        key = (
+            "rollup",
+            tuple(sorted(dims.items())),
+            level_id,
+            str(dimension),
+            self._flag(params, "derive"),
+            measure,
+        )
+
+        def build():
+            facade, cell, _ = self._point_cell(tenant, params)
+            parent = facade.roll_up(cell, str(dimension))
+            return {
+                "cube": tenant.name,
+                "dimension": dimension,
+                "cell": cell_payload(tenant, parent, measure),
+            }
+
+        return self._cached(tenant, key, build)
+
+    def _drilldown(self, tenant: CubeTenant, request: Request) -> Response:
+        params = self._params(request)
+        dimension = params.get("dimension")
+        if not dimension:
+            raise ServeError('drilldown needs a "dimension" to drill along')
+        measure = self._flag(params, "measure")
+        dims = self._dims(params)
+        level_id, _ = self._path_level(tenant, params)
+        key = (
+            "drilldown",
+            tuple(sorted(dims.items())),
+            level_id,
+            str(dimension),
+            self._flag(params, "derive"),
+            measure,
+        )
+
+        def build():
+            facade, cell, _ = self._point_cell(tenant, params)
+            children = facade.drill_down(cell, str(dimension))
+            return {
+                "cube": tenant.name,
+                "dimension": dimension,
+                "n_cells": len(children),
+                "cells": [
+                    cell_payload(tenant, child, measure) for child in children
+                ],
+            }
+
+        return self._cached(tenant, key, build)
+
+    def _query(self, tenant: CubeTenant, request: Request) -> Response:
+        params = self._params(request)
+        dims = self._dims(params)
+        level_id, path_level = self._path_level(tenant, params)
+        derive = self._flag(params, "derive")
+        facade = tenant.derive_query if derive else tenant.query
+        key = ("query", tuple(sorted(dims.items())), level_id, derive)
+
+        def build():
+            item_level, _ = facade.coordinates(**dims)
+            level = path_level or facade.default_path_level()
+            materialised = tenant.cube_store.has_cuboid(item_level, level)
+            cell = facade.cell(path_level, **dims)
+            payload = {
+                "cube": tenant.name,
+                "cut": format_cut(dims),
+                "derived": not materialised,
+                "cell": cell_payload(tenant, cell, measure=True),
+            }
+            if not materialised:
+                plan = facade.plan_for(item_level, level)
+                if plan is not None:
+                    payload["derivation"] = {
+                        "source": list(plan.source.levels),
+                        "distance": plan.distance,
+                        "source_cells": plan.source_cells,
+                        "exact": plan.exact,
+                    }
+            return payload
+
+        return self._cached(tenant, key, build)
+
+    def _flowgraph(self, tenant: CubeTenant, request: Request) -> Response:
+        params = self._params(request)
+        dims = self._dims(params)
+        level_id, path_level = self._path_level(tenant, params)
+        derive = self._flag(params, "derive")
+        facade = tenant.derive_query if derive else tenant.query
+        key = ("flowgraph", tuple(sorted(dims.items())), level_id, derive)
+
+        def build():
+            graph = facade.flowgraph(path_level, **dims)
+            return {
+                "cube": tenant.name,
+                "cut": format_cut(dims),
+                "n_paths": graph.n_paths,
+                "flowgraph": flowgraph_to_dict(graph),
+                "text": render_text(graph),
+            }
+
+        return self._cached(tenant, key, build)
+
+    def _exceptions(self, tenant: CubeTenant, request: Request) -> Response:
+        params = self._params(request)
+        dims = self._dims(params)
+        level_id, path_level = self._path_level(tenant, params)
+        key = ("exceptions", tuple(sorted(dims.items())), level_id)
+
+        def build():
+            cells = tenant.query.slice_cells(path_level, **dims)
+            reports = []
+            for cell in cells:
+                exceptions = flowgraph_to_dict(cell.flowgraph)["exceptions"]
+                if exceptions:
+                    reports.append(
+                        {
+                            "key": list(cell.key),
+                            "item_level": list(cell.item_level.levels),
+                            "exceptions": exceptions,
+                        }
+                    )
+            return {
+                "cube": tenant.name,
+                "cut": format_cut(dims),
+                "n_cells": len(reports),
+                "cells": reports,
+            }
+
+        return self._cached(tenant, key, build)

@@ -1,0 +1,258 @@
+"""A small asyncio HTTP/1.1 layer — just enough protocol for the slicer.
+
+No web framework and no new dependencies: :class:`HttpServer` speaks the
+subset of HTTP/1.1 a JSON API needs (request line, headers,
+``Content-Length`` bodies, keep-alive) over ``asyncio`` streams.  The
+event loop only ever parses requests and writes responses; the
+application's synchronous ``handle(request) -> Response`` runs on a
+bounded thread pool, so one slow cold query (cell-file IO, a planner
+merge) cannot stall every other connection.  The query/store layers this
+fronts are thread-safe for exactly this reason.
+
+The server binds before it accepts (``port=0`` picks a free port and
+:attr:`HttpServer.address` reports it), which is what the benchmark
+harness and the CI smoke script build on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ServeError
+
+__all__ = ["Request", "Response", "HttpServer"]
+
+#: Largest accepted request body, in bytes.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def json(self) -> dict:
+        """The body as a JSON object (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response; :meth:`json` is the canonical constructor.
+
+    ``body`` bytes are what goes on the wire verbatim — the serving
+    layer's response cache stores them, and the parity tests compare them
+    byte-for-byte against directly computed answers.
+    """
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200) -> "Response":
+        return cls(status=status, body=encode_json(payload))
+
+
+def encode_json(payload: object) -> bytes:
+    """The server's one JSON encoding (compact, key order preserved)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+class HttpServer:
+    """Serve an application over asyncio streams.
+
+    Args:
+        app: Any object with a synchronous ``handle(Request) -> Response``
+            method; it runs on the worker pool, never on the event loop.
+        host: Interface to bind.
+        port: Port to bind; ``0`` picks a free one (see :attr:`address`).
+        workers: Thread-pool size for request handling.
+    """
+
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        workers: int = 8,
+    ) -> None:
+        self._app = app
+        self._host = host
+        self._port = port
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="flowcube-serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._client, self._host, self._port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real port."""
+        if self._server is None:
+            return (self._host, self._port)
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return (host, port)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # per-connection protocol loop
+    # ------------------------------------------------------------------
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                if isinstance(request, Response):  # protocol-level error
+                    await self._write(writer, request, keep_alive=False)
+                    break
+                response = await self._dispatch(request)
+                keep_alive = request.keep_alive
+                await self._write(writer, response, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, self._app.handle, request
+            )
+        except Exception:  # the app maps its own errors; this is a bug
+            return Response.json({"error": "internal server error"}, 500)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Request | Response | None:
+        try:
+            blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:  # mid-request EOF: nothing we can answer
+                return None
+            return None  # clean close between requests
+        try:
+            head = blob.decode("latin-1")
+            request_line, *header_lines = head.split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError:
+            return Response.json({"error": "malformed request line"}, 400)
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, separator, value = line.partition(":")
+            if not separator:
+                return Response.json({"error": "malformed header"}, 400)
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return Response.json({"error": "request body too large"}, 413)
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        parts = urlsplit(target)
+        query = {
+            name: value
+            for name, value in parse_qsl(parts.query, keep_blank_values=True)
+        }
+        return Request(
+            method=method.upper(),
+            path=unquote(parts.path),
+            query=query,
+            headers=headers,
+            body=body,
+            version=version.strip(),
+        )
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in response.headers.items():
+            head.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+        )
+        await writer.drain()

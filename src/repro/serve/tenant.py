@@ -1,0 +1,160 @@
+"""Per-cube serving state: one tenant mounts one persisted flowcube.
+
+A :class:`CubeTenant` owns everything one cube needs to be served
+concurrently and repeatedly:
+
+* a :class:`~repro.store.cube_store.CubeStore` read handle (cell-file
+  materialisation behind its locked LRU cache);
+* two long-lived :class:`~repro.query.api.FlowCubeQuery` façades — plain
+  and ``derive=True`` — reused across requests, both drawing bitmap key
+  catalogs from one shared :class:`~repro.perf.query_kernel.CatalogPool`
+  so no request ever rebuilds an index another request already paid for;
+* a response cache holding final rendered JSON *bytes* keyed by the
+  canonical request, so a warm hit skips querying and serialisation
+  entirely;
+* invalidation wiring: the tenant subscribes to the store's version
+  counter, so any mutation (``put_cell``/``flush``/``reload``) clears the
+  response cache eagerly, and every cache key folds the version in as a
+  second line of defence.  :meth:`refresh` additionally ``stat``\\ s the
+  on-disk meta file so rebuilds by *other* processes (the CLI under a
+  running server) are noticed per request.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FsPath
+
+from repro.errors import StoreError
+from repro.perf.query_kernel import CatalogPool, QueryCache, merge_query_stats
+from repro.query.api import FlowCubeQuery
+from repro.store.pathstore import PartitionedPathStore
+
+__all__ = ["CubeTenant"]
+
+
+class CubeTenant:
+    """One named cube mounted in the slicer.
+
+    Args:
+        name: Tenant name — the ``{name}`` segment of every cube route.
+        store: The partitioned path store whose ``cube/`` directory holds
+            the built flowcube.
+        cache_size: Capacity of the cell cache and each query cache.
+        response_cache_size: Capacity of the rendered-response cache.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: PartitionedPathStore,
+        cache_size: int = 256,
+        response_cache_size: int = 512,
+    ) -> None:
+        self.name = name
+        self.store = store
+        self.cube_store = store.cube_store(cache_size=cache_size)
+        if not self.cube_store.is_built:
+            raise StoreError(
+                f"no cube has been built at {store.directory} "
+                "(run `flowcube-store build` first)"
+            )
+        self.catalogs = CatalogPool()
+        self.query = FlowCubeQuery(
+            self.cube_store,
+            cache_size=cache_size,
+            catalogs=self.catalogs,
+        )
+        self.derive_query = FlowCubeQuery(
+            self.cube_store,
+            derive=True,
+            cache_size=cache_size,
+            catalogs=self.catalogs,
+        )
+        self._responses = QueryCache(response_cache_size)
+        self.invalidations = 0
+        self.cube_store.subscribe(self._invalidated)
+
+    @classmethod
+    def mount(
+        cls, name: str, directory: FsPath | str, cache_size: int = 256
+    ) -> "CubeTenant":
+        """Open the store at *directory* and mount it as *name*."""
+        return cls(
+            name, PartitionedPathStore.open(directory), cache_size=cache_size
+        )
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def _invalidated(self, version: int) -> None:
+        self._responses.clear()
+        self.invalidations += 1
+
+    def refresh(self) -> bool:
+        """Notice an external rebuild (one ``stat``); True when reloaded."""
+        return self.cube_store.maybe_reload()
+
+    @property
+    def version(self) -> int:
+        """The store's mutation counter (folds into response-cache keys)."""
+        return self.cube_store.version
+
+    # ------------------------------------------------------------------
+    # response cache
+    # ------------------------------------------------------------------
+    def cached_response(self, key: tuple) -> bytes | None:
+        """Rendered response bytes for a canonical request key, if warm."""
+        return self._responses.get((self.version,) + key)
+
+    def store_response(self, key: tuple, body: bytes) -> None:
+        self._responses.put((self.version,) + key, body)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """The ``/cubes/{name}`` payload: shape, thresholds, provenance."""
+        cube = self.cube_store
+        out: dict[str, object] = {
+            "name": self.name,
+            "store": str(self.store.directory),
+            "records": len(self.store),
+            "cuboids": len(cube.cuboids),
+            "cells": cube.n_cells(),
+            "min_support": cube.min_support,
+            "min_deviation": cube.min_deviation,
+            "path_levels": (
+                len(cube.path_lattice) if cube.path_lattice is not None else 0
+            ),
+            "version": cube.build_version,
+        }
+        if cube.build_stats is not None:
+            out["build_stats"] = cube.build_stats
+        return out
+
+    def stats(self) -> dict[str, object]:
+        """Every cache layer's counters, for ``/stats``."""
+        return {
+            "version": self.cube_store.build_version,
+            "store_version": self.version,
+            "invalidations": self.invalidations,
+            "query_cache": self.query.cache_stats(),
+            "derive_cache": self.derive_query.cache_stats(),
+            "cell_cache": self.cube_store.cache_stats(),
+            "catalog_pool": self.catalogs.stats(),
+            "response_cache": self._responses.stats(),
+        }
+
+    def flush_stats(self) -> None:
+        """Persist this tenant's query-cache counters for the CLI.
+
+        Folds both façades' counters into the cube's ``query_stats.json``
+        (the same file ``flowcube-store query`` accumulates into), so
+        ``flowcube-store stats`` reports serving behaviour after the
+        server exits.  The merge is atomic and lock-guarded, so CLI
+        invocations running concurrently cannot interleave.
+        """
+        for facade in (self.query, self.derive_query):
+            stats = facade.cache_stats()
+            if stats["hits"] or stats["misses"] or stats["derivations"]:
+                merge_query_stats(self.cube_store.directory, stats)

@@ -48,9 +48,11 @@ tests.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import time
 from collections import Counter
+from datetime import datetime, timezone
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -111,6 +113,9 @@ class BuildStats:
             exceeds 1 (with ``jobs > 1`` each worker holds at most one).
         cuboids: Cuboids materialised.
         cells: Iceberg cells materialised.
+        built_at: UTC timestamp of the build start (ISO-8601, seconds
+            precision); stamped by :func:`build_cube` so the persisted
+            cube carries build provenance.
         elapsed_seconds: Wall-clock time of the build.
         phase_seconds: Wall-clock per build phase — ``membership`` (the
             direct engine's id-grouping pass), ``aggregate`` (record
@@ -127,6 +132,7 @@ class BuildStats:
     max_live_transaction_dbs: int = 0
     cuboids: int = 0
     cells: int = 0
+    built_at: str = ""
     elapsed_seconds: float = 0.0
     phase_seconds: dict = field(default_factory=dict)
 
@@ -134,9 +140,25 @@ class BuildStats:
         """Accumulate wall-clock time into the named phase bucket."""
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
+    @property
+    def version(self) -> str:
+        """A short content digest identifying this build.
+
+        Hashes the build's shape (records, cells, cuboids) and its
+        timestamp, so two rebuilds of the same store get distinct
+        versions; serving layers expose it as the cube's build version.
+        """
+        seed = (
+            f"{self.built_at}:{self.records}:{self.cells}:{self.cuboids}:"
+            f"{self.partitions}"
+        )
+        return hashlib.sha1(seed.encode("utf-8")).hexdigest()[:12]
+
     def as_dict(self) -> dict:
         """JSON-ready snapshot, e.g. for ``CubeStore`` metadata."""
         return {
+            "version": self.version,
+            "built_at": self.built_at,
             "partitions": self.partitions,
             "records": self.records,
             "scans": self.scans,
@@ -857,6 +879,9 @@ def build_cube(
     threshold = resolve_min_support(min_support, len(store))
     build_stats.partitions = len(store.catalog.partitions)
     build_stats.records = len(store)
+    build_stats.built_at = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
 
     if (
         use_shared

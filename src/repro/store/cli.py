@@ -7,6 +7,7 @@ A thin operational shell around the partitioned store::
     flowcube-store build ./wh --min-support 0.05 --jobs 4
     flowcube-store query ./wh -d d0=d0_0
     flowcube-store stats ./wh
+    flowcube-store serve --cubes wh=./wh --host 127.0.0.1 --port 8642
 
 ``init`` fixes the schema (the example retail schema or a synthetic one);
 ``ingest`` appends partitions — from a CSV in the
@@ -19,12 +20,16 @@ when asked; ``query`` renders a cell's flowgraph measure — with
 ``--derive``, coordinates whose cuboid was not materialised are merged
 from the cheapest materialised descendant (the roll-up planner), and the
 query-cache counters are folded into ``cube/query_stats.json`` so
-``stats`` can report serving behaviour across invocations.
+``stats`` can report serving behaviour across invocations; ``serve``
+mounts one or more built stores as named tenants of the asyncio HTTP
+slicer (:mod:`repro.serve`) and answers slice/rollup/drilldown/query,
+flowgraph and exception reports, and cache statistics as a JSON API.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -180,6 +185,39 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="catalog, cube, and cache statistics")
     stats.add_argument("store")
+
+    serve = sub.add_parser(
+        "serve", help="serve built cubes over HTTP (JSON slicer API)"
+    )
+    serve.add_argument(
+        "--cubes",
+        action="append",
+        required=True,
+        metavar="NAME=PATH",
+        help=(
+            "mount the store at PATH as tenant NAME (repeatable; a bare "
+            "PATH uses the directory name)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="request-handler thread pool size",
+    )
+    serve.add_argument("--cache-size", type=int, default=256)
+    serve.add_argument(
+        "--token",
+        default=None,
+        help="require 'Authorization: Bearer TOKEN' on every request",
+    )
     return parser
 
 
@@ -360,12 +398,66 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_cube_mounts(entries: list[str]) -> dict[str, str]:
+    """``NAME=PATH`` (or bare ``PATH``) entries into a tenant mapping."""
+    cubes: dict[str, str] = {}
+    for entry in entries:
+        name, separator, path = entry.partition("=")
+        if not separator:
+            path = entry
+            name = FsPath(entry).name or entry
+        if not name or not path:
+            raise StoreError(
+                f"bad --cubes entry {entry!r}; expected NAME=PATH"
+            )
+        if name in cubes:
+            raise StoreError(f"tenant name {name!r} given twice")
+        cubes[name] = path
+    return cubes
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the serve subsystem pulls in asyncio machinery no
+    # other verb needs.
+    from repro.serve import create_app, run
+
+    app = create_app(
+        _parse_cube_mounts(args.cubes),
+        cache_size=args.cache_size,
+        token=args.token,
+    )
+
+    def ready(address: tuple[str, int]) -> None:
+        host, port = address
+        names = ", ".join(sorted(app.tenants))
+        print(
+            f"serving {len(app.tenants)} cube(s) [{names}] "
+            f"at http://{host}:{port}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            run(
+                app,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "init": _cmd_init,
     "ingest": _cmd_ingest,
     "build": _cmd_build,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 

@@ -27,7 +27,9 @@ which one it was given.
 from __future__ import annotations
 
 import json
-from collections.abc import Iterator
+import os
+import threading
+from collections.abc import Callable, Iterator
 from pathlib import Path as FsPath
 
 from repro.core.flowcube import Cell, CellKey
@@ -128,6 +130,16 @@ class CubeStore:
         #: key off it to invalidate.
         self._version = 0
         self._cuboids_cache: tuple[int, tuple[StoredCuboid, ...]] | None = None
+        #: Serialises reads/mutations so concurrent server workers can
+        #: share one handle — the LRU's OrderedDict is not thread-safe.
+        self._lock = threading.RLock()
+        #: Invalidation listeners, called with the new version on every
+        #: index mutation (the serving layer's per-tenant caches hook in).
+        self._subscribers: list[Callable[[int], None]] = []
+        #: (st_mtime_ns, st_size) of the meta file last read or written;
+        #: :meth:`maybe_reload` compares against disk to notice rebuilds
+        #: flushed by *other* processes (e.g. the CLI under a server).
+        self._meta_signature: tuple[int, int] | None = None
         if (self.directory / META_FILENAME).exists():
             self._load_meta()
 
@@ -139,6 +151,25 @@ class CubeStore:
         """Whether a build has ever written (and flushed) into this store."""
         return self.path_lattice is not None
 
+    def _bump_version(self) -> None:
+        """Advance the mutation counter and push it to every subscriber."""
+        self._version += 1
+        for callback in tuple(self._subscribers):
+            callback(self._version)
+
+    def subscribe(self, callback: Callable[[int], None]) -> None:
+        """Register *callback* to run (with the new version) on mutation.
+
+        The serving layer's per-tenant caches key their entries off
+        :attr:`version` already; the push lets them also *drop* stale
+        entries eagerly instead of leaking them until LRU pressure.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[int], None]) -> None:
+        """Remove a previously registered invalidation listener."""
+        self._subscribers.remove(callback)
+
     def create(
         self,
         path_lattice: PathLattice,
@@ -146,20 +177,21 @@ class CubeStore:
         min_deviation: float,
     ) -> "CubeStore":
         """Start a fresh cube, discarding any previously indexed cells."""
-        self.path_lattice = path_lattice
-        self.min_support = min_support
-        self.min_deviation = min_deviation
-        self.build_stats = None
-        self._index.clear()
-        self._cache.clear()
-        self._version += 1
-        self._n_files = 0
-        cells_dir = self.directory / CELLS_DIR
-        cells_dir.mkdir(parents=True, exist_ok=True)
-        # A rebuild restarts file numbering at 0; drop the previous
-        # build's files so a smaller cube leaves no orphans behind.
-        for stale in cells_dir.glob("cell-*.json"):
-            stale.unlink()
+        with self._lock:
+            self.path_lattice = path_lattice
+            self.min_support = min_support
+            self.min_deviation = min_deviation
+            self.build_stats = None
+            self._index.clear()
+            self._cache.clear()
+            self._n_files = 0
+            cells_dir = self.directory / CELLS_DIR
+            cells_dir.mkdir(parents=True, exist_ok=True)
+            # A rebuild restarts file numbering at 0; drop the previous
+            # build's files so a smaller cube leaves no orphans behind.
+            for stale in cells_dir.glob("cell-*.json"):
+                stale.unlink()
+            self._bump_version()
         return self
 
     def _require_built(self) -> PathLattice:
@@ -175,28 +207,31 @@ class CubeStore:
     # ------------------------------------------------------------------
     def put_cell(self, cell: Cell) -> None:
         """Persist one cell (its paths are not stored, only the measure)."""
-        lattice = self._require_built()
-        level_id = lattice.index_of(cell.path_level)
-        filename = f"cell-{self._n_files:06d}.json"
-        self._n_files += 1
-        payload = {
-            "key": list(cell.key),
-            "item_level": list(cell.item_level.levels),
-            "path_level": level_id,
-            "record_ids": list(cell.record_ids),
-            "redundant": cell.redundant,
-            "flowgraph": flowgraph_to_dict(cell.flowgraph),
-        }
-        path = self.directory / CELLS_DIR / filename
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload), encoding="utf-8")
-        entry = {
-            "file": filename,
-            "n_paths": cell.n_paths,
-            "redundant": cell.redundant,
-        }
-        self._index.setdefault((cell.item_level, level_id), {})[cell.key] = entry
-        self._version += 1
+        with self._lock:
+            lattice = self._require_built()
+            level_id = lattice.index_of(cell.path_level)
+            filename = f"cell-{self._n_files:06d}.json"
+            self._n_files += 1
+            payload = {
+                "key": list(cell.key),
+                "item_level": list(cell.item_level.levels),
+                "path_level": level_id,
+                "record_ids": list(cell.record_ids),
+                "redundant": cell.redundant,
+                "flowgraph": flowgraph_to_dict(cell.flowgraph),
+            }
+            path = self.directory / CELLS_DIR / filename
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload), encoding="utf-8")
+            entry = {
+                "file": filename,
+                "n_paths": cell.n_paths,
+                "redundant": cell.redundant,
+            }
+            self._index.setdefault(
+                (cell.item_level, level_id), {}
+            )[cell.key] = entry
+            self._bump_version()
 
     def put_cuboid(self, cuboid) -> None:
         """Persist every cell of an in-memory cuboid."""
@@ -213,57 +248,92 @@ class CubeStore:
                 ``exceptions`` bucket) is persisted alongside the index so
                 ``flowcube-store stats`` can report it later.
         """
-        lattice = self._require_built()
-        cells = []
-        for (item_level, level_id), entries in self._index.items():
-            for key, entry in entries.items():
-                cells.append(
-                    {
-                        "item_level": list(item_level.levels),
-                        "path_level": level_id,
-                        "key": list(key),
-                        **entry,
-                    }
-                )
-        if build_stats is not None:
-            self.build_stats = build_stats.as_dict()
-        payload = {
-            "min_support": self.min_support,
-            "min_deviation": self.min_deviation,
-            "path_lattice": [path_level_to_dict(level) for level in lattice],
-            "n_files": self._n_files,
-            "cells": cells,
-        }
-        if self.build_stats is not None:
-            payload["build_stats"] = self.build_stats
-        self.directory.mkdir(parents=True, exist_ok=True)
-        temp = self.directory / (META_FILENAME + ".tmp")
-        temp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
-        temp.replace(self.directory / META_FILENAME)
-        self._version += 1
+        with self._lock:
+            lattice = self._require_built()
+            cells = []
+            for (item_level, level_id), entries in self._index.items():
+                for key, entry in entries.items():
+                    cells.append(
+                        {
+                            "item_level": list(item_level.levels),
+                            "path_level": level_id,
+                            "key": list(key),
+                            **entry,
+                        }
+                    )
+            if build_stats is not None:
+                self.build_stats = build_stats.as_dict()
+            payload = {
+                "min_support": self.min_support,
+                "min_deviation": self.min_deviation,
+                "path_lattice": [
+                    path_level_to_dict(level) for level in lattice
+                ],
+                "n_files": self._n_files,
+                "cells": cells,
+            }
+            if self.build_stats is not None:
+                payload["build_stats"] = self.build_stats
+            self.directory.mkdir(parents=True, exist_ok=True)
+            meta = self.directory / META_FILENAME
+            temp = self.directory / (
+                f"{META_FILENAME}.{os.getpid()}.tmp"
+            )
+            temp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+            temp.replace(meta)
+            self._meta_signature = self._stat_meta()
+            self._bump_version()
+
+    def _stat_meta(self) -> tuple[int, int] | None:
+        """(mtime_ns, size) of the on-disk meta file, or ``None``."""
+        try:
+            stat = os.stat(self.directory / META_FILENAME)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
 
     def _load_meta(self) -> None:
-        path = self.directory / META_FILENAME
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        self.min_support = payload["min_support"]
-        self.min_deviation = payload["min_deviation"]
-        self.path_lattice = PathLattice(
-            path_level_from_dict(level, self.schema.location)
-            for level in payload["path_lattice"]
-        )
-        self._n_files = int(payload.get("n_files", len(payload["cells"])))
-        self.build_stats = payload.get("build_stats")
-        self._index.clear()
-        self._version += 1
-        for entry in payload["cells"]:
-            item_level = ItemLevel(entry["item_level"])
-            level_id = int(entry["path_level"])
-            key = tuple(entry["key"])
-            self._index.setdefault((item_level, level_id), {})[key] = {
-                "file": entry["file"],
-                "n_paths": int(entry["n_paths"]),
-                "redundant": bool(entry["redundant"]),
-            }
+        with self._lock:
+            path = self.directory / META_FILENAME
+            self._meta_signature = self._stat_meta()
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            self.min_support = payload["min_support"]
+            self.min_deviation = payload["min_deviation"]
+            self.path_lattice = PathLattice(
+                path_level_from_dict(level, self.schema.location)
+                for level in payload["path_lattice"]
+            )
+            self._n_files = int(payload.get("n_files", len(payload["cells"])))
+            self.build_stats = payload.get("build_stats")
+            self._index.clear()
+            self._cache.clear()
+            for entry in payload["cells"]:
+                item_level = ItemLevel(entry["item_level"])
+                level_id = int(entry["path_level"])
+                key = tuple(entry["key"])
+                self._index.setdefault((item_level, level_id), {})[key] = {
+                    "file": entry["file"],
+                    "n_paths": int(entry["n_paths"]),
+                    "redundant": bool(entry["redundant"]),
+                }
+            self._bump_version()
+
+    def maybe_reload(self) -> bool:
+        """Re-read the meta file when another process rewrote it.
+
+        A long-lived server holds its handle open while CLI invocations
+        may rebuild the cube underneath it; comparing the meta file's
+        ``(mtime_ns, size)`` signature against the one last seen detects
+        that cheaply (one ``stat``).  Reloading bumps :attr:`version`, so
+        every subscribed cache invalidates.  Returns whether a reload
+        happened.
+        """
+        with self._lock:
+            on_disk = self._stat_meta()
+            if on_disk is None or on_disk == self._meta_signature:
+                return False
+            self._load_meta()
+            return True
 
     # ------------------------------------------------------------------
     # reads (cache-fronted, lazily materialising)
@@ -272,26 +342,27 @@ class CubeStore:
         self, item_level: ItemLevel, key: CellKey, path_level: PathLevel
     ) -> Cell:
         """The cell at the coordinates, materialised through the cache."""
-        lattice = self._require_built()
-        level_id = lattice.index_of(path_level)
-        coords: Coords = (item_level, level_id, key)
-        cached = self._cache.get(coords)
-        if cached is not None:
-            return cached
-        entries = self._index.get((item_level, level_id))
-        if entries is None:
-            raise CubeError(
-                f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
-            )
-        entry = entries.get(key)
-        if entry is None:
-            raise CubeError(
-                f"cell {key!r} is not materialised in cuboid "
-                f"{item_level.levels!r}"
-            )
-        cell = self._materialise(item_level, path_level, key, entry)
-        self._cache.put(coords, cell)
-        return cell
+        with self._lock:
+            lattice = self._require_built()
+            level_id = lattice.index_of(path_level)
+            coords: Coords = (item_level, level_id, key)
+            cached = self._cache.get(coords)
+            if cached is not None:
+                return cached
+            entries = self._index.get((item_level, level_id))
+            if entries is None:
+                raise CubeError(
+                    f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
+                )
+            entry = entries.get(key)
+            if entry is None:
+                raise CubeError(
+                    f"cell {key!r} is not materialised in cuboid "
+                    f"{item_level.levels!r}"
+                )
+            cell = self._materialise(item_level, path_level, key, entry)
+            self._cache.put(coords, cell)
+            return cell
 
     def _materialise(
         self,
@@ -334,6 +405,18 @@ class CubeStore:
         """Index mutation counter (invalidation token for memoised views)."""
         return self._version
 
+    @property
+    def build_version(self) -> str | None:
+        """The persisted build's short content digest, when recorded.
+
+        Sourced from the :class:`~repro.store.builder.BuildStats` snapshot
+        flushed with the cube; ``None`` for cubes built before build
+        metadata existed.
+        """
+        if self.build_stats is None:
+            return None
+        return self.build_stats.get("version")
+
     def cell_sizes(
         self, item_level: ItemLevel, path_level: PathLevel
     ) -> dict[CellKey, int]:
@@ -348,16 +431,19 @@ class CubeStore:
 
     @property
     def cuboids(self) -> tuple[StoredCuboid, ...]:
-        lattice = self._require_built()
-        cached = self._cuboids_cache
-        if cached is not None and cached[0] == self._version:
-            return cached[1]
-        cuboids = tuple(
-            StoredCuboid(self, item_level, lattice[level_id], tuple(entries))
-            for (item_level, level_id), entries in self._index.items()
-        )
-        self._cuboids_cache = (self._version, cuboids)
-        return cuboids
+        with self._lock:
+            lattice = self._require_built()
+            cached = self._cuboids_cache
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+            cuboids = tuple(
+                StoredCuboid(
+                    self, item_level, lattice[level_id], tuple(entries)
+                )
+                for (item_level, level_id), entries in self._index.items()
+            )
+            self._cuboids_cache = (self._version, cuboids)
+            return cuboids
 
     def cells(self) -> Iterator[Cell]:
         """Every persisted cell, materialised through the cache."""
@@ -426,5 +512,6 @@ class CubeStore:
             "cache": self.cache_stats(),
         }
         if self.build_stats is not None:
+            out["version"] = self.build_version
             out["build_stats"] = self.build_stats
         return out
