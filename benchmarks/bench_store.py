@@ -56,10 +56,11 @@ from repro.query import FlowCubeQuery, derive_cuboid, plan_derivation
 from repro.store import (
     BuildStats,
     PartitionedPathStore,
+    WorkerPool,
     build_cube,
     shared_mine_store,
 )
-from repro.synth import GeneratorConfig, generate_path_database
+from repro.synth import GeneratorConfig, generate_path_database, scaled_config
 
 #: Sweep configuration: one database, three partitionings of it.
 CONFIG = GeneratorConfig(
@@ -76,6 +77,9 @@ MIN_SUPPORT = 0.05
 CACHE_SIZE = 64
 JOBS_SWEEP = (1, 2, 4)
 REPEATS = 3
+#: Scale sweep: database sizes for ``--scale`` (paths per database).
+SCALE_SWEEP = (10_000, 30_000, 100_000)
+SCALE_PARTITIONS = 8
 
 
 def _timed(fn):
@@ -170,8 +174,28 @@ def _kernel_section(database, repeats: int) -> dict:
     }
 
 
+def _sweep_pool(jobs: int) -> tuple[WorkerPool | None, float]:
+    """(started pool or None for serial, spawn seconds paid once).
+
+    The sweep's steady-state rows all reuse this one pool, so fork and
+    shm-attach cost appears exactly once per sweep point — reported as
+    ``pool_spawn_seconds`` next to, never inside, the build timings.
+    """
+    if jobs <= 1:
+        return None, 0.0
+    pool = WorkerPool(jobs)
+    pool.start()
+    return pool, pool.stats.spawn_seconds
+
+
 def _jobs_section(store, database, repeats: int, jobs_sweep) -> dict:
-    """Store mining and cube construction across worker-pool sizes."""
+    """Store mining and cube construction across worker-pool sizes.
+
+    Every ``jobs > 1`` sweep point forks its persistent pool once and
+    reuses it across all repeats of all three timed operations, so the
+    rows measure steady-state builds; the one-time fork/attach cost is
+    the separate ``pool_spawn_seconds`` column.
+    """
     mine_baseline, _ = _best(
         lambda: shared_mine(database, min_support=MIN_SUPPORT), repeats
     )
@@ -184,45 +208,59 @@ def _jobs_section(store, database, repeats: int, jobs_sweep) -> dict:
     mining = []
     building = []
     for jobs in jobs_sweep:
-        seconds, _ = _best(
-            lambda j=jobs: shared_mine_store(
-                store, min_support=MIN_SUPPORT, jobs=j
-            ),
-            repeats,
-        )
-        mining.append(
-            {
-                "jobs": jobs,
-                "seconds": round(seconds, 4),
-                "vs_in_memory": round(seconds / mine_baseline, 2),
-            }
-        )
-        seconds, _ = _best(
-            lambda j=jobs: build_cube(
-                store,
-                min_support=MIN_SUPPORT,
-                compute_exceptions=False,
-                jobs=j,
-            ),
-            repeats,
-        )
-        # With exceptions, the per-cell holistic pass fans out across the
-        # same worker pool (bitmap kernel), so the jobs sweep shows how it
-        # scales alongside the partition scans.
-        exc_seconds, _ = _best(
-            lambda j=jobs: build_cube(
-                store, min_support=MIN_SUPPORT, jobs=j
-            ),
-            repeats,
-        )
-        building.append(
-            {
-                "jobs": jobs,
-                "seconds": round(seconds, 4),
-                "vs_in_memory": round(seconds / build_baseline, 2),
-                "with_exceptions_seconds": round(exc_seconds, 4),
-            }
-        )
+        pool, spawn_seconds = _sweep_pool(jobs)
+        try:
+            mine_stats = BuildStats()
+            seconds, _ = _best(
+                lambda: shared_mine_store(
+                    store,
+                    min_support=MIN_SUPPORT,
+                    build_stats=mine_stats,
+                    jobs=jobs,
+                    pool=pool,
+                ),
+                repeats,
+            )
+            mining.append(
+                {
+                    "jobs": jobs,
+                    "seconds": round(seconds, 4),
+                    "pool_spawn_seconds": round(spawn_seconds, 4),
+                    "vs_in_memory": round(seconds / mine_baseline, 2),
+                    "pool": dict(mine_stats.pool),
+                }
+            )
+            seconds, _ = _best(
+                lambda: build_cube(
+                    store,
+                    min_support=MIN_SUPPORT,
+                    compute_exceptions=False,
+                    jobs=jobs,
+                    pool=pool,
+                ),
+                repeats,
+            )
+            # With exceptions, the per-cell holistic pass fans out across
+            # the same worker pool (bitmap kernel), so the jobs sweep shows
+            # how it scales alongside the partition scans.
+            exc_seconds, _ = _best(
+                lambda: build_cube(
+                    store, min_support=MIN_SUPPORT, jobs=jobs, pool=pool
+                ),
+                repeats,
+            )
+            building.append(
+                {
+                    "jobs": jobs,
+                    "seconds": round(seconds, 4),
+                    "pool_spawn_seconds": round(spawn_seconds, 4),
+                    "vs_in_memory": round(seconds / build_baseline, 2),
+                    "with_exceptions_seconds": round(exc_seconds, 4),
+                }
+            )
+        finally:
+            if pool is not None:
+                pool.close()
     return {
         "n_partitions": len(store.catalog.partitions),
         "shared_mine": {
@@ -311,18 +349,25 @@ def _engine_section(store, database, repeats: int, jobs_sweep) -> dict:
     sweep = []
     for jobs in jobs_sweep:
         row: dict = {"jobs": jobs}
-        for engine in engines:
-            seconds, _ = _best(
-                lambda j=jobs, e=engine: build_cube(
-                    store,
-                    min_support=MIN_SUPPORT,
-                    compute_exceptions=False,
-                    jobs=j,
-                    engine=e,
-                ),
-                repeats,
-            )
-            row[f"{engine}_seconds"] = round(seconds, 4)
+        pool, spawn_seconds = _sweep_pool(jobs)
+        try:
+            for engine in engines:
+                seconds, _ = _best(
+                    lambda e=engine: build_cube(
+                        store,
+                        min_support=MIN_SUPPORT,
+                        compute_exceptions=False,
+                        jobs=jobs,
+                        engine=e,
+                        pool=pool,
+                    ),
+                    repeats,
+                )
+                row[f"{engine}_seconds"] = round(seconds, 4)
+        finally:
+            if pool is not None:
+                pool.close()
+        row["pool_spawn_seconds"] = round(spawn_seconds, 4)
         row["speedup"] = round(row["direct_seconds"] / row["rollup_seconds"], 2)
         sweep.append(row)
     section["build_cube"] = {
@@ -486,7 +531,99 @@ def _query_section(store: PartitionedPathStore, database, repeats: int) -> dict:
     }
 
 
-def run_suite(quick: bool = False) -> dict:
+def _scale_section(scales, jobs: int = 2) -> list[dict]:
+    """Serial vs pooled shared mining as the database grows (``--scale``).
+
+    One row per database size: a serial baseline and a pooled run on one
+    persistent pool, parity-checked (identical supports) against the
+    baseline.  ``pool_spawn_seconds`` is the pool's one-time fork cost;
+    ``pooled_seconds`` is the steady-state mining time on the started
+    pool.  Single runs — at these sizes mining seconds dwarf timer noise.
+    """
+    rows = []
+    for n_paths in scales:
+        database = generate_path_database(scaled_config(n_paths))
+        with tempfile.TemporaryDirectory() as tmp:
+            store = _make_store(Path(tmp) / "wh", database, SCALE_PARTITIONS)
+            start = time.perf_counter()
+            serial = shared_mine_store(store, min_support=MIN_SUPPORT)
+            serial_seconds = time.perf_counter() - start
+            pool, spawn_seconds = _sweep_pool(jobs)
+            stats = BuildStats()
+            try:
+                start = time.perf_counter()
+                pooled = shared_mine_store(
+                    store,
+                    min_support=MIN_SUPPORT,
+                    build_stats=stats,
+                    jobs=jobs,
+                    pool=pool,
+                )
+                pooled_seconds = time.perf_counter() - start
+            finally:
+                if pool is not None:
+                    pool.close()
+            assert pooled.supports == serial.supports
+            rows.append(
+                {
+                    "n_paths": n_paths,
+                    "n_patterns": len(serial.supports),
+                    "serial_seconds": round(serial_seconds, 4),
+                    "pooled_seconds": round(pooled_seconds, 4),
+                    "pooled_jobs": jobs,
+                    "pool_spawn_seconds": round(spawn_seconds, 4),
+                    "speedup": round(serial_seconds / pooled_seconds, 2),
+                    "pool": dict(stats.pool),
+                    "parity": True,
+                }
+            )
+    return rows
+
+
+def _shm_segments() -> set[str]:
+    """Names currently live under ``/dev/shm`` (POSIX shared memory)."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-POSIX-shm platform
+        return set()
+    return {entry.name for entry in root.iterdir()}
+
+
+def _pool_smoke(database) -> dict:
+    """One jobs=2 pooled build, checked for the two pool failure modes.
+
+    Raises if the build held more than one transaction database live at
+    once (the out-of-core contract) or if any shared-memory segment
+    survived the build (an shm leak) — this is the CI tripwire the
+    ``--quick`` run fails on.
+    """
+    before = _shm_segments()
+    with tempfile.TemporaryDirectory() as tmp:
+        store = _make_store(Path(tmp) / "wh", database, 4)
+        stats = BuildStats()
+        build_cube(
+            store,
+            min_support=MIN_SUPPORT,
+            compute_exceptions=False,
+            stats=stats,
+            jobs=2,
+        )
+    leaked = sorted(_shm_segments() - before)
+    if stats.max_live_transaction_dbs > 1:
+        raise AssertionError(
+            "pooled build held "
+            f"{stats.max_live_transaction_dbs} transaction databases live"
+        )
+    if leaked:
+        raise AssertionError(f"shared-memory segments leaked: {leaked}")
+    return {
+        "jobs": 2,
+        "max_live_transaction_dbs": stats.max_live_transaction_dbs,
+        "shm_leaked": 0,
+        "pool": dict(stats.pool),
+    }
+
+
+def run_suite(quick: bool = False, scales=()) -> dict:
     repeats = 1 if quick else REPEATS
     partition_counts = (4,) if quick else PARTITION_COUNTS
     jobs_sweep = (1, 4) if quick else JOBS_SWEEP
@@ -549,6 +686,11 @@ def run_suite(quick: bool = False) -> dict:
                     "cache": cache,
                 }
             )
+    # The pool tripwire runs in every mode — quick included — and raises
+    # (failing CI) on a live-transaction-db or shm-segment leak.
+    report["pool_smoke"] = _pool_smoke(database)
+    if scales:
+        report["scale"] = _scale_section(scales)
     return report
 
 
@@ -639,10 +781,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke: single repeat, 4 partitions only, jobs 1 and 4",
+        help="CI smoke: single repeat, 4 partitions only, jobs 1 and 4, "
+        "plus the pooled-build leak tripwire",
+    )
+    parser.add_argument(
+        "--scale",
+        nargs="?",
+        const=",".join(str(n) for n in SCALE_SWEEP),
+        default=None,
+        metavar="N1,N2,...",
+        help="also run the serial-vs-pooled scale sweep at these database "
+        f"sizes (bare --scale means {','.join(str(n) for n in SCALE_SWEEP)})",
     )
     args = parser.parse_args(argv)
-    report = run_suite(quick=args.quick)
+    scales = ()
+    if args.scale:
+        scales = tuple(int(n) for n in args.scale.split(",") if n.strip())
+    report = run_suite(quick=args.quick, scales=scales)
     Path(args.out).write_text(
         json.dumps(report, indent=2) + "\n", encoding="utf-8"
     )

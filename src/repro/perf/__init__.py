@@ -27,7 +27,12 @@ fast counting paths run on:
   key catalogs packing cell ordinals into (dimension, concept) bitmaps
   with hierarchy descendant-closure masks, so slice/dice predicates are
   AND + iterate-set-bits over the index with no cell IO for non-matching
-  cells, plus the LRU query cache with hit/miss/derivation counters.
+  cells, plus the LRU query cache with hit/miss/derivation counters;
+* :mod:`repro.perf.pool` — the persistent fork-once
+  :class:`~repro.perf.pool.WorkerPool` the out-of-core builders run their
+  ``jobs=N`` passes on, with interned transaction rows shared zero-copy
+  through :class:`~repro.perf.pool.SharedRows` segments and per-pool
+  spawn/shm/busy accounting in :class:`~repro.perf.pool.PoolStats`.
 
 The kernels are exact: for every miner the bitmap path is kept behind a
 ``kernel=`` switch next to the original tid-set path, the measure engines
@@ -48,6 +53,13 @@ from repro.perf.exception_kernel import (
 )
 from repro.perf.interning import InternedTransactions, ItemInterner
 from repro.perf.measure_rollup import ENGINES, build_rollup, derivation_plan
+from repro.perf.pool import (
+    PoolStats,
+    SharedRows,
+    WorkerPool,
+    oversubscription_warning,
+    resolve_jobs,
+)
 from repro.perf.query_kernel import (
     CatalogPool,
     CuboidKeyCatalog,
@@ -64,7 +76,10 @@ __all__ = [
     "CuboidKeyCatalog",
     "InternedTransactions",
     "ItemInterner",
+    "PoolStats",
     "QueryCache",
+    "SharedRows",
+    "WorkerPool",
     "build_rollup",
     "cell_index",
     "count_candidates_bitmap",
@@ -76,4 +91,6 @@ __all__ = [
     "merge_query_stats",
     "mine_exceptions_bitmap",
     "mine_segments_bitmap",
+    "oversubscription_warning",
+    "resolve_jobs",
 ]

@@ -29,7 +29,7 @@ from pathlib import Path as FsPath
 
 from repro.serve.app import SlicerApp, cell_payload, slice_payload
 from repro.serve.cuts import format_cut, parse_cut
-from repro.serve.http import HttpServer, Request, Response
+from repro.serve.http import HttpServer, Request, Response, if_none_match
 from repro.serve.runner import ServerThread
 from repro.serve.tenant import CubeTenant
 
@@ -43,6 +43,7 @@ __all__ = [
     "cell_payload",
     "create_app",
     "format_cut",
+    "if_none_match",
     "parse_cut",
     "run",
     "slice_payload",

@@ -46,7 +46,7 @@ from repro.errors import (
 )
 from repro.query.render import render_text
 from repro.serve.cuts import format_cut, parse_cut
-from repro.serve.http import Request, Response, encode_json
+from repro.serve.http import Request, Response, encode_json, if_none_match
 from repro.serve.tenant import CubeTenant
 
 __all__ = ["SlicerApp", "cell_payload", "slice_payload"]
@@ -270,14 +270,26 @@ class SlicerApp:
         return Response.json({"cube": tenant.name, "cuboids": payload})
 
     def _cached(
-        self, tenant: CubeTenant, key: tuple, build
+        self, tenant: CubeTenant, key: tuple, build, request: Request | None = None
     ) -> Response:
-        """Serve rendered bytes from the tenant's response cache."""
+        """Serve rendered bytes from the tenant's response cache.
+
+        Every cacheable answer carries an ``ETag`` derived from the
+        cube's build version, the store's mutation counter, and the
+        canonical request key.  A matching ``If-None-Match`` is answered
+        ``304 Not Modified`` before the cache is even consulted — the
+        validator alone proves the client's copy is current.
+        """
+        etag = tenant.etag(key)
+        if request is not None and if_none_match(
+            request.headers.get("if-none-match"), etag
+        ):
+            return Response(status=304, headers={"ETag": etag})
         body = tenant.cached_response(key)
         if body is None:
             body = encode_json(build())
             tenant.store_response(key, body)
-        return Response(body=body)
+        return Response(body=body, headers={"ETag": etag})
 
     def _slice(self, tenant: CubeTenant, request: Request) -> Response:
         params = self._params(request)
@@ -290,7 +302,7 @@ class SlicerApp:
             cells = tenant.query.slice_cells(path_level, **dims)
             return slice_payload(tenant, dims, level_id, cells, measure)
 
-        return self._cached(tenant, key, build)
+        return self._cached(tenant, key, build, request)
 
     def _point_cell(
         self, tenant: CubeTenant, params: dict
@@ -328,7 +340,7 @@ class SlicerApp:
                 "cell": cell_payload(tenant, parent, measure),
             }
 
-        return self._cached(tenant, key, build)
+        return self._cached(tenant, key, build, request)
 
     def _drilldown(self, tenant: CubeTenant, request: Request) -> Response:
         params = self._params(request)
@@ -359,7 +371,7 @@ class SlicerApp:
                 ],
             }
 
-        return self._cached(tenant, key, build)
+        return self._cached(tenant, key, build, request)
 
     def _query(self, tenant: CubeTenant, request: Request) -> Response:
         params = self._params(request)
@@ -391,7 +403,7 @@ class SlicerApp:
                     }
             return payload
 
-        return self._cached(tenant, key, build)
+        return self._cached(tenant, key, build, request)
 
     def _flowgraph(self, tenant: CubeTenant, request: Request) -> Response:
         params = self._params(request)
@@ -411,7 +423,7 @@ class SlicerApp:
                 "text": render_text(graph),
             }
 
-        return self._cached(tenant, key, build)
+        return self._cached(tenant, key, build, request)
 
     def _exceptions(self, tenant: CubeTenant, request: Request) -> Response:
         params = self._params(request)
@@ -439,4 +451,4 @@ class SlicerApp:
                 "cells": reports,
             }
 
-        return self._cached(tenant, key, build)
+        return self._cached(tenant, key, build, request)

@@ -24,13 +24,14 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.errors import ServeError
 
-__all__ = ["Request", "Response", "HttpServer"]
+__all__ = ["Request", "Response", "HttpServer", "if_none_match"]
 
 #: Largest accepted request body, in bytes.
 MAX_BODY_BYTES = 1 << 20
 
 _REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     401: "Unauthorized",
     404: "Not Found",
@@ -93,6 +94,28 @@ class Response:
 def encode_json(payload: object) -> bytes:
     """The server's one JSON encoding (compact, key order preserved)."""
     return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def if_none_match(header: str | None, etag: str) -> bool:
+    """Does an ``If-None-Match`` header match *etag* (a quoted validator)?
+
+    Implements the subset the slicer needs: ``*`` matches anything, and a
+    comma-separated list of entity tags matches by weak comparison (a
+    ``W/`` prefix on either side is ignored — byte-identical cached JSON
+    is semantic equivalence here).
+    """
+    if not header:
+        return False
+    bare = etag[2:] if etag.startswith("W/") else etag
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate == "*":
+            return True
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == bare:
+            return True
+    return False
 
 
 class HttpServer:

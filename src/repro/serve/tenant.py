@@ -22,6 +22,7 @@ concurrently and repeatedly:
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path as FsPath
 
 from repro.errors import StoreError
@@ -108,6 +109,18 @@ class CubeTenant:
 
     def store_response(self, key: tuple, body: bytes) -> None:
         self._responses.put((self.version,) + key, body)
+
+    def etag(self, key: tuple) -> str:
+        """A strong validator for the response a canonical key denotes.
+
+        Pure function of (sha1 build version, store mutation counter,
+        request key) — the same triple that makes cached bytes valid — so
+        an ``If-None-Match`` revalidation can be answered 304 without
+        querying or rendering anything, even on a cold response cache.
+        """
+        seed = f"{self.cube_store.build_version}:{self.version}:{key!r}"
+        digest = hashlib.sha1(seed.encode("utf-8")).hexdigest()[:20]
+        return f'"{digest}"'
 
     # ------------------------------------------------------------------
     # reporting

@@ -10,7 +10,10 @@ removes that assumption end to end:
   (:class:`~repro.store.partition.BloomSummary`);
 * :func:`~repro.store.builder.build_cube` /
   :func:`~repro.store.builder.shared_mine_store` — out-of-core cube
-  construction and Algorithm 1, one partition in memory at a time;
+  construction and Algorithm 1, one partition in memory at a time,
+  with ``jobs=N`` passes running on a persistent shared-memory
+  :class:`~repro.perf.pool.WorkerPool` (re-exported here) that callers
+  can keep across builds;
 * :class:`~repro.store.cube_store.CubeStore` — the materialised cube
   persisted cell by cell, lazily rebuilt behind a bounded
   :class:`~repro.store.cache.LRUCache`;
@@ -18,7 +21,14 @@ removes that assumption end to end:
   query / stats.
 """
 
-from repro.store.builder import BuildStats, build_cube, shared_mine_store
+from repro.perf.pool import PoolStats, WorkerPool, resolve_jobs
+from repro.store.builder import (
+    POOL_MODES,
+    STORE_KERNELS,
+    BuildStats,
+    build_cube,
+    shared_mine_store,
+)
 from repro.store.cache import LRUCache
 from repro.store.catalog import (
     Catalog,
@@ -31,6 +41,8 @@ from repro.store.partition import BloomSummary, PartitionMeta
 from repro.store.pathstore import PartitionedPathStore
 
 __all__ = [
+    "POOL_MODES",
+    "STORE_KERNELS",
     "BloomSummary",
     "BuildStats",
     "Catalog",
@@ -38,8 +50,11 @@ __all__ = [
     "LRUCache",
     "PartitionMeta",
     "PartitionedPathStore",
+    "PoolStats",
     "StoredCuboid",
+    "WorkerPool",
     "build_cube",
+    "resolve_jobs",
     "schema_fingerprint",
     "schema_from_dict",
     "schema_to_dict",

@@ -31,10 +31,17 @@ against a :class:`~repro.store.pathstore.PartitionedPathStore`:
   and the exception-mining inputs all coincide.
 
 Both entry points accept ``jobs``: with ``jobs > 1`` the per-partition
-scans of each pass run concurrently on a
-:class:`concurrent.futures.ProcessPoolExecutor` (one partition per task;
-workers re-open the store from its directory).  Partial results merge in
-partition order, and every merge is either a ``Counter`` sum or an
+scans of each pass run on a persistent fork-once
+:class:`~repro.perf.pool.WorkerPool` (one batched task per partition per
+pass, routed to its affine worker slot).  Callers may pass their own
+``pool=`` to amortise the fork across many builds — benchmark sweeps and
+repeated CLI builds reuse one pool — and the default mining
+``pool_mode="shared"`` interns the transaction rows once, coordinator
+side, into a :mod:`multiprocessing.shared_memory` segment every worker
+attaches zero-copy: the level-wise counting passes then ship only dense
+candidate-id arrays and support-count arrays, never pickled transactions
+or item dataclasses.  Partial results merge in partition order, and
+every merge is either a ``Counter`` sum or an
 extend-in-partition-order, so parallel runs are bit-identical to serial
 ones — the parity is asserted by the tests.
 
@@ -51,10 +58,10 @@ from __future__ import annotations
 import hashlib
 import itertools
 import time
+from array import array
 from collections import Counter
 from datetime import datetime, timezone
 from collections.abc import Iterable, Iterator, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -69,7 +76,7 @@ from repro.core.flowgraph_exceptions import (
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
 from repro.encoding.transactions import TransactionDatabase
-from repro.errors import CubeError, StoreError
+from repro.errors import CubeError
 from repro.mining.apriori import count_candidates, generate_candidates
 from repro.mining.result import FlowMiningResult, item_sort_key
 from repro.mining.shared import (
@@ -81,6 +88,17 @@ from repro.mining.shared import (
 )
 from repro.mining.stats import MiningStats
 from repro.perf.bitmap import count_candidates_masks
+from repro.perf.interning import ItemInterner
+from repro.perf.pool import (
+    WorkerPool,
+    cached_masks,
+    cached_setrows,
+    count_ids_masks,
+    count_ids_scan,
+    resolve_jobs,
+    shared_rows,
+    worker_context,
+)
 from repro.perf.measure_rollup import (
     ENGINES,
     assemble_cuboids,
@@ -92,10 +110,22 @@ from repro.perf.measure_rollup import (
 )
 from repro.store.pathstore import PartitionedPathStore
 
-__all__ = ["BuildStats", "build_cube", "shared_mine_store"]
+__all__ = [
+    "POOL_MODES",
+    "STORE_KERNELS",
+    "BuildStats",
+    "build_cube",
+    "shared_mine_store",
+]
 
 #: Per-partition counting kernels accepted by :func:`shared_mine_store`.
 STORE_KERNELS = ("bitmap", "scan")
+
+#: Mining-pass transaction residency under ``jobs > 1``: ``"shared"``
+#: interns rows once into a shared-memory segment all workers attach;
+#: ``"plain"`` keeps the PR-2 behaviour (each worker re-encodes its
+#: affine partitions from disk) for hosts without usable ``/dev/shm``.
+POOL_MODES = ("shared", "plain")
 
 
 @dataclass
@@ -123,7 +153,13 @@ class BuildStats:
             derivation and cell assembly), and ``exceptions`` (the
             per-cell holistic exception pass, serial or pool-fanned) —
             alongside the mining phases a
-            :class:`~repro.mining.stats.MiningStats` tracks.
+            :class:`~repro.mining.stats.MiningStats` tracks — plus
+            ``pool_spawn``, the worker fork/bind cost this build actually
+            paid (zero when it reused an already-started pool).
+        pool: Lifetime counters of the :class:`~repro.perf.pool.WorkerPool`
+            the build ran on (:meth:`~repro.perf.pool.PoolStats.as_dict`
+            snapshot: spawn count/seconds, shm segments/bytes, task
+            batches, worker busy seconds); empty for serial builds.
     """
 
     partitions: int = 0
@@ -135,6 +171,7 @@ class BuildStats:
     built_at: str = ""
     elapsed_seconds: float = 0.0
     phase_seconds: dict = field(default_factory=dict)
+    pool: dict = field(default_factory=dict)
 
     def add_phase(self, name: str, seconds: float) -> None:
         """Accumulate wall-clock time into the named phase bucket."""
@@ -156,7 +193,7 @@ class BuildStats:
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot, e.g. for ``CubeStore`` metadata."""
-        return {
+        out = {
             "version": self.version,
             "built_at": self.built_at,
             "partitions": self.partitions,
@@ -171,6 +208,9 @@ class BuildStats:
                 for name, seconds in sorted(self.phase_seconds.items())
             },
         }
+        if self.pool:
+            out["pool"] = dict(self.pool)
+        return out
 
 
 class _LiveTracker:
@@ -186,12 +226,6 @@ class _LiveTracker:
 
     def exit(self) -> None:
         self.live -= 1
-
-
-def _validate_jobs(jobs: int) -> int:
-    if not isinstance(jobs, int) or jobs < 1:
-        raise StoreError(f"jobs must be an integer >= 1, got {jobs!r}")
-    return jobs
 
 
 # ----------------------------------------------------------------------
@@ -349,28 +383,41 @@ def _roll_up(dims: tuple, item_level: ItemLevel, hierarchies) -> CellKey:
 
 
 # ----------------------------------------------------------------------
-# the process-pool worker
+# the worker side
 # ----------------------------------------------------------------------
 #
-# Workers re-open the store from its directory (set once per process by
-# the initializer) and execute one task = one partition of one pass.
-# Task payloads and results are plain tuples/Counters of the encoded item
-# dataclasses, all picklable.
+# Everything below the pool boundary is a module-level task function run
+# by :class:`~repro.perf.pool.WorkerPool` against the per-process context
+# dict (:func:`~repro.perf.pool.worker_context`).  The pool is persistent
+# — it may outlive this build and serve the next one — so a build never
+# assumes fresh workers: it *binds* its store with a broadcast task, and
+# every derived cache is keyed by the shared-segment key the bind/attach
+# cycle invalidates.
 
-_WORKER_CTX: dict = {}
+
+def _task_bind_store(store_dir: str, path_lattice: PathLattice) -> bool:
+    """Point this worker at a store (broadcast once per build).
+
+    Re-opens the store unconditionally — the catalog may have grown since
+    a previous build through the same pool — and drops the one-slot
+    partition cache, which could alias a prior build's data.
+    """
+    ctx = worker_context()
+    ctx["store"] = PartitionedPathStore.open(store_dir)
+    ctx["lattice"] = path_lattice
+    ctx["cached"] = None
+    return True
 
 
-def _worker_init(store_dir: str, path_lattice: PathLattice) -> None:
-    # Forked workers inherit an enabled tracemalloc (or other tracing)
-    # from the parent, yet their traces are per-process and unreadable
-    # from it — pure overhead on every allocation.  Drop it.
-    import tracemalloc
+def _task_bind_alphabet(key: object, items: list) -> int:
+    """Install the mining alphabet (id → item) for a shared segment.
 
-    if tracemalloc.is_tracing():
-        tracemalloc.stop()
-    _WORKER_CTX["store"] = PartitionedPathStore.open(store_dir)
-    _WORKER_CTX["lattice"] = path_lattice
-    _WORKER_CTX["cached"] = None
+    The only per-build payload that ships actual item dataclasses — once
+    per worker, not once per task — so shared-mode count passes can
+    reconstruct high-level projections for the pre-count tables.
+    """
+    worker_context()[("alphabet", key)] = items
+    return len(items)
 
 
 def _worker_partition(partition_id: int, encode: bool):
@@ -383,25 +430,87 @@ def _worker_partition(partition_id: int, encode: bool):
     still holds at most one partition at any instant (the gauge's
     per-process invariant).
     """
-    cached = _WORKER_CTX["cached"]
+    ctx = worker_context()
+    cached = ctx["cached"]
     if cached is None or cached["partition_id"] != partition_id:
-        _WORKER_CTX["cached"] = None  # drop before loading: ≤ 1 live
-        store: PartitionedPathStore = _WORKER_CTX["store"]
+        ctx["cached"] = None  # drop before loading: ≤ 1 live
+        store: PartitionedPathStore = ctx["store"]
         cached = {
             "partition_id": partition_id,
             "database": store.load_partition(partition_id),
             "transactions": None,
         }
-        _WORKER_CTX["cached"] = cached
+        ctx["cached"] = cached
     if encode and cached["transactions"] is None:
         encoded = TransactionDatabase(
-            cached["database"], _WORKER_CTX["lattice"], include_top_level=False
+            cached["database"], ctx["lattice"], include_top_level=False
         )
         cached["transactions"] = [t.items for t in encoded.transactions]
     return cached
 
 
-def _exceptions_batch(
+def _cached_high_projections(
+    key: object, partition_id: int, top_id: int | None
+) -> list[tuple]:
+    """One shared partition's high-level projections, cached per process.
+
+    Decoded from the zero-copy id rows through the broadcast alphabet
+    exactly once per partition per build; the pre-count passes are the
+    only consumers.  The cache slot is keyed by the segment key, so
+    detaching the segment (new build, new data) drops it.
+    """
+    ctx = worker_context()
+    cache = ctx.setdefault(("highproj", key), {})
+    entry = cache.get(partition_id)
+    if entry is None:
+        alphabet = ctx[("alphabet", key)]
+        path_lattice = ctx["lattice"]
+        entry = [
+            _high_projection(
+                [alphabet[item_id] for item_id in row], path_lattice, top_id
+            )
+            for row in shared_rows(key).rows(partition_id)
+        ]
+        cache[partition_id] = entry
+    return entry
+
+
+def _task_count_shared(
+    partition_id: int,
+    key: object,
+    flat: array,
+    lengths: array,
+    kernel: str,
+    next_precount: int | None,
+    top_id: int | None,
+    n_items: int,
+) -> tuple[array, Counter | None]:
+    """One level-wise counting pass over one shared-memory partition.
+
+    Candidates arrive as a flat id array + per-candidate lengths (nothing
+    but machine ints crosses the pipe); supports leave as one
+    ``array('q')`` aligned with candidate order.  The transaction rows
+    themselves never travel — they are read from the attached segment,
+    through per-partition mask / frozenset caches that persist across the
+    level-wise passes.
+    """
+    if kernel == "bitmap":
+        masks = cached_masks(key, partition_id, n_items)
+        support = count_ids_masks(masks, flat, lengths)
+    else:
+        support = count_ids_scan(
+            cached_setrows(key, partition_id), flat, lengths
+        )
+    table: Counter | None = None
+    if next_precount is not None:
+        table = Counter()
+        for high in _cached_high_projections(key, partition_id, top_id):
+            for combo in itertools.combinations(high, next_precount):
+                table[frozenset(combo)] += 1
+    return support, table
+
+
+def _task_exceptions(
     batch: list, min_support: float, min_deviation: float, kernel: str
 ) -> list:
     """Mine one batch of cells' exceptions inside a worker process.
@@ -410,11 +519,11 @@ def _exceptions_batch(
     worker-side from the weighted multiset — its distributions are pure
     functions of the multiset (Lemma 4.2), so the baselines match the
     parent's graph exactly — and only the picklable exception list travels
-    back.  The per-process index cache persists across batches, so cells
-    sharing a path-multiset fingerprint reuse one bitmap index even when
-    they arrive in different cuboid batches.
+    back.  The per-process index cache persists across batches *and*
+    builds (it is content-keyed by path-multiset fingerprint), so cells
+    sharing a fingerprint reuse one bitmap index however they arrive.
     """
-    index_cache = _WORKER_CTX.setdefault("exception_indexes", {})
+    index_cache = worker_context().setdefault("exception_indexes", {})
     out = []
     for weighted, segments in batch:
         graph = FlowGraph()
@@ -434,16 +543,11 @@ def _exceptions_batch(
     return out
 
 
-def _worker_task(task: tuple):
-    kind, partition_id, payload = task
-    if kind == "exceptions":
-        # Cell-level work: no partition to load (the batch already carries
-        # the weighted path multisets), so branch before the partition
-        # cache — partition_id is only the pool's round-robin slot here.
-        batch, min_support, min_deviation, kernel = payload
-        return _exceptions_batch(batch, min_support, min_deviation, kernel)
-    store: PartitionedPathStore = _WORKER_CTX["store"]
-    path_lattice: PathLattice = _WORKER_CTX["lattice"]
+def _task_scan(kind: str, partition_id: int, payload: tuple):
+    """One partition of one pass (the disk-resident task shapes)."""
+    ctx = worker_context()
+    store: PartitionedPathStore = ctx["store"]
+    path_lattice: PathLattice = ctx["lattice"]
     cached = _worker_partition(partition_id, encode=kind in ("scan1", "count"))
     database = cached["database"]
     if kind == "scan1":
@@ -476,71 +580,84 @@ def _worker_task(task: tuple):
     raise ValueError(f"unknown worker task kind {kind!r}")
 
 
-def _open_pools(
-    store: PartitionedPathStore, path_lattice: PathLattice, jobs: int
-) -> list[ProcessPoolExecutor] | None:
-    """Partition-affine worker pools: one single-worker pool per job slot.
+# ----------------------------------------------------------------------
+# the coordinator side of the pool
+# ----------------------------------------------------------------------
 
-    Partition *p* is always submitted to pool ``p % jobs``, so each
-    worker re-sees the same partitions pass after pass and its one-slot
-    cache (loaded rows + encoded transactions) stays hot across the
-    level-wise scans.  A single shared pool scatters partitions over
-    workers arbitrarily on every pass, forcing a re-read and re-encode
-    on almost every task.
+def _ensure_pool(
+    store: PartitionedPathStore,
+    path_lattice: PathLattice,
+    jobs: int,
+    pool: WorkerPool | None,
+    build_stats: BuildStats | None,
+) -> tuple[WorkerPool | None, bool]:
+    """Resolve the pool a build runs on: the caller's, a fresh one, or none.
+
+    A caller-supplied pool always wins (that is how benchmark sweeps and
+    repeated CLI builds amortise the fork); otherwise ``jobs > 1`` forks a
+    build-owned pool the caller must see closed (``owned`` True).  Either
+    way the build's store is bound into every worker, and any spawn cost
+    paid *here* — zero for an already-started external pool — lands in the
+    ``pool_spawn`` phase bucket, so steady-state timings can never hide
+    fork cost again.
     """
-    if jobs <= 1:
-        return None
-    return [
-        ProcessPoolExecutor(
-            max_workers=1,
-            initializer=_worker_init,
-            initargs=(str(store.directory), path_lattice),
-        )
-        for _ in range(jobs)
-    ]
+    owned = False
+    if pool is None:
+        if jobs <= 1:
+            return None, False
+        pool = WorkerPool(jobs)
+        owned = True
+    spawn_before = pool.stats.spawn_seconds
+    pool.start()
+    pool.broadcast(_task_bind_store, str(store.directory), path_lattice)
+    spawn_delta = pool.stats.spawn_seconds - spawn_before
+    if build_stats is not None and spawn_delta:
+        build_stats.add_phase("pool_spawn", spawn_delta)
+    return pool, owned
 
 
-def _close_pools(pools: list[ProcessPoolExecutor] | None) -> None:
-    if pools:
-        for pool in pools:
-            pool.shutdown()
+def _finalise_pool_stats(build_stats: BuildStats, pool: WorkerPool | None):
+    """Snapshot the pool's lifetime counters into the build's stats."""
+    if pool is not None:
+        build_stats.pool = pool.stats.as_dict()
 
 
 def _pooled_exception_pass(
-    pools: list[ProcessPoolExecutor],
+    pool: WorkerPool,
     min_support: float,
     min_deviation: float,
     kernel: str,
 ):
-    """Per-cell exception mining fanned out over the partition pools.
+    """Per-cell exception mining fanned out over the worker pool.
 
-    Cube assembly runs after aggregation, when the partition-affine pools
-    sit idle — so each cuboid's cell batch is striped round-robin across
-    them (``batch[i::n_pools]``, a deterministic split) and the returned
-    exception lists are reattached positionally to the parents' graphs.
-    Same ``run(batch)`` contract and ``run.seconds`` accounting as
-    :func:`~repro.core.flowgraph_exceptions.serial_exception_pass`; the
-    lists are identical to a serial pass because each worker rebuilds the
-    cell graph from the same weighted multiset and the per-cell mining is
-    independent.
+    Cube assembly runs after aggregation, when the partition-affine
+    workers sit idle — so each cuboid's cell batch is striped round-robin
+    across the slots (``batch[i::jobs]``, a deterministic split) and the
+    returned exception lists are reattached positionally to the parents'
+    graphs.  Same ``run(batch)`` contract and ``run.seconds`` accounting
+    as :func:`~repro.core.flowgraph_exceptions.serial_exception_pass`;
+    the lists are identical to a serial pass because each worker rebuilds
+    the cell graph from the same weighted multiset and the per-cell
+    mining is independent.
     """
-    n_pools = len(pools)
+    jobs = pool.jobs
 
     def run(batch) -> None:
         started = perf_counter()
         futures = []
-        for index, pool in enumerate(pools):
-            chunk = batch[index::n_pools]
+        for slot in range(jobs):
+            chunk = batch[slot::jobs]
             if not chunk:
                 continue
-            payload = (
-                [(weighted, segments) for _, weighted, segments in chunk],
-                min_support,
-                min_deviation,
-                kernel,
-            )
+            payload = [(weighted, segments) for _, weighted, segments in chunk]
             futures.append(
-                (chunk, pool.submit(_worker_task, ("exceptions", index, payload)))
+                (
+                    chunk,
+                    pool.submit(
+                        slot, _task_exceptions, payload, min_support,
+                        min_deviation, kernel,
+                    ),
+                )
             )
         for chunk, future in futures:
             for (graph, _, _), exceptions in zip(chunk, future.result()):
@@ -551,9 +668,94 @@ def _pooled_exception_pass(
     return run
 
 
+def _share_mining_rows(
+    store: PartitionedPathStore,
+    pool: WorkerPool,
+    key: object,
+    path_lattice: PathLattice,
+    top_id: int | None,
+    next_precount: int | None,
+    tracker: _LiveTracker,
+    build_stats: BuildStats | None,
+) -> tuple[Counter, Counter | None, ItemInterner]:
+    """Scan 1 fused with the shared-memory pack pass.
+
+    One serial read of each partition (the only file pass shared-mode
+    mining ever makes): encode, count singletons, pre-count the first
+    projection table, and intern every transaction into dense id rows.
+    The rows then go into one shared segment all workers attach, and the
+    alphabet (id → item) is broadcast once so workers can decode for
+    later pre-count tables.  Only the compact id arrays outlive a
+    partition on the coordinator's heap — the encoded database itself
+    stays one-at-a-time, which is what the tracker gauge asserts.
+    """
+    interner = ItemInterner()
+    counts: Counter = Counter()
+    table: Counter | None = Counter() if next_precount is not None else None
+    id_rows: list[list[array]] = []
+    for _, database in store.iter_partitions():
+        tracker.enter()
+        try:
+            if build_stats is not None:
+                build_stats.scans += 1
+            encoded = TransactionDatabase(
+                database, path_lattice, include_top_level=False
+            )
+            part_rows = []
+            for transaction in encoded.transactions:
+                items = transaction.items
+                counts.update(items)
+                if next_precount is not None:
+                    high = _high_projection(items, path_lattice, top_id)
+                    for combo in itertools.combinations(high, next_precount):
+                        table[frozenset(combo)] += 1
+                part_rows.append(interner.encode(items))
+            id_rows.append(part_rows)
+        finally:
+            tracker.exit()
+    pool.share_rows(key, id_rows)
+    pool.broadcast(_task_bind_alphabet, key, interner.items)
+    return counts, table, interner
+
+
+def _count_pass_shared(
+    store: PartitionedPathStore,
+    pool: WorkerPool,
+    key: object,
+    interner: ItemInterner,
+    candidates: Sequence[tuple],
+    kernel: str,
+    next_precount: int | None,
+    top_id: int | None,
+) -> Iterator[tuple[Counter, Counter | None]]:
+    """One level-wise counting pass over the shared rows, per partition.
+
+    Candidates are flattened into id arrays once, coordinator side; each
+    partition's ``array('q')`` support vector comes back aligned with
+    candidate order and is re-keyed to the item-space tuples here, so the
+    caller merges exactly what the disk-resident pass would have yielded
+    (zero-support candidates stay absent, Counter semantics supply the 0).
+    """
+    flat = array("i")
+    lengths = array("i")
+    for candidate in candidates:
+        lengths.append(len(candidate))
+        flat.extend([interner.id_of(item) for item in candidate])
+    n_items = len(interner)
+    for part_support, part_table in pool.map_partitions(
+        store.partition_ids(), _task_count_shared, key, flat, lengths,
+        kernel, next_precount, top_id, n_items,
+    ):
+        support: Counter = Counter()
+        for index, value in enumerate(part_support):
+            if value:
+                support[candidates[index]] = value
+        yield support, part_table
+
+
 def _scan_partitions(
     store: PartitionedPathStore,
-    pools: list[ProcessPoolExecutor] | None,
+    pool: WorkerPool | None,
     tracker: _LiveTracker,
     build_stats: BuildStats | None,
     kind: str,
@@ -562,14 +764,14 @@ def _scan_partitions(
 ) -> Iterator:
     """Run one pass over every partition, yielding partials in order.
 
-    Serial (``pools is None``): partitions are loaded — and, for the
+    Serial (``pool is None``): partitions are loaded — and, for the
     mining passes, encoded — one at a time inside the tracker bracket.
-    Parallel: one task per partition, routed to its affine pool; results
-    are consumed in partition order (each worker holds one live
+    Parallel: one task per partition, routed to its affine pool slot;
+    results are consumed in partition order (each worker holds one live
     partition, so the tracker records the per-process peak of 1).
     """
     encode = kind in ("scan1", "count")
-    if pools is None:
+    if pool is None:
         for _, database in store.iter_partitions():
             tracker.enter()
             try:
@@ -612,9 +814,7 @@ def _scan_partitions(
                 tracker.exit()
     else:
         futures = [
-            pools[partition_id % len(pools)].submit(
-                _worker_task, (kind, partition_id, payload)
-            )
+            pool.submit(partition_id, _task_scan, kind, partition_id, payload)
             for partition_id in store.partition_ids()
         ]
         for future in futures:
@@ -636,6 +836,8 @@ def shared_mine_store(
     build_stats: BuildStats | None = None,
     kernel: str = "bitmap",
     jobs: int = 1,
+    pool: WorkerPool | None = None,
+    pool_mode: str = "shared",
 ) -> FlowMiningResult:
     """Algorithm 1 over a partitioned store, one partition in memory at a time.
 
@@ -660,9 +862,17 @@ def shared_mine_store(
         kernel: Per-partition counting — ``"bitmap"`` (default, local
             item masks + k-way AND) or ``"scan"`` (subset tests);
             identical supports.
-        jobs: Partition scans run on a process pool of this size when
-            ``> 1`` (default 1 = serial); results are identical either
-            way.
+        jobs: Partition scans run on a worker pool of this size when
+            ``> 1`` (default 1 = serial; ``0`` resolves to
+            ``cpu_count - 1``); results are identical either way.
+        pool: An already-running :class:`~repro.perf.pool.WorkerPool` to
+            run on instead of forking a build-owned one — the pool is
+            left running for the caller's next build.  Overrides *jobs*.
+        pool_mode: ``"shared"`` (default) interns the transaction rows
+            once into shared memory (workers read zero-copy, count passes
+            ship only id/support arrays); ``"plain"`` keeps the
+            disk-resident behaviour where each worker re-encodes its
+            affine partitions.  Identical results.
 
     Returns:
         A :class:`~repro.mining.result.FlowMiningResult`.
@@ -671,7 +881,11 @@ def shared_mine_store(
         raise ValueError(
             f"unknown counting kernel {kernel!r}; expected {STORE_KERNELS}"
         )
-    jobs = _validate_jobs(jobs)
+    if pool_mode not in POOL_MODES:
+        raise ValueError(
+            f"unknown pool mode {pool_mode!r}; expected {POOL_MODES}"
+        )
+    jobs = resolve_jobs(jobs)
     stats = MiningStats()
     started = time.perf_counter()
     if path_lattice is None:
@@ -683,23 +897,32 @@ def shared_mine_store(
     threshold = resolve_min_support(min_support, len(store))
     top_id = top_path_level_id(path_lattice)
 
-    pools = _open_pools(store, path_lattice, jobs)
+    pool, pool_owned = _ensure_pool(store, path_lattice, jobs, pool, build_stats)
+    use_shm = pool is not None and pool_mode == "shared"
+    shm_key = str(store.directory)
+    interner: ItemInterner | None = None
     try:
         # --- Scan 1: single-item counts + pre-count of min(precount) -----
         phase = time.perf_counter()
-        counts: Counter = Counter()
         precounts: dict[int, Counter] = {}
         next_precount = next_precount_length(precount_lengths, 1)
-        merged_table: Counter | None = (
-            Counter() if next_precount is not None else None
-        )
-        for part_counts, part_table in _scan_partitions(
-            store, pools, tracker, build_stats,
-            "scan1", (top_id, next_precount), path_lattice,
-        ):
-            counts.update(part_counts)
-            if part_table is not None:
-                merged_table.update(part_table)
+        if use_shm:
+            # Fused with the shared-memory pack: the one and only file
+            # pass of a shared-mode mine.
+            counts, merged_table, interner = _share_mining_rows(
+                store, pool, shm_key, path_lattice, top_id, next_precount,
+                tracker, build_stats,
+            )
+        else:
+            counts = Counter()
+            merged_table = Counter() if next_precount is not None else None
+            for part_counts, part_table in _scan_partitions(
+                store, pool, tracker, build_stats,
+                "scan1", (top_id, next_precount), path_lattice,
+            ):
+                counts.update(part_counts)
+                if part_table is not None:
+                    merged_table.update(part_table)
         if merged_table is not None:
             precounts[next_precount] = merged_table
         stats.add_phase("count", time.perf_counter() - phase)
@@ -738,11 +961,18 @@ def shared_mine_store(
             phase = time.perf_counter()
             support: Counter = Counter()
             merged_table = Counter() if next_precount is not None else None
-            for part_support, part_table in _scan_partitions(
-                store, pools, tracker, build_stats,
-                "count", (top_id, candidates, kernel, next_precount),
-                path_lattice,
-            ):
+            if use_shm:
+                partials = _count_pass_shared(
+                    store, pool, shm_key, interner, candidates, kernel,
+                    next_precount, top_id,
+                )
+            else:
+                partials = _scan_partitions(
+                    store, pool, tracker, build_stats,
+                    "count", (top_id, candidates, kernel, next_precount),
+                    path_lattice,
+                )
+            for part_support, part_table in partials:
                 # Partial supports over a disjoint slice of D' — merging
                 # the per-partition Counters is exact.
                 support.update(part_support)
@@ -760,7 +990,10 @@ def shared_mine_store(
             for itemset in frequent_sorted:
                 supports[frozenset(itemset)] = support[itemset]
     finally:
-        _close_pools(pools)
+        if pool is not None:
+            pool.release_rows(shm_key)
+            if pool_owned:
+                pool.close()
 
     stats.elapsed_seconds = time.perf_counter() - started
     if build_stats is not None:
@@ -768,6 +1001,7 @@ def shared_mine_store(
             build_stats.max_live_transaction_dbs, tracker.peak
         )
         build_stats.elapsed_seconds += stats.elapsed_seconds
+        _finalise_pool_stats(build_stats, pool)
     return FlowMiningResult(
         supports=supports,
         threshold=threshold,
@@ -795,6 +1029,8 @@ def build_cube(
     kernel: str = "bitmap",
     jobs: int = 1,
     engine: str = "rollup",
+    pool: WorkerPool | None = None,
+    pool_mode: str = "shared",
 ):
     """Materialise the iceberg flowcube of a partitioned store.
 
@@ -846,12 +1082,19 @@ def build_cube(
             Identical cubes either way.
         jobs: Partition scans (membership, aggregation, the optional
             Shared pre-mine, and the per-cell exception pass) run on a
-            process pool of this size when ``> 1``; the built cube is
-            identical either way.
+            worker pool of this size when ``> 1`` (``0`` resolves to
+            ``cpu_count - 1``); the built cube is identical either way.
         engine: ``"rollup"`` (default) or ``"direct"``; both engines —
             serial or parallel, in-memory or out-of-core — produce
             byte-identical serialised cubes (asserted by the property
             tests).
+        pool: An already-running :class:`~repro.perf.pool.WorkerPool` to
+            run every parallel pass on — overrides *jobs*, stays running
+            afterwards.  Without it, ``jobs > 1`` forks a build-owned
+            pool closed before returning.
+        pool_mode: Mining-row residency for the Shared pre-mine —
+            ``"shared"`` (default, shared-memory rows) or ``"plain"``
+            (workers re-encode from disk); see :func:`shared_mine_store`.
 
     Returns:
         The :class:`FlowCube`, or *into* (flushed) when a cube store was
@@ -865,7 +1108,11 @@ def build_cube(
         raise CubeError(
             f"unknown kernel {kernel!r}; expected one of {STORE_KERNELS}"
         )
-    jobs = _validate_jobs(jobs)
+    if pool_mode not in POOL_MODES:
+        raise CubeError(
+            f"unknown pool mode {pool_mode!r}; expected one of {POOL_MODES}"
+        )
+    jobs = resolve_jobs(jobs)
     started = time.perf_counter()
     build_stats = stats if stats is not None else BuildStats()
     schema = store.schema
@@ -883,171 +1130,202 @@ def build_cube(
         timespec="seconds"
     )
 
-    if (
-        use_shared
-        and compute_exceptions
-        and segments_by_cell is None
-    ):
-        segments_by_cell = shared_mine_store(
-            store,
-            path_lattice,
-            min_support=min_support,
-            build_stats=build_stats,
-            kernel=kernel,
-            jobs=jobs,
-        ).segments_by_cell()
+    pool, pool_owned = _ensure_pool(store, path_lattice, jobs, pool, build_stats)
+    try:
+        if (
+            use_shared
+            and compute_exceptions
+            and segments_by_cell is None
+        ):
+            segments_by_cell = shared_mine_store(
+                store,
+                path_lattice,
+                min_support=min_support,
+                build_stats=build_stats,
+                kernel=kernel,
+                pool=pool,
+                pool_mode=pool_mode,
+            ).segments_by_cell()
 
-    if engine == "rollup":
-        return _build_cube_rollup(
+        if engine == "rollup":
+            return _build_cube_rollup(
+                store, path_lattice, levels, item_lattice, threshold,
+                min_support, min_deviation, compute_exceptions,
+                segments_by_cell, into, build_stats, pool, started, kernel,
+            )
+        return _build_cube_direct(
             store, path_lattice, levels, item_lattice, threshold,
-            min_support, min_deviation, compute_exceptions, segments_by_cell,
-            into, build_stats, jobs, started, kernel,
+            min_support, min_deviation, compute_exceptions,
+            segments_by_cell, into, build_stats, pool, started, kernel,
         )
+    finally:
+        if pool_owned:
+            pool.close()
 
+
+def _build_cube_direct(
+    store: PartitionedPathStore,
+    path_lattice: PathLattice,
+    levels: list[ItemLevel],
+    item_lattice: ItemLattice,
+    threshold: int,
+    min_support: float,
+    min_deviation: float,
+    compute_exceptions: bool,
+    segments_by_cell,
+    into,
+    build_stats: BuildStats,
+    pool: WorkerPool | None,
+    started: float,
+    kernel: str = "bitmap",
+):
+    """``build_cube``'s direct engine body: membership, then aggregation.
+
+    The original two scan families (see :func:`build_cube`).  The pool —
+    when one is running — carries every partition task and the per-cell
+    exception fan-out; its lifetime belongs to the caller.
+    """
     tracker = _LiveTracker()
-    pools = _open_pools(store, path_lattice, jobs)
     exception_pass = None
     if compute_exceptions:
         exception_pass = (
-            _pooled_exception_pass(pools, min_support, min_deviation, kernel)
-            if pools is not None
+            _pooled_exception_pass(pool, min_support, min_deviation, kernel)
+            if pool is not None
             else serial_exception_pass(min_support, min_deviation, kernel)
         )
-    try:
-        # --- Membership pass: record ids per cell, for every item level --
-        phase = time.perf_counter()
-        groups: dict[ItemLevel, dict[CellKey, list[int]]] = {
-            item_level: {} for item_level in levels
+    # --- Membership pass: record ids per cell, for every item level ------
+    phase = time.perf_counter()
+    groups: dict[ItemLevel, dict[CellKey, list[int]]] = {
+        item_level: {} for item_level in levels
+    }
+    for part_groups in _scan_partitions(
+        store, pool, tracker, build_stats,
+        "membership", (levels,), path_lattice,
+    ):
+        # Merging in partition order preserves both first-seen key
+        # order and per-cell record order, so the groups are exactly
+        # the single-scan ones.
+        for index, item_level in enumerate(levels):
+            merged = groups[item_level]
+            for key, ids in part_groups[index].items():
+                merged.setdefault(key, []).extend(ids)
+    build_stats.add_phase("membership", time.perf_counter() - phase)
+
+    if into is not None:
+        into.create(path_lattice, min_support, min_deviation)
+        cube = None
+    else:
+        cube = FlowCube(
+            store.load_all(), item_lattice, path_lattice, min_support,
+            min_deviation,
+        )
+
+    # --- Aggregation: rebuild the iceberg cells' paths --------------------
+    #
+    # (key, path-level id) -> that cell's aggregated paths, in record
+    # order — partitions arrive in id order, so order matches the
+    # in-memory builder's per-cell tuple exactly.  Serial mode scans
+    # once per item level (paths for one level in memory at a time);
+    # parallel mode batches all levels into one task per partition —
+    # trading parent-side memory for 1/n_levels of the file reads and
+    # task dispatches — and merges to the same per-level dicts.
+    iceberg_by_level = [
+        {
+            key: ids
+            for key, ids in groups[item_level].items()
+            if len(ids) >= threshold
         }
-        for part_groups in _scan_partitions(
-            store, pools, tracker, build_stats,
-            "membership", (levels,), path_lattice,
-        ):
-            # Merging in partition order preserves both first-seen key
-            # order and per-cell record order, so the groups are exactly
-            # the single-scan ones.
-            for index, item_level in enumerate(levels):
-                merged = groups[item_level]
-                for key, ids in part_groups[index].items():
-                    merged.setdefault(key, []).extend(ids)
-        build_stats.add_phase("membership", time.perf_counter() - phase)
+        for item_level in levels
+    ]
 
-        if into is not None:
-            into.create(path_lattice, min_support, min_deviation)
-            cube = None
-        else:
-            cube = FlowCube(
-                store.load_all(), item_lattice, path_lattice, min_support,
-                min_deviation,
-            )
+    def assemble_level(
+        item_level: ItemLevel,
+        iceberg: dict[CellKey, list[int]],
+        paths_by_cell: dict[tuple[CellKey, int], list],
+    ) -> None:
+        for level_id, path_level in enumerate(path_lattice):
+            cuboid = Cuboid(item_level, path_level)
+            batch = []
+            for key, record_ids in iceberg.items():
+                weighted = weight_paths(
+                    paths_by_cell.get((key, level_id), ())
+                )
+                graph = FlowGraph()
+                for path, weight in weighted:
+                    graph.add_path(path, weight)
+                cell = Cell(
+                    key=key,
+                    item_level=item_level,
+                    path_level=path_level,
+                    record_ids=tuple(record_ids),
+                    flowgraph=graph,
+                    paths=weighted,
+                )
+                if compute_exceptions:
+                    segments = None
+                    if segments_by_cell is not None:
+                        segments = segments_by_cell.get(
+                            (item_level, path_level, key)
+                        )
+                    batch.append((graph, weighted, segments))
+                cuboid.cells[key] = cell
+            if batch:
+                exception_pass(batch)
+            build_stats.cuboids += 1
+            build_stats.cells += len(cuboid)
+            if into is not None:
+                into.put_cuboid(cuboid)
+                # The cuboid (paths, graphs and all) is garbage from
+                # here: the output side of the build is out-of-core too.
+            else:
+                cube._cuboids[(item_level, path_level)] = cuboid
 
-        # --- Aggregation: rebuild the iceberg cells' paths ----------------
-        #
-        # (key, path-level id) -> that cell's aggregated paths, in record
-        # order — partitions arrive in id order, so order matches the
-        # in-memory builder's per-cell tuple exactly.  Serial mode scans
-        # once per item level (paths for one level in memory at a time);
-        # parallel mode batches all levels into one task per partition —
-        # trading parent-side memory for 1/n_levels of the file reads and
-        # task dispatches — and merges to the same per-level dicts.
-        iceberg_by_level = [
-            {
-                key: ids
-                for key, ids in groups[item_level].items()
-                if len(ids) >= threshold
-            }
-            for item_level in levels
+    phase = time.perf_counter()
+    if pool is None:
+        for item_level, iceberg in zip(levels, iceberg_by_level):
+            paths_by_cell: dict[tuple[CellKey, int], list] = {}
+            for part_paths in _scan_partitions(
+                store, pool, tracker, build_stats,
+                "aggregate", (item_level, frozenset(iceberg)),
+                path_lattice,
+            ):
+                for cell_key, paths in part_paths.items():
+                    paths_by_cell.setdefault(cell_key, []).extend(paths)
+            assemble_level(item_level, iceberg, paths_by_cell)
+    else:
+        spec = tuple(
+            (item_level, frozenset(iceberg))
+            for item_level, iceberg in zip(levels, iceberg_by_level)
+        )
+        merged: list[dict[tuple[CellKey, int], list]] = [
+            {} for _ in levels
         ]
-
-        def assemble_level(
-            item_level: ItemLevel,
-            iceberg: dict[CellKey, list[int]],
-            paths_by_cell: dict[tuple[CellKey, int], list],
-        ) -> None:
-            for level_id, path_level in enumerate(path_lattice):
-                cuboid = Cuboid(item_level, path_level)
-                batch = []
-                for key, record_ids in iceberg.items():
-                    weighted = weight_paths(
-                        paths_by_cell.get((key, level_id), ())
-                    )
-                    graph = FlowGraph()
-                    for path, weight in weighted:
-                        graph.add_path(path, weight)
-                    cell = Cell(
-                        key=key,
-                        item_level=item_level,
-                        path_level=path_level,
-                        record_ids=tuple(record_ids),
-                        flowgraph=graph,
-                        paths=weighted,
-                    )
-                    if compute_exceptions:
-                        segments = None
-                        if segments_by_cell is not None:
-                            segments = segments_by_cell.get(
-                                (item_level, path_level, key)
-                            )
-                        batch.append((graph, weighted, segments))
-                    cuboid.cells[key] = cell
-                if batch:
-                    exception_pass(batch)
-                build_stats.cuboids += 1
-                build_stats.cells += len(cuboid)
-                if into is not None:
-                    into.put_cuboid(cuboid)
-                    # The cuboid (paths, graphs and all) is garbage from
-                    # here: the output side of the build is out-of-core too.
-                else:
-                    cube._cuboids[(item_level, path_level)] = cuboid
-
-        phase = time.perf_counter()
-        if pools is None:
-            for item_level, iceberg in zip(levels, iceberg_by_level):
-                paths_by_cell: dict[tuple[CellKey, int], list] = {}
-                for part_paths in _scan_partitions(
-                    store, pools, tracker, build_stats,
-                    "aggregate", (item_level, frozenset(iceberg)),
-                    path_lattice,
-                ):
-                    for cell_key, paths in part_paths.items():
-                        paths_by_cell.setdefault(cell_key, []).extend(paths)
-                assemble_level(item_level, iceberg, paths_by_cell)
-        else:
-            spec = tuple(
-                (item_level, frozenset(iceberg))
-                for item_level, iceberg in zip(levels, iceberg_by_level)
-            )
-            merged: list[dict[tuple[CellKey, int], list]] = [
-                {} for _ in levels
-            ]
-            for part_batch in _scan_partitions(
-                store, pools, tracker, build_stats,
-                "aggregate_batch", (spec,), path_lattice,
-            ):
-                for index, part_paths in enumerate(part_batch):
-                    target = merged[index]
-                    for cell_key, paths in part_paths.items():
-                        target.setdefault(cell_key, []).extend(paths)
-            for item_level, iceberg, paths_by_cell in zip(
-                levels, iceberg_by_level, merged
-            ):
-                assemble_level(item_level, iceberg, paths_by_cell)
-        exception_seconds = (
-            exception_pass.seconds if exception_pass is not None else 0.0
-        )
-        if compute_exceptions:
-            build_stats.add_phase("exceptions", exception_seconds)
-        build_stats.add_phase(
-            "materialize", time.perf_counter() - phase - exception_seconds
-        )
-    finally:
-        _close_pools(pools)
+        for part_batch in _scan_partitions(
+            store, pool, tracker, build_stats,
+            "aggregate_batch", (spec,), path_lattice,
+        ):
+            for index, part_paths in enumerate(part_batch):
+                target = merged[index]
+                for cell_key, paths in part_paths.items():
+                    target.setdefault(cell_key, []).extend(paths)
+        for item_level, iceberg, paths_by_cell in zip(
+            levels, iceberg_by_level, merged
+        ):
+            assemble_level(item_level, iceberg, paths_by_cell)
+    exception_seconds = (
+        exception_pass.seconds if exception_pass is not None else 0.0
+    )
+    if compute_exceptions:
+        build_stats.add_phase("exceptions", exception_seconds)
+    build_stats.add_phase(
+        "materialize", time.perf_counter() - phase - exception_seconds
+    )
 
     build_stats.max_live_transaction_dbs = max(
         build_stats.max_live_transaction_dbs, tracker.peak
     )
     build_stats.elapsed_seconds += time.perf_counter() - started
+    _finalise_pool_stats(build_stats, pool)
     if into is not None:
         into.flush(build_stats=build_stats)
         return into
@@ -1066,7 +1344,7 @@ def _build_cube_rollup(
     segments_by_cell,
     into,
     build_stats: BuildStats,
-    jobs: int,
+    pool: WorkerPool | None,
     started: float,
     kernel: str = "bitmap",
 ):
@@ -1078,79 +1356,76 @@ def _build_cube_rollup(
     them identical to an in-memory single scan.  Every remaining level
     derives by merging child cells — no further partition reads — so the
     whole build costs one pass regardless of how many item levels are
-    materialised.  The pools outlive the scan: assembly re-uses them to
-    fan the per-cell exception pass out across cells.
+    materialised.  The pool outlives the scan: assembly re-uses its idle
+    workers to fan the per-cell exception pass out across cells.
     """
     plan = derivation_plan(levels)
     root_levels = tuple(level for level, source in plan if source is None)
     tracker = _LiveTracker()
-    pools = _open_pools(store, path_lattice, jobs)
     exception_pass = None
     if compute_exceptions:
         exception_pass = (
-            _pooled_exception_pass(pools, min_support, min_deviation, kernel)
-            if pools is not None
+            _pooled_exception_pass(pool, min_support, min_deviation, kernel)
+            if pool is not None
             else serial_exception_pass(min_support, min_deviation, kernel)
         )
-    try:
-        phase = time.perf_counter()
-        groups_by_root: list[dict[CellKey, list[int]]] = [
-            {} for _ in root_levels
-        ]
-        weighted_by_root: list[list[dict]] = [
-            [{} for _ in path_lattice] for _ in root_levels
-        ]
-        for part_groups, part_weighted in _scan_partitions(
-            store, pools, tracker, build_stats,
-            "rollup_scan", (root_levels,), path_lattice,
-        ):
-            merge_scan(
-                groups_by_root, weighted_by_root, part_groups, part_weighted
-            )
-        build_stats.add_phase("aggregate", time.perf_counter() - phase)
+    phase = time.perf_counter()
+    groups_by_root: list[dict[CellKey, list[int]]] = [
+        {} for _ in root_levels
+    ]
+    weighted_by_root: list[list[dict]] = [
+        [{} for _ in path_lattice] for _ in root_levels
+    ]
+    for part_groups, part_weighted in _scan_partitions(
+        store, pool, tracker, build_stats,
+        "rollup_scan", (root_levels,), path_lattice,
+    ):
+        merge_scan(
+            groups_by_root, weighted_by_root, part_groups, part_weighted
+        )
+    build_stats.add_phase("aggregate", time.perf_counter() - phase)
 
+    if into is not None:
+        into.create(path_lattice, min_support, min_deviation)
+        cube = None
+    else:
+        cube = FlowCube(
+            store.load_all(), item_lattice, path_lattice, min_support,
+            min_deviation,
+        )
+
+    phase = time.perf_counter()
+    data = derive_levels(
+        plan, groups_by_root, weighted_by_root, root_levels,
+        store.schema.dimensions, len(path_lattice), threshold,
+    )
+    prune_to_iceberg(data, threshold)
+    del groups_by_root, weighted_by_root
+    for cuboid in assemble_cuboids(
+        levels, path_lattice, data, threshold, min_support, min_deviation,
+        compute_exceptions, segments_by_cell, kernel=kernel,
+        exception_pass=exception_pass,
+    ):
+        build_stats.cuboids += 1
+        build_stats.cells += len(cuboid)
         if into is not None:
-            into.create(path_lattice, min_support, min_deviation)
-            cube = None
+            into.put_cuboid(cuboid)
         else:
-            cube = FlowCube(
-                store.load_all(), item_lattice, path_lattice, min_support,
-                min_deviation,
-            )
-
-        phase = time.perf_counter()
-        data = derive_levels(
-            plan, groups_by_root, weighted_by_root, root_levels,
-            store.schema.dimensions, len(path_lattice), threshold,
-        )
-        prune_to_iceberg(data, threshold)
-        del groups_by_root, weighted_by_root
-        for cuboid in assemble_cuboids(
-            levels, path_lattice, data, threshold, min_support, min_deviation,
-            compute_exceptions, segments_by_cell, kernel=kernel,
-            exception_pass=exception_pass,
-        ):
-            build_stats.cuboids += 1
-            build_stats.cells += len(cuboid)
-            if into is not None:
-                into.put_cuboid(cuboid)
-            else:
-                cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
-        exception_seconds = (
-            exception_pass.seconds if exception_pass is not None else 0.0
-        )
-        if compute_exceptions:
-            build_stats.add_phase("exceptions", exception_seconds)
-        build_stats.add_phase(
-            "materialize", time.perf_counter() - phase - exception_seconds
-        )
-    finally:
-        _close_pools(pools)
+            cube._cuboids[(cuboid.item_level, cuboid.path_level)] = cuboid  # noqa: SLF001
+    exception_seconds = (
+        exception_pass.seconds if exception_pass is not None else 0.0
+    )
+    if compute_exceptions:
+        build_stats.add_phase("exceptions", exception_seconds)
+    build_stats.add_phase(
+        "materialize", time.perf_counter() - phase - exception_seconds
+    )
 
     build_stats.max_live_transaction_dbs = max(
         build_stats.max_live_transaction_dbs, tracker.peak
     )
     build_stats.elapsed_seconds += time.perf_counter() - started
+    _finalise_pool_stats(build_stats, pool)
     if into is not None:
         into.flush(build_stats=build_stats)
         return into

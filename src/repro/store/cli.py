@@ -39,6 +39,7 @@ from pathlib import Path as FsPath
 from repro.core.path import PathRecord
 from repro.core.path_database import PathDatabase, example_path_database
 from repro.errors import FlowCubeError, StoreError
+from repro.perf.pool import oversubscription_warning, resolve_jobs
 from repro.perf.query_kernel import load_query_stats, merge_query_stats
 from repro.query.api import FlowCubeQuery
 from repro.query.render import render_text
@@ -132,7 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="run partition scans on N worker processes (default 1: serial)",
+        help=(
+            "run partition scans on N persistent worker processes "
+            "(default 1: serial; 0: cpu_count - 1)"
+        ),
+    )
+    build.add_argument(
+        "--pool",
+        choices=("shared", "plain"),
+        default="shared",
+        help=(
+            "mining-row residency under --jobs: 'shared' interns "
+            "transactions once into shared memory (workers read "
+            "zero-copy); 'plain' re-encodes partitions in each worker "
+            "(identical output)"
+        ),
     )
     build.add_argument(
         "--engine",
@@ -306,8 +321,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     store = PartitionedPathStore.open(args.store)
     if len(store) == 0:
         raise StoreError("the store is empty — ingest records first")
-    if args.jobs < 1:
-        raise StoreError(f"--jobs must be >= 1, got {args.jobs}")
+    jobs = resolve_jobs(args.jobs)
+    if jobs != args.jobs:
+        print(f"--jobs 0 resolved to {jobs} (cpu_count - 1)", file=sys.stderr)
+    warning = oversubscription_warning(jobs)
+    if warning is not None:
+        print(f"warning: {warning}", file=sys.stderr)
     cube_store = store.cube_store()
     stats = BuildStats()
     build_cube(
@@ -318,9 +337,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
         use_shared=args.shared,
         into=cube_store,
         stats=stats,
-        jobs=args.jobs,
+        jobs=jobs,
         engine=args.engine,
         kernel=args.kernel,
+        pool_mode=args.pool,
     )
     print(
         f"built {stats.cells} cells in {stats.cuboids} cuboids from "

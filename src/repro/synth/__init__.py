@@ -1,6 +1,10 @@
 """Synthetic RFID path generation (Section 6.1)."""
 
-from repro.synth.generator import GeneratorConfig, generate_path_database
+from repro.synth.generator import (
+    GeneratorConfig,
+    generate_path_database,
+    scaled_config,
+)
 from repro.synth.hierarchy_gen import (
     make_dimension_hierarchy,
     make_location_hierarchy,
@@ -15,4 +19,5 @@ __all__ = [
     "generate_path_database",
     "make_dimension_hierarchy",
     "make_location_hierarchy",
+    "scaled_config",
 ]

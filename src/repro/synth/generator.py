@@ -36,7 +36,7 @@ from repro.synth.hierarchy_gen import (
 from repro.synth.sequence_gen import generate_location_sequences
 from repro.synth.zipf import ZipfSampler
 
-__all__ = ["GeneratorConfig", "generate_path_database"]
+__all__ = ["GeneratorConfig", "generate_path_database", "scaled_config"]
 
 
 @dataclass(frozen=True)
@@ -91,6 +91,27 @@ class GeneratorConfig:
             )
         if self.max_duration < 1:
             raise GenerationError(f"max_duration must be >= 1")
+
+
+def scaled_config(n_paths: int, seed: int = 11) -> GeneratorConfig:
+    """A scale-sweep preset: *n_paths* records over a fixed-shape schema.
+
+    The benchmark scale sweep (``bench_store.py --scale``) needs database
+    size to be the only variable: the hierarchy shapes, sequence pool,
+    and skews stay constant so the pattern count (and therefore the
+    mining work per record) grows with N rather than with schema width.
+    """
+    return GeneratorConfig(
+        n_paths=n_paths,
+        n_dims=3,
+        dim_fanouts=(3, 4),
+        n_location_groups=4,
+        locations_per_group=3,
+        n_sequences=16,
+        max_path_length=5,
+        max_duration=4,
+        seed=seed,
+    )
 
 
 def generate_path_database(config: GeneratorConfig) -> PathDatabase:

@@ -201,12 +201,26 @@ def test_bitmap_mask_counting_matches_scan_counting():
 # jobs validation and the CLI flag
 # ----------------------------------------------------------------------
 
-@pytest.mark.parametrize("jobs", [0, -1, 1.5])
+@pytest.mark.parametrize("jobs", [-1, 1.5, True])
 def test_store_entry_points_reject_bad_jobs(store, jobs):
     with pytest.raises(StoreError):
         shared_mine_store(store, min_support=MIN_SUPPORT, jobs=jobs)
     with pytest.raises(StoreError):
         build_cube(store, min_support=MIN_SUPPORT, jobs=jobs)
+
+
+def test_jobs_zero_resolves_to_cpu_count_minus_one(store):
+    """``jobs=0`` means "use the machine": cpu_count - 1, floored at 1."""
+    import os
+
+    from repro.perf.pool import resolve_jobs
+
+    expected = max(1, (os.cpu_count() or 2) - 1)
+    assert resolve_jobs(0) == expected
+    assert resolve_jobs(1) == 1
+    result = shared_mine_store(store, min_support=MIN_SUPPORT, jobs=0)
+    reference = shared_mine_store(store, min_support=MIN_SUPPORT)
+    assert result.supports == reference.supports
 
 
 def test_cli_build_jobs_flag(tmp_path, capsys):
@@ -220,13 +234,27 @@ def test_cli_build_jobs_flag(tmp_path, capsys):
         "ingest", target, "--synthetic", "--n-paths", "50", "--seed", "3",
     ]) == 0
     capsys.readouterr()
+    # --jobs 0 is no longer an error: it resolves to cpu_count - 1 and
+    # says so on stderr.
     assert main([
         "build", target, "--min-support", "0.2", "--no-exceptions",
         "--jobs", "0",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "--jobs 0 resolved to" in captured.err
+    assert "built" in captured.out
+    assert main([
+        "build", target, "--min-support", "0.2", "--no-exceptions",
+        "--jobs", "-1",
     ]) == 2
-    assert "--jobs must be >= 1" in capsys.readouterr().err
+    assert "jobs must be" in capsys.readouterr().err
     assert main([
         "build", target, "--min-support", "0.2", "--no-exceptions",
         "--jobs", "2",
     ]) == 0
-    assert "built" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    assert "built" in captured.out
+    import os
+
+    if 2 > (os.cpu_count() or 1):
+        assert "exceeds the machine's" in captured.err

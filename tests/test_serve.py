@@ -257,6 +257,71 @@ def test_catalog_pool_shared_between_facades(app, tenant):
 
 
 # ----------------------------------------------------------------------
+# conditional requests: ETag / If-None-Match
+# ----------------------------------------------------------------------
+
+def test_etag_round_trip(app):
+    first = get(app, "/cubes/wh/slice", {"cut": "d0:d0_0"})
+    assert first.status == 200
+    etag = first.headers["ETag"]
+    assert etag.startswith('"') and etag.endswith('"')
+    revalidated = app.handle(
+        Request(
+            method="GET",
+            path="/cubes/wh/slice",
+            query={"cut": "d0:d0_0"},
+            headers={"if-none-match": etag},
+        )
+    )
+    assert revalidated.status == 304
+    assert revalidated.body == b""
+    assert revalidated.headers["ETag"] == etag
+
+
+def test_etag_mismatch_serves_body(app):
+    first = get(app, "/cubes/wh/slice", {"cut": "d0:d0_0"})
+    stale = app.handle(
+        Request(
+            method="GET",
+            path="/cubes/wh/slice",
+            query={"cut": "d0:d0_0"},
+            headers={"if-none-match": '"deadbeef"'},
+        )
+    )
+    assert stale.status == 200
+    assert stale.body == first.body
+
+
+def test_etag_star_and_list_match(app):
+    etag = get(app, "/cubes/wh/slice", {"cut": "d0:d0_0"}).headers["ETag"]
+    for header in ("*", f'"other", {etag}', f"W/{etag}"):
+        response = app.handle(
+            Request(
+                method="GET",
+                path="/cubes/wh/slice",
+                query={"cut": "d0:d0_0"},
+                headers={"if-none-match": header},
+            )
+        )
+        assert response.status == 304, header
+
+
+def test_etag_varies_by_request_and_mutation(app, tenant):
+    a = get(app, "/cubes/wh/slice", {"cut": "d0:d0_0"}).headers["ETag"]
+    b = get(app, "/cubes/wh/slice", {"cut": "d0:d0_1"}).headers["ETag"]
+    assert a != b  # different canonical keys
+    tenant.cube_store._bump_version()
+    after = get(app, "/cubes/wh/slice", {"cut": "d0:d0_0"}).headers["ETag"]
+    assert after != a  # store mutation invalidates the validator
+
+
+def test_etag_on_post_query(app):
+    response = post(app, "/cubes/wh/query", {"cut": "d0:d0_0"})
+    assert response.status == 200
+    assert "ETag" in response.headers
+
+
+# ----------------------------------------------------------------------
 # navigation and derivation endpoints
 # ----------------------------------------------------------------------
 
