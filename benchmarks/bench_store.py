@@ -18,6 +18,11 @@ Six questions the store and perf layers have to answer honestly:
   worker-pool sizes), given that both produce byte-identical cubes;
 * what hit rate does the cube-store LRU cache reach once a query
   workload re-reads cells it has already materialised;
+* what the binary storage backend buys over the JSON layout on the same
+  data: cold cube open (store handle plus key catalogs for every
+  cuboid, zero cell bytes read), cold index-first slice, the pooled
+  pack pass decoding partitions, and bytes on disk — with the two
+  formats' cubes asserted byte-identical under ``cube_to_json``;
 * what the bitmap query kernel buys on the serving path: a cold slice
   over the cube store with the index-first kernel (predicates answered
   from the key catalog, only matching cells read) vs the seed full scan,
@@ -52,6 +57,7 @@ from repro.core.lattice import ItemLevel, PathLattice
 from repro.core.serialization import cube_to_json
 from repro.encoding.transactions import TransactionDatabase
 from repro.mining import shared_mine
+from repro.perf.query_kernel import CuboidKeyCatalog
 from repro.query import FlowCubeQuery, derive_cuboid, plan_derivation
 from repro.store import (
     BuildStats,
@@ -80,6 +86,8 @@ REPEATS = 3
 #: Scale sweep: database sizes for ``--scale`` (paths per database).
 SCALE_SWEEP = (10_000, 30_000, 100_000)
 SCALE_PARTITIONS = 8
+#: Database size for the full-run storage-format comparison point.
+FORMATS_SCALE_PATHS = 10_000
 
 
 def _timed(fn):
@@ -580,6 +588,178 @@ def _scale_section(scales, jobs: int = 2) -> list[dict]:
     return rows
 
 
+def _disk_bytes(directory: Path) -> int:
+    """Total bytes of every file under *directory* (0 when absent)."""
+    if not directory.exists():
+        return 0
+    return sum(p.stat().st_size for p in directory.rglob("*") if p.is_file())
+
+
+def _formats_section(
+    database,
+    n_partitions: int,
+    repeats: int,
+    min_support: float,
+    build_min_support: float | None = None,
+) -> dict:
+    """Binary vs JSON storage backends over identical data.
+
+    One store per format over the same database, then the four numbers
+    the backend exists for:
+
+    * ``cold_open_seconds`` — a fresh :class:`CubeStore` handle plus a
+      :class:`CuboidKeyCatalog` for every cuboid, i.e. everything a
+      server needs before it can answer an index-first query, with zero
+      cell bytes read (the binary path parses the mmap'd ``cells.idx``;
+      the JSON path parses the inline cell list out of ``cube.json``);
+    * ``cold_slice_seconds`` — a fresh handle plus one index-first
+      slice, so the per-cell read path (heap ``pread`` vs one JSON file
+      per cell) is measured on cells that are actually materialised;
+    * ``pack_pass_seconds`` — the fused scan1+pack phase of a pooled
+      shared-mine, which is where partition decode speed lands during a
+      build (bulk ``frombytes`` arenas vs CSV parsing);
+    * bytes on disk for the partition files and the cube directory.
+
+    The two cubes must render byte-identically under ``cube_to_json`` —
+    the formats differ in layout, never in content.
+
+    *build_min_support* (default: *min_support*) sets the cube build's
+    iceberg threshold separately from mining's, so the scale point can
+    pair a realistic mining δ with a cell-heavy cube — cold open scales
+    with cell count, mining with pattern count.
+    """
+    if build_min_support is None:
+        build_min_support = min_support
+    hierarchies = database.schema.dimensions
+    value = sorted(hierarchies[0].concepts_at_level(1))[0]
+    open_repeats = max(repeats, 3)
+    rows: dict[str, dict] = {}
+    rendered: dict[str, str] = {}
+    n_cells = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for store_format in ("json", "binary"):
+            directory = Path(tmp) / store_format
+            partition_size = math.ceil(len(database) / n_partitions)
+            store = PartitionedPathStore.init(
+                directory,
+                database.schema,
+                partition_size=partition_size,
+                store_format=store_format,
+            )
+            store.ingest(database)
+            read_seconds, _ = _best(store.load_all, repeats)
+
+            # The pack pass: scan1 decode + shared-memory pack.  The
+            # miner times it into its "count" phase bucket, which the
+            # first scan dominates at these candidate counts; the
+            # fastest run's breakdown is reported.
+            pool, _ = _sweep_pool(2)
+            mine_seconds, best_stats = math.inf, None
+            try:
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    mined = shared_mine_store(
+                        store, min_support=min_support, jobs=2, pool=pool
+                    )
+                    elapsed = time.perf_counter() - start
+                    if elapsed < mine_seconds:
+                        mine_seconds, best_stats = elapsed, mined.stats
+            finally:
+                if pool is not None:
+                    pool.close()
+
+            build_seconds, built = _best(
+                lambda: build_cube(
+                    store,
+                    min_support=build_min_support,
+                    compute_exceptions=False,
+                    into=store.cube_store(),
+                ),
+                1,
+            )
+            n_cells = built.n_cells()
+
+            def cold_open():
+                served = store.cube_store(cache_size=CACHE_SIZE)
+                for cuboid in served.cuboids:
+                    # Same construction the serving CatalogPool does:
+                    # binary cubes hand over precomputed masks, JSON
+                    # cubes fall back to the per-cell index pass.
+                    CuboidKeyCatalog(
+                        cuboid.keys, hierarchies, cuboid.value_masks
+                    )
+                return served
+
+            open_seconds, served = _best(cold_open, open_repeats)
+            assert served.cell_format == store_format
+
+            def cold_slice():
+                query = FlowCubeQuery(
+                    store.cube_store(cache_size=CACHE_SIZE), kernel="index"
+                )
+                return [
+                    (c.item_level, c.key) for c in query.slice(d0=value)
+                ]
+
+            slice_seconds, matched = _best(cold_slice, open_repeats)
+            rendered[store_format] = cube_to_json(served)
+            rows[store_format] = {
+                "partition_read_seconds": round(read_seconds, 4),
+                "mine_seconds": round(mine_seconds, 4),
+                "pack_pass_seconds": round(
+                    best_stats.phase_seconds.get("count", 0.0), 4
+                ),
+                "build_seconds": round(build_seconds, 4),
+                "cold_open_seconds": round(open_seconds, 5),
+                "cold_slice_seconds": round(slice_seconds, 5),
+                "n_matching_cells": len(matched),
+                "partitions_bytes": _disk_bytes(directory / "partitions"),
+                "cube_bytes": _disk_bytes(directory / "cube"),
+            }
+    assert rendered["binary"] == rendered["json"]
+    json_row, binary_row = rows["json"], rows["binary"]
+    return {
+        "n_paths": len(database),
+        "n_partitions": n_partitions,
+        "min_support": min_support,
+        "build_min_support": build_min_support,
+        "n_cells": n_cells,
+        "json": json_row,
+        "binary": binary_row,
+        "byte_identical": True,
+        "binary_speedup": {
+            "cold_open": round(
+                json_row["cold_open_seconds"]
+                / binary_row["cold_open_seconds"],
+                2,
+            ),
+            "cold_slice": round(
+                json_row["cold_slice_seconds"]
+                / binary_row["cold_slice_seconds"],
+                2,
+            ),
+            "pack_pass": round(
+                json_row["pack_pass_seconds"]
+                / binary_row["pack_pass_seconds"],
+                2,
+            ),
+            "partition_read": round(
+                json_row["partition_read_seconds"]
+                / binary_row["partition_read_seconds"],
+                2,
+            ),
+            "partitions_bytes": round(
+                json_row["partitions_bytes"]
+                / binary_row["partitions_bytes"],
+                2,
+            ),
+            "cube_bytes": round(
+                json_row["cube_bytes"] / binary_row["cube_bytes"], 2
+            ),
+        },
+    }
+
+
 def _shm_segments() -> set[str]:
     """Names currently live under ``/dev/shm`` (POSIX shared memory)."""
     root = Path("/dev/shm")
@@ -689,6 +869,26 @@ def run_suite(quick: bool = False, scales=()) -> dict:
     # The pool tripwire runs in every mode — quick included — and raises
     # (failing CI) on a live-transaction-db or shm-segment leak.
     report["pool_smoke"] = _pool_smoke(database)
+    # The storage-format sweep runs in every mode too (parity asserted);
+    # the full run adds the 10k-path point, where the cold-open gap —
+    # mmap'd index decode vs a large inline-JSON cell list — is the
+    # acceptance headline.
+    formats = [_formats_section(database, 4, repeats, MIN_SUPPORT)]
+    if not quick:
+        # The scale point mines at the sweep δ but builds at an absolute
+        # support of 2, so the cube actually has enough cells (≈15k at
+        # 10k paths) for cold open to measure per-cell index costs
+        # rather than fixed overheads.
+        formats.append(
+            _formats_section(
+                generate_path_database(scaled_config(FORMATS_SCALE_PATHS)),
+                SCALE_PARTITIONS,
+                2,
+                MIN_SUPPORT,
+                build_min_support=2,
+            )
+        )
+    report["formats"] = formats
     if scales:
         report["scale"] = _scale_section(scales)
     return report
@@ -754,6 +954,16 @@ def test_slice_over_store(benchmark, store_db, kernel, tmp_path):
         ),
     )
     assert cells
+
+
+def test_formats_parity_and_binary_wins(store_db):
+    """Binary and JSON stores render identical cubes; binary opens faster."""
+    section = _formats_section(
+        store_db, n_partitions=4, repeats=1, min_support=MIN_SUPPORT
+    )
+    assert section["byte_identical"]
+    assert section["binary_speedup"]["cold_open"] > 1.0
+    assert section["binary"]["partitions_bytes"] > 0
 
 
 def main(argv: list[str] | None = None) -> int:

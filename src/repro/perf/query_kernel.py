@@ -76,25 +76,54 @@ class CuboidKeyCatalog:
             set bits of a match mask yields cells in cuboid order.
         hierarchies: One :class:`ConceptHierarchy` per dimension (the
             schema's ``dimensions``), used for descendant closures.
+        value_masks: Optional precomputed per-dimension ``{value:
+            ordinal bitmap}`` dicts over exactly these *keys* (e.g.
+            decoded from a binary cube's cell index); when given, the
+            per-cell index pass is skipped entirely.  Ownership
+            transfers to the catalog — do not mutate afterwards.
     """
 
     def __init__(
         self,
         keys: Sequence[CellKey],
         hierarchies: Sequence[ConceptHierarchy],
+        value_masks: list[dict[str, int]] | None = None,
     ) -> None:
         self.keys = tuple(keys)
         self._hierarchies = tuple(hierarchies)
         n_dims = len(self._hierarchies)
-        masks: list[dict[str, int]] = [{} for _ in range(n_dims)]
-        bit = 1
-        for key in self.keys:
-            for dim, value in enumerate(key):
-                per_dim = masks[dim]
-                per_dim[value] = per_dim.get(value, 0) | bit
-            bit <<= 1
-        self._value_masks = masks
-        self._all_mask = bit - 1
+        n_cells = len(self.keys)
+        if value_masks is not None:
+            self._value_masks = value_masks
+        else:
+            # Bucket each (dimension, value)'s cell ordinals first, then
+            # materialise every mask with byte-level bit stores and one
+            # ``int.from_bytes`` — O(cells) small-int work, where OR-ing
+            # a growing big-int per key re-copies ~n_cells/64 words per
+            # cell.  This is the cube-open hot path: the binary cell
+            # index hands over a million keys (and their precomputed
+            # masks) in milliseconds, so the fallback construction must
+            # not dwarf the decode it follows.
+            buckets: list[dict[str, list[int]]] = [{} for _ in range(n_dims)]
+            for ordinal, key in enumerate(self.keys):
+                for dim, value in enumerate(key):
+                    bucket = buckets[dim].get(value)
+                    if bucket is None:
+                        buckets[dim][value] = [ordinal]
+                    else:
+                        bucket.append(ordinal)
+            n_bytes = (n_cells + 7) >> 3
+            masks: list[dict[str, int]] = []
+            for per_dim in buckets:
+                dim_masks: dict[str, int] = {}
+                for value, positions in per_dim.items():
+                    bits = bytearray(n_bytes)
+                    for position in positions:
+                        bits[position >> 3] |= 1 << (position & 7)
+                    dim_masks[value] = int.from_bytes(bits, "little")
+                masks.append(dim_masks)
+            self._value_masks = masks
+        self._all_mask = (1 << n_cells) - 1
         #: (dimension, wanted concept) -> descendant-closure mask.
         self._closure_cache: dict[tuple[int, str], int] = {}
 
@@ -198,7 +227,9 @@ class CatalogPool:
         keys = getattr(cuboid, "keys", None)
         if keys is None:  # in-memory Cuboid
             keys = tuple(cuboid.cells)
-        catalog = CuboidKeyCatalog(keys, hierarchies)
+        catalog = CuboidKeyCatalog(
+            keys, hierarchies, getattr(cuboid, "value_masks", None)
+        )
         with self._lock:
             self._entries[coords] = (version, n_cells, catalog)
             self.builds += 1

@@ -54,13 +54,18 @@ def create_app(
     cubes: dict[str, FsPath | str],
     cache_size: int = 256,
     token: str | None = None,
+    max_age: int | None = 60,
 ) -> SlicerApp:
-    """Mount the named stores and build the slicer application."""
+    """Mount the named stores and build the slicer application.
+
+    ``max_age`` sets the ``Cache-Control: max-age`` seconds emitted next
+    to the ETags on cacheable responses (``None`` omits the header).
+    """
     tenants = [
         CubeTenant.mount(name, directory, cache_size=cache_size)
         for name, directory in cubes.items()
     ]
-    return SlicerApp(tenants, token=token)
+    return SlicerApp(tenants, token=token, max_age=max_age)
 
 
 async def run(

@@ -98,10 +98,17 @@ class SlicerApp:
         token: Optional bearer token; when set, every request must carry
             ``Authorization: Bearer <token>`` (the auth hook — swap in a
             real authenticator by overriding :meth:`authorize`).
+        max_age: ``Cache-Control: max-age`` seconds stamped (next to the
+            ``ETag``) on every cacheable 200 and 304 — clients may reuse
+            a response that long before revalidating.  ``None`` omits
+            the header entirely.
     """
 
     def __init__(
-        self, tenants: Iterable[CubeTenant], token: str | None = None
+        self,
+        tenants: Iterable[CubeTenant],
+        token: str | None = None,
+        max_age: int | None = 60,
     ) -> None:
         self._tenants: dict[str, CubeTenant] = {}
         for tenant in tenants:
@@ -111,6 +118,9 @@ class SlicerApp:
         if not self._tenants:
             raise ServeError("the slicer needs at least one cube to serve")
         self._token = token
+        if max_age is not None and max_age < 0:
+            raise ServeError(f"max_age must be >= 0, got {max_age}")
+        self._max_age = max_age
         self._lock = threading.Lock()
         self.requests = 0
         self.started = time.time()
@@ -276,20 +286,25 @@ class SlicerApp:
 
         Every cacheable answer carries an ``ETag`` derived from the
         cube's build version, the store's mutation counter, and the
-        canonical request key.  A matching ``If-None-Match`` is answered
+        canonical request key, plus ``Cache-Control: max-age`` (when
+        configured) so clients can reuse a response for a bounded time
+        without a round trip.  A matching ``If-None-Match`` is answered
         ``304 Not Modified`` before the cache is even consulted — the
         validator alone proves the client's copy is current.
         """
         etag = tenant.etag(key)
+        headers = {"ETag": etag}
+        if self._max_age is not None:
+            headers["Cache-Control"] = f"max-age={self._max_age}"
         if request is not None and if_none_match(
             request.headers.get("if-none-match"), etag
         ):
-            return Response(status=304, headers={"ETag": etag})
+            return Response(status=304, headers=headers)
         body = tenant.cached_response(key)
         if body is None:
             body = encode_json(build())
             tenant.store_response(key, body)
-        return Response(body=body, headers={"ETag": etag})
+        return Response(body=body, headers=headers)
 
     def _slice(self, tenant: CubeTenant, request: Request) -> Response:
         params = self._params(request)

@@ -4,9 +4,10 @@ The in-memory pipeline assumes the path database fits in RAM; this package
 removes that assumption end to end:
 
 * :class:`~repro.store.pathstore.PartitionedPathStore` — the path database
-  as size-bounded CSV partition files under a JSON catalog
-  (:class:`~repro.store.catalog.Catalog`) with schema fingerprints and
-  Bloom-style partition summaries
+  as size-bounded partition files (columnar binary by default, CSV as
+  the portable interchange format — see :mod:`repro.store.binfmt`)
+  under a JSON catalog (:class:`~repro.store.catalog.Catalog`) with
+  schema fingerprints and Bloom-style partition summaries
   (:class:`~repro.store.partition.BloomSummary`);
 * :func:`~repro.store.builder.build_cube` /
   :func:`~repro.store.builder.shared_mine_store` — out-of-core cube
@@ -15,13 +16,15 @@ removes that assumption end to end:
   :class:`~repro.perf.pool.WorkerPool` (re-exported here) that callers
   can keep across builds;
 * :class:`~repro.store.cube_store.CubeStore` — the materialised cube
-  persisted cell by cell, lazily rebuilt behind a bounded
+  persisted cell by cell (packed mmap'd heap or one JSON file per
+  cell), lazily rebuilt behind a bounded
   :class:`~repro.store.cache.LRUCache`;
 * ``flowcube-store`` (:mod:`repro.store.cli`) — init / ingest / build /
-  query / stats.
+  query / stats / migrate.
 """
 
 from repro.perf.pool import PoolStats, WorkerPool, resolve_jobs
+from repro.store.binfmt import DEFAULT_STORE_FORMAT, STORE_FORMATS
 from repro.store.builder import (
     POOL_MODES,
     STORE_KERNELS,
@@ -36,12 +39,15 @@ from repro.store.catalog import (
     schema_from_dict,
     schema_to_dict,
 )
-from repro.store.cube_store import CubeStore, StoredCuboid
+from repro.store.cube_store import CELL_FORMATS, CubeStore, StoredCuboid
 from repro.store.partition import BloomSummary, PartitionMeta
 from repro.store.pathstore import PartitionedPathStore
 
 __all__ = [
+    "CELL_FORMATS",
+    "DEFAULT_STORE_FORMAT",
     "POOL_MODES",
+    "STORE_FORMATS",
     "STORE_KERNELS",
     "BloomSummary",
     "BuildStats",

@@ -1,0 +1,486 @@
+"""Binary on-disk codecs: columnar partitions and the packed cell index.
+
+CSV partitions and one-JSON-file-per-cell cap the store's scale: every
+pack pass re-parses text, and opening a cube costs one ``stat`` +
+``json.loads`` per cell.  This module defines the two compact binary
+layouts behind the ``"binary"`` store format (see DESIGN.md for byte
+diagrams):
+
+* :func:`pack_partition` / :func:`unpack_partition` — a columnar
+  partition file (``part-XXXXX.bin``): one interned string table plus
+  ``int64`` reference/offset arenas and a ``float64`` duration arena,
+  so :func:`~repro.store.partition.read_partition` rebuilds a
+  :class:`~repro.core.path_database.PathDatabase` with bulk
+  ``array.frombytes`` decodes instead of per-field text parsing;
+* :func:`pack_cell_index` / :func:`unpack_cell_index` — the cell-heap
+  offset/key index (``cells.idx``): every cuboid's cell keys and
+  ``(offset, length, n_paths, redundant)`` entries in grouped columnar
+  arenas, so :class:`~repro.store.cube_store.CubeStore` materialises
+  its whole in-memory index with a handful of C-speed ``zip`` passes
+  and *zero* cell-payload IO.
+
+Framing rules shared by both codecs:
+
+* all integers are native-endian ``int64`` (``array('q')``), durations
+  native ``float64`` (``array('d')``); the header leads with
+  :data:`ORDER_TAG`, whose bytes read back wrong on a foreign-endian
+  host, turning silent corruption into a :class:`StoreError`;
+* every arena starts on an 8-byte boundary (the UTF-8 string blob is
+  zero-padded), and decoding slices **exactly** the bytes each arena
+  owns before ``frombytes`` — never a full-buffer ``cast('q')``, which
+  breaks the moment a variable-length blob is not a multiple of eight;
+* the cell heap (``cells.bin``) itself is not parsed here: it is an
+  append-only blob of ``<q``-length-prefixed JSON payloads after
+  :data:`HEAP_MAGIC`, addressed only through the index offsets.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from collections.abc import Iterable, Sequence
+
+from repro.core.path import Path, PathRecord
+from repro.core.path_database import PathDatabase, PathSchema
+from repro.core.stage import Stage
+from repro.errors import StoreError
+
+__all__ = [
+    "DEFAULT_STORE_FORMAT",
+    "HEAP_MAGIC",
+    "INDEX_MAGIC",
+    "PARTITION_MAGIC",
+    "STORE_FORMATS",
+    "pack_cell_index",
+    "pack_partition",
+    "unpack_cell_index",
+    "unpack_partition",
+]
+
+#: Store-level format names: ``"binary"`` (columnar partitions + cell
+#: heap) and ``"json"`` (CSV partitions + one JSON file per cell — the
+#: portable interchange layout).
+STORE_FORMATS = ("binary", "json")
+
+#: New stores default to the compact binary layout.
+DEFAULT_STORE_FORMAT = "binary"
+
+#: Leading 8 bytes of a columnar partition file.
+PARTITION_MAGIC = b"FCPART01"
+
+#: Leading 8 bytes of a cell-heap index file (``cells.idx``).
+INDEX_MAGIC = b"FCCIDX01"
+
+#: Leading 8 bytes of a cell-heap blob (``cells.bin``).
+HEAP_MAGIC = b"FCHEAP01"
+
+#: Endianness sentinel: stored as the first header word; a reader on a
+#: host with the opposite byte order decodes a different value and
+#: rejects the file instead of mis-addressing every arena.
+ORDER_TAG = 0x0102030405060708
+
+#: Length prefix framing one heap payload (always little-endian — the
+#: heap is only ever addressed through index offsets; the prefix exists
+#: for recovery tools walking the blob).
+HEAP_LENGTH_STRUCT = struct.Struct("<q")
+
+_I64 = 8
+
+
+def _pad8(n: int) -> int:
+    """Zero bytes needed to round *n* up to an 8-byte boundary."""
+    return (-n) % 8
+
+
+def _pack_strings(strings: Iterable[str]) -> tuple[bytes, bytes, int]:
+    """Intern table → (offsets arena, padded UTF-8 blob, blob length)."""
+    encoded = [s.encode("utf-8") for s in strings]
+    offsets = array("q", [0])
+    position = 0
+    for chunk in encoded:
+        position += len(chunk)
+        offsets.append(position)
+    blob = b"".join(encoded)
+    return offsets.tobytes(), blob + b"\x00" * _pad8(len(blob)), len(blob)
+
+
+def _check_magic(buffer: bytes, magic: bytes, what: str) -> None:
+    if len(buffer) < len(magic) or buffer[: len(magic)] != magic:
+        raise StoreError(f"not a {what}: bad magic")
+
+
+def _read_header(buffer: bytes, offset: int, count: int, what: str) -> array:
+    header = _read_i64(buffer, offset, count, what)
+    if header[0] != ORDER_TAG:
+        raise StoreError(
+            f"cannot read {what}: byte-order tag mismatch "
+            "(file written on a host with different endianness?)"
+        )
+    return header
+
+
+def _read_i64(buffer: bytes, offset: int, count: int, what: str) -> array:
+    """Decode exactly *count* int64s at *offset* (never a full-buffer cast)."""
+    end = offset + count * _I64
+    if end > len(buffer):
+        raise StoreError(f"corrupt {what}: truncated at byte {offset}")
+    out = array("q")
+    out.frombytes(buffer[offset:end])
+    return out
+
+
+def _read_f64(buffer: bytes, offset: int, count: int, what: str) -> array:
+    end = offset + count * _I64
+    if end > len(buffer):
+        raise StoreError(f"corrupt {what}: truncated at byte {offset}")
+    out = array("d")
+    out.frombytes(buffer[offset:end])
+    return out
+
+
+def _read_strings(
+    buffer: bytes, offset: int, n_strings: int, blob_len: int, what: str
+) -> tuple[list[str], int]:
+    """Decode the intern table; returns (strings, offset past the blob)."""
+    offsets = _read_i64(buffer, offset, n_strings + 1, what)
+    blob_start = offset + (n_strings + 1) * _I64
+    blob_end = blob_start + blob_len
+    if blob_end > len(buffer):
+        raise StoreError(f"corrupt {what}: truncated string blob")
+    blob = buffer[blob_start:blob_end]
+    strings = [
+        blob[offsets[i] : offsets[i + 1]].decode("utf-8")
+        for i in range(n_strings)
+    ]
+    return strings, blob_end + _pad8(blob_len)
+
+
+def _key_tuples(
+    strings: list[str], refs: array, n_dims: int, n_rows: int
+) -> list[tuple[str, ...]]:
+    """Rebuild *n_rows* width-``n_dims`` tuples from flat string refs."""
+    if n_dims == 0:
+        return [()] * n_rows
+    decoded = list(map(strings.__getitem__, refs))
+    return list(zip(*(decoded[d::n_dims] for d in range(n_dims))))
+
+
+# --------------------------------------------------------------------------
+# Columnar partitions
+# --------------------------------------------------------------------------
+
+
+def pack_partition(database: PathDatabase) -> bytes:
+    """Encode *database* as one columnar partition blob.
+
+    Layout (all arenas 8-byte aligned)::
+
+        FCPART01 | header i64[6] | string offsets i64[S+1] | utf8 blob ⌈8⌉
+        | record_ids i64[R] | dim refs i64[R*D] | path offsets i64[R+1]
+        | stage location refs i64[T] | stage durations f64[T]
+
+    header = [ORDER_TAG, n_records R, n_dims D, n_strings S,
+    blob byte length, total stages T].  Dimension values and stage
+    locations share one interned string table, so repeated concepts and
+    locations cost 8 bytes per reference; durations are exact IEEE
+    doubles (no ``repr`` round-trip).
+    """
+    interned: dict[str, int] = {}
+    record_ids = array("q")
+    dim_refs = array("q")
+    path_offsets = array("q", [0])
+    location_refs = array("q")
+    durations = array("d")
+    total_stages = 0
+    for record in database:
+        record_ids.append(record.record_id)
+        for value in record.dims:
+            dim_refs.append(interned.setdefault(value, len(interned)))
+        for stage in record.path:
+            location_refs.append(
+                interned.setdefault(stage.location, len(interned))
+            )
+            durations.append(stage.duration)
+        total_stages += len(record.path)
+        path_offsets.append(total_stages)
+    offsets_bytes, blob_bytes, blob_len = _pack_strings(interned)
+    header = array(
+        "q",
+        [
+            ORDER_TAG,
+            len(database),
+            database.schema.n_dimensions,
+            len(interned),
+            blob_len,
+            total_stages,
+        ],
+    )
+    return b"".join(
+        (
+            PARTITION_MAGIC,
+            header.tobytes(),
+            offsets_bytes,
+            blob_bytes,
+            record_ids.tobytes(),
+            dim_refs.tobytes(),
+            path_offsets.tobytes(),
+            location_refs.tobytes(),
+            durations.tobytes(),
+        )
+    )
+
+
+def unpack_partition(buffer: bytes, schema: PathSchema) -> PathDatabase:
+    """Decode a :func:`pack_partition` blob back into a database.
+
+    The whole decode is bulk work — ``frombytes`` per arena, one
+    ``zip`` transpose for the dim tuples, one ``map`` over
+    :class:`Stage` — with the only per-record Python being the final
+    :class:`PathRecord` construction.  Validation against the schema is
+    skipped: partitions are written by :func:`pack_partition` from an
+    already-validated database.
+    """
+    what = "columnar partition"
+    _check_magic(buffer, PARTITION_MAGIC, what)
+    header = _read_header(buffer, len(PARTITION_MAGIC), 6, what)
+    _, n_records, n_dims, n_strings, blob_len, total_stages = header
+    if n_dims != schema.n_dimensions:
+        raise StoreError(
+            f"partition has {n_dims} dimensions, schema expects "
+            f"{schema.n_dimensions}"
+        )
+    offset = len(PARTITION_MAGIC) + 6 * _I64
+    strings, offset = _read_strings(buffer, offset, n_strings, blob_len, what)
+    record_ids = _read_i64(buffer, offset, n_records, what)
+    offset += n_records * _I64
+    dim_refs = _read_i64(buffer, offset, n_records * n_dims, what)
+    offset += n_records * n_dims * _I64
+    path_offsets = _read_i64(buffer, offset, n_records + 1, what)
+    offset += (n_records + 1) * _I64
+    location_refs = _read_i64(buffer, offset, total_stages, what)
+    offset += total_stages * _I64
+    duration_values = _read_f64(buffer, offset, total_stages, what)
+
+    dim_tuples = _key_tuples(strings, dim_refs, n_dims, n_records)
+    stages = list(
+        map(Stage, map(strings.__getitem__, location_refs), duration_values)
+    )
+    records = []
+    append = records.append
+    for i in range(n_records):
+        path = object.__new__(Path)
+        object.__setattr__(
+            path, "stages", tuple(stages[path_offsets[i] : path_offsets[i + 1]])
+        )
+        append(PathRecord(record_ids[i], dim_tuples[i], path))
+    return PathDatabase(schema, records, validate=False)
+
+
+# --------------------------------------------------------------------------
+# Cell-heap index
+# --------------------------------------------------------------------------
+
+
+def pack_cell_index(
+    cuboids: Iterable[
+        tuple[
+            Sequence[int],
+            int,
+            Iterable[tuple[tuple[str, ...], int, int, int, bool]],
+        ]
+    ],
+    n_dims: int,
+) -> bytes:
+    """Encode every cuboid's key/offset columns as one ``cells.idx`` blob.
+
+    *cuboids* yields ``(item_level_ids, path_level_id, cells)`` where
+    each cell is ``(key, heap offset, payload length, n_paths,
+    redundant)``.  Layout::
+
+        FCCIDX01 | header i64[6] | string offsets i64[S+1] | utf8 blob ⌈8⌉
+        | cuboid table i64[C*(2+D)] | key refs i64[N*D]
+        | offsets i64[N] | lengths i64[N] | n_paths i64[N]
+        | redundant u8[N] ⌈8⌉
+        | mask counts i64[C*D] | mask value refs i64[M]
+        | mask bits (per mask, ⌈cuboid cells / 8⌉ bytes ⌈8⌉)
+
+    header = [ORDER_TAG, n_cuboids C, n_cells N, n_dims D, n_strings S,
+    blob byte length].  Cuboid table rows are ``[n_cells,
+    path_level_id, item_level…]``; the global columns are grouped by
+    cuboid in table order, so a reader slices each cuboid's run without
+    any per-cell bookkeeping.
+
+    The trailing masks section precomputes what
+    :class:`~repro.perf.query_kernel.CuboidKeyCatalog` would otherwise
+    derive cell by cell: for every (cuboid, dimension, distinct value),
+    a little-endian bitmap of the cell *ordinals* holding that value.
+    M is the total distinct-value count; each mask occupies the
+    cuboid's ``⌈cells/8⌉`` bytes zero-padded to 8, so a reader
+    reconstructs every catalog with one ``int.from_bytes`` per value
+    instead of a Python pass over every cell.
+    """
+    interned: dict[str, int] = {}
+    cuboid_table = array("q")
+    key_refs = array("q")
+    offsets = array("q")
+    lengths = array("q")
+    n_paths_column = array("q")
+    redundant_column = bytearray()
+    mask_counts = array("q")
+    mask_refs = array("q")
+    mask_bits: list[bytes] = []
+    n_cuboids = 0
+    n_cells = 0
+    for item_level, path_level_id, cells in cuboids:
+        n_cuboids += 1
+        count = 0
+        buckets: list[dict[int, list[int]]] = [{} for _ in range(n_dims)]
+        for key, offset, length, n_paths, redundant in cells:
+            for dim, part in enumerate(key):
+                ref = interned.setdefault(part, len(interned))
+                key_refs.append(ref)
+                buckets[dim].setdefault(ref, []).append(count)
+            count += 1
+            offsets.append(offset)
+            lengths.append(length)
+            n_paths_column.append(n_paths)
+            redundant_column.append(1 if redundant else 0)
+        row = array("q", [count, path_level_id])
+        row.extend(item_level)
+        if len(row) != 2 + n_dims:
+            raise StoreError(
+                f"item level width {len(row) - 2} does not match "
+                f"{n_dims} dimensions"
+            )
+        cuboid_table.extend(row)
+        n_cells += count
+        n_bytes = (count + 7) >> 3
+        padded = n_bytes + _pad8(n_bytes)
+        for per_dim in buckets:
+            mask_counts.append(len(per_dim))
+            for ref, positions in per_dim.items():
+                mask_refs.append(ref)
+                bits = bytearray(padded)
+                for position in positions:
+                    bits[position >> 3] |= 1 << (position & 7)
+                mask_bits.append(bytes(bits))
+    offsets_bytes, blob_bytes, blob_len = _pack_strings(interned)
+    header = array(
+        "q",
+        [ORDER_TAG, n_cuboids, n_cells, n_dims, len(interned), blob_len],
+    )
+    return b"".join(
+        (
+            INDEX_MAGIC,
+            header.tobytes(),
+            offsets_bytes,
+            blob_bytes,
+            cuboid_table.tobytes(),
+            key_refs.tobytes(),
+            offsets.tobytes(),
+            lengths.tobytes(),
+            n_paths_column.tobytes(),
+            bytes(redundant_column),
+            b"\x00" * _pad8(len(redundant_column)),
+            mask_counts.tobytes(),
+            mask_refs.tobytes(),
+            *mask_bits,
+        )
+    )
+
+
+def unpack_cell_index(
+    buffer: bytes,
+) -> list[
+    tuple[
+        tuple[int, ...],
+        int,
+        list[tuple[str, ...]],
+        list[tuple[int, int, int, bool]],
+        list[dict[str, int]],
+    ]
+]:
+    """Decode ``cells.idx`` → ``[(item_level_ids, path_level_id, keys,
+    entries, masks)]`` with entries as ``(offset, length, n_paths,
+    redundant)`` and masks as one ``{value: ordinal bitmap}`` per
+    dimension.
+
+    Everything per-cell happens inside C loops: one ``map`` decodes the
+    key refs, one ``zip`` transpose rebuilds the key tuples, one
+    four-column ``zip`` materialises the entry tuples, and each catalog
+    mask is a single ``int.from_bytes``.
+    """
+    what = "cell index"
+    _check_magic(buffer, INDEX_MAGIC, what)
+    header = _read_header(buffer, len(INDEX_MAGIC), 6, what)
+    _, n_cuboids, n_cells, n_dims, n_strings, blob_len = header
+    offset = len(INDEX_MAGIC) + 6 * _I64
+    strings, offset = _read_strings(buffer, offset, n_strings, blob_len, what)
+    cuboid_table = _read_i64(buffer, offset, n_cuboids * (2 + n_dims), what)
+    offset += n_cuboids * (2 + n_dims) * _I64
+    key_refs = _read_i64(buffer, offset, n_cells * n_dims, what)
+    offset += n_cells * n_dims * _I64
+    heap_offsets = _read_i64(buffer, offset, n_cells, what)
+    offset += n_cells * _I64
+    heap_lengths = _read_i64(buffer, offset, n_cells, what)
+    offset += n_cells * _I64
+    n_paths_column = _read_i64(buffer, offset, n_cells, what)
+    offset += n_cells * _I64
+    if offset + n_cells > len(buffer):
+        raise StoreError(f"corrupt {what}: truncated redundant column")
+    redundant_column = buffer[offset : offset + n_cells]
+    offset += n_cells + _pad8(n_cells)
+    mask_counts = _read_i64(buffer, offset, n_cuboids * n_dims, what)
+    offset += n_cuboids * n_dims * _I64
+    total_masks = sum(mask_counts)
+    mask_refs = _read_i64(buffer, offset, total_masks, what)
+    offset += total_masks * _I64
+
+    keys = _key_tuples(strings, key_refs, n_dims, n_cells)
+    entries = list(
+        zip(
+            heap_offsets,
+            heap_lengths,
+            n_paths_column,
+            map(bool, redundant_column),
+        )
+    )
+    out = []
+    position = 0
+    row = 0
+    mask_row = 0
+    mask_at = 0
+    width = 2 + n_dims
+    for _ in range(n_cuboids):
+        count = cuboid_table[row]
+        path_level_id = cuboid_table[row + 1]
+        item_level = tuple(cuboid_table[row + 2 : row + width])
+        row += width
+        n_bytes = (count + 7) >> 3
+        padded = n_bytes + _pad8(n_bytes)
+        masks: list[dict[str, int]] = []
+        for dim in range(n_dims):
+            n_values = mask_counts[mask_row + dim]
+            per_dim: dict[str, int] = {}
+            for ref in mask_refs[mask_at : mask_at + n_values]:
+                end = offset + padded
+                if end > len(buffer):
+                    raise StoreError(f"corrupt {what}: truncated mask bits")
+                per_dim[strings[ref]] = int.from_bytes(
+                    buffer[offset:end], "little"
+                )
+                offset = end
+            mask_at += n_values
+            masks.append(per_dim)
+        mask_row += n_dims
+        out.append(
+            (
+                item_level,
+                path_level_id,
+                keys[position : position + count],
+                entries[position : position + count],
+                masks,
+            )
+        )
+        position += count
+    return out

@@ -51,6 +51,14 @@ the one-partition claim: every partition read — decoded for the cube
 passes, encoded for the mining passes — is bracketed by a live-count
 tracker, and the recorded per-process peak is asserted to be 1 in the
 tests.
+
+Partition decode cost follows the store's format transparently: every
+scan goes through :func:`~repro.store.partition.read_partition`, so on
+a ``"binary"`` store (the default) the fused scan1+pack pass and the
+worker-side re-reads deserialise columnar arenas with bulk
+``array.frombytes`` instead of parsing CSV text — the per-pass decode
+drops from per-field Python to a handful of C calls, coordinator and
+workers alike.
 """
 
 from __future__ import annotations

@@ -8,6 +8,10 @@
 * a SHA-256 *schema fingerprint* — ingest refuses data whose schema does
   not hash to the catalog's fingerprint, so partition files can never mix
   incompatible hierarchies,
+* the store *format* — ``"binary"`` (columnar partitions + packed cell
+  heap, the default for new stores) or ``"json"`` (CSV partitions +
+  one-JSON-file-per-cell cubes, the portable interchange layout);
+  catalogs written before the format field default to ``"json"``,
 * one :class:`~repro.store.partition.PartitionMeta` entry per partition
   file (row counts, record-id ranges, Bloom summaries), and
 * an ``extra`` mapping for tool state (e.g. the synthetic generator
@@ -23,6 +27,7 @@ from pathlib import Path as FsPath
 from repro.core.hierarchy import ANY, ConceptHierarchy
 from repro.core.path_database import PathSchema
 from repro.errors import StoreError
+from repro.store.binfmt import DEFAULT_STORE_FORMAT, STORE_FORMATS
 from repro.store.partition import PartitionMeta
 
 __all__ = [
@@ -113,6 +118,7 @@ class Catalog:
         partition_size: Maximum rows per partition file.
         partitions: Existing partition entries (empty for a new store).
         extra: Free-form tool state persisted alongside the catalog.
+        store_format: ``"binary"`` or ``"json"`` (see module docs).
     """
 
     def __init__(
@@ -122,9 +128,16 @@ class Catalog:
         partition_size: int,
         partitions: list[PartitionMeta] | None = None,
         extra: dict | None = None,
+        store_format: str = DEFAULT_STORE_FORMAT,
     ) -> None:
         if partition_size < 1:
             raise StoreError(f"partition size must be >= 1, got {partition_size}")
+        if store_format not in STORE_FORMATS:
+            raise StoreError(
+                f"unknown store format {store_format!r}; "
+                f"expected one of {STORE_FORMATS}"
+            )
+        self.store_format = store_format
         self.directory = FsPath(directory)
         self.schema = schema
         self.fingerprint = schema_fingerprint(schema)
@@ -146,6 +159,7 @@ class Catalog:
             "schema": schema_to_dict(self.schema),
             "fingerprint": self.fingerprint,
             "partition_size": self.partition_size,
+            "format": self.store_format,
             "partitions": [meta.to_dict() for meta in self.partitions],
             "extra": self.extra,
         }
@@ -179,6 +193,7 @@ class Catalog:
                 for entry in payload.get("partitions", [])
             ],
             extra=payload.get("extra", {}),
+            store_format=payload.get("format", "json"),
         )
         if catalog.fingerprint != payload["fingerprint"]:
             raise StoreError(
@@ -215,6 +230,7 @@ class Catalog:
             "partitions": len(self.partitions),
             "records": self.total_records,
             "partition_size": self.partition_size,
+            "format": self.store_format,
             "dimensions": list(self.schema.dimension_names),
             "fingerprint": self.fingerprint[:12],
         }

@@ -7,6 +7,7 @@ A thin operational shell around the partitioned store::
     flowcube-store build ./wh --min-support 0.05 --jobs 4
     flowcube-store query ./wh -d d0=d0_0
     flowcube-store stats ./wh
+    flowcube-store migrate ./wh --to json
     flowcube-store serve --cubes wh=./wh --host 127.0.0.1 --port 8642
 
 ``init`` fixes the schema (the example retail schema or a synthetic one);
@@ -23,7 +24,10 @@ query-cache counters are folded into ``cube/query_stats.json`` so
 ``stats`` can report serving behaviour across invocations; ``serve``
 mounts one or more built stores as named tenants of the asyncio HTTP
 slicer (:mod:`repro.serve`) and answers slice/rollup/drilldown/query,
-flowgraph and exception reports, and cache statistics as a JSON API.
+flowgraph and exception reports, and cache statistics as a JSON API;
+``migrate`` converts a store (partitions and any built cube) between
+the compact binary layout and the portable JSON/CSV interchange layout
+in place, parity-checking every converted file.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ from repro.perf.pool import oversubscription_warning, resolve_jobs
 from repro.perf.query_kernel import load_query_stats, merge_query_stats
 from repro.query.api import FlowCubeQuery
 from repro.query.render import render_text
+from repro.store.binfmt import DEFAULT_STORE_FORMAT, STORE_FORMATS
 from repro.store.builder import BuildStats, build_cube
 from repro.store.pathstore import PartitionedPathStore
 from repro.synth.generator import GeneratorConfig, generate_path_database
@@ -85,6 +90,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use a Section 6.1 synthetic schema",
     )
     init.add_argument("--partition-size", type=int, default=512)
+    init.add_argument(
+        "--format",
+        choices=STORE_FORMATS,
+        default=DEFAULT_STORE_FORMAT,
+        dest="store_format",
+        help=(
+            "on-disk layout: 'binary' (columnar partitions + packed "
+            "cell heap, the default) or 'json' (CSV partitions + "
+            "JSON cells, the portable interchange format)"
+        ),
+    )
     init.add_argument("--n-dims", type=int, default=5)
     init.add_argument(
         "--fanouts",
@@ -201,6 +217,24 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="catalog, cube, and cache statistics")
     stats.add_argument("store")
 
+    migrate = sub.add_parser(
+        "migrate",
+        help="convert a store between the binary and json layouts in place",
+    )
+    migrate.add_argument("store")
+    migrate.add_argument(
+        "--to",
+        choices=STORE_FORMATS,
+        required=True,
+        dest="target",
+        help="target layout for partitions and any built cube",
+    )
+    migrate.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the per-file round-trip parity verification",
+    )
+
     serve = sub.add_parser(
         "serve", help="serve built cubes over HTTP (JSON slicer API)"
     )
@@ -232,6 +266,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--token",
         default=None,
         help="require 'Authorization: Bearer TOKEN' on every request",
+    )
+    serve.add_argument(
+        "--max-age",
+        type=int,
+        default=60,
+        metavar="SECONDS",
+        help=(
+            "Cache-Control: max-age emitted next to ETags on cacheable "
+            "responses (0 forces revalidation; default 60)"
+        ),
     )
     return parser
 
@@ -271,11 +315,16 @@ def _cmd_init(args: argparse.Namespace) -> int:
             if key in _GENERATOR_KEYS
         }
     store = PartitionedPathStore.init(
-        args.store, schema, partition_size=args.partition_size, extra=extra
+        args.store,
+        schema,
+        partition_size=args.partition_size,
+        extra=extra,
+        store_format=args.store_format,
     )
     print(
         f"initialised {extra['source']} store at {store.directory} "
-        f"(partition size {store.partition_size}, "
+        f"({args.store_format} format, partition size "
+        f"{store.partition_size}, "
         f"fingerprint {store.catalog.fingerprint[:12]})"
     )
     return 0
@@ -418,6 +467,44 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    check = not args.no_check
+    if store.store_format == args.target:
+        print(f"store at {store.directory} is already in {args.target} format")
+        return 0
+    parity = "parity-checked" if check else "unchecked"
+    print(f"migrating {store.directory} to {args.target} ({parity})")
+
+    def partition_progress(done: int, total: int, filename: str) -> None:
+        print(f"  partition {done}/{total}: {filename}", flush=True)
+
+    result = store.migrate_partitions(
+        args.target, progress=partition_progress, check=check
+    )
+    print(
+        f"partitions: {result['partitions']} converted, "
+        f"{result['skipped']} already {args.target}"
+    )
+    cube_store = store.cube_store()
+    if cube_store.is_built:
+        total = cube_store.n_cells()
+        step = max(1, total // 10)
+
+        def cell_progress(done: int, n: int) -> None:
+            if done % step == 0 or done == n:
+                print(f"  cube cells {done}/{n}", flush=True)
+
+        converted = cube_store.convert(
+            args.target, progress=cell_progress, check=check
+        )
+        print(f"cube: {converted} cell(s) converted")
+    else:
+        print("cube: none built, nothing to convert")
+    print(f"done: store format is now {args.target}")
+    return 0
+
+
 def _parse_cube_mounts(entries: list[str]) -> dict[str, str]:
     """``NAME=PATH`` (or bare ``PATH``) entries into a tenant mapping."""
     cubes: dict[str, str] = {}
@@ -445,6 +532,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _parse_cube_mounts(args.cubes),
         cache_size=args.cache_size,
         token=args.token,
+        max_age=args.max_age,
     )
 
     def ready(address: tuple[str, int]) -> None:
@@ -477,6 +565,7 @@ _COMMANDS = {
     "build": _cmd_build,
     "query": _cmd_query,
     "stats": _cmd_stats,
+    "migrate": _cmd_migrate,
     "serve": _cmd_serve,
 }
 

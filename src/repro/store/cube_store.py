@@ -1,21 +1,34 @@
 """The lazy on-disk flowcube store.
 
-A :class:`CubeStore` persists a materialised flowcube *cell by cell*::
+A :class:`CubeStore` persists a materialised flowcube *cell by cell*,
+in one of two on-disk backends selected per store:
+
+``"binary"`` (the default for new cubes)::
 
     cube/
-      cube.json               δ/ε, the path lattice, and the cell index
+      cube.json               δ/ε, the path lattice, build provenance
+      cells.bin               packed heap: length-prefixed cell payloads
+      cells.idx               columnar key/offset index (binfmt codec)
+
+``"json"`` (the portable interchange layout)::
+
+    cube/
+      cube.json               ... plus the full cell index inline
       cells/
         cell-000000.json      one cell: coordinates + flowgraph payload
-        cell-000001.json
         ...
 
-Cells are serialised with
-:func:`~repro.core.serialization.flowgraph_to_dict`, so everything the
-in-memory cube knows — raw counts, (ε, δ) exceptions, redundancy marks —
-survives on disk.  A cell's flowgraph is only *materialised* (parsed and
-rebuilt) when a query first touches it; the store fronts every read with a
-bounded :class:`~repro.store.cache.LRUCache` whose hit/miss/eviction
-counters make serving behaviour observable.
+Both backends store the *same* JSON cell payload (serialised with
+:func:`~repro.core.serialization.flowgraph_to_dict`) — the binary heap
+merely concatenates the payloads behind an mmap and moves the index
+into the packed ``cells.idx`` arena, so opening a million-cell cube
+costs one mmap per store instead of a million stats, and
+``cube_to_json`` output is byte-identical across backends.  A cell's
+flowgraph is only *materialised* (parsed and rebuilt) when a query
+first touches it; the store fronts every read with a bounded
+:class:`~repro.store.cache.LRUCache` whose hit/miss/eviction counters
+make serving behaviour observable.  :meth:`CubeStore.convert` switches
+a built cube between backends in place (``flowcube-store migrate``).
 
 The store exposes the same lookup surface as
 :class:`~repro.core.flowcube.FlowCube` (``cuboid`` / ``cell`` /
@@ -27,7 +40,9 @@ which one it was given.
 from __future__ import annotations
 
 import json
+import mmap
 import os
+import shutil
 import threading
 from collections.abc import Callable, Iterator
 from pathlib import Path as FsPath
@@ -42,15 +57,282 @@ from repro.core.serialization import (
     path_level_to_dict,
 )
 from repro.errors import CubeError, StoreError
+from repro.store import binfmt
+from repro.store.binfmt import HEAP_LENGTH_STRUCT, HEAP_MAGIC
 from repro.store.cache import LRUCache
 
-__all__ = ["CubeStore", "StoredCuboid"]
+__all__ = ["CELL_FORMATS", "CubeStore", "StoredCuboid"]
 
 META_FILENAME = "cube.json"
 CELLS_DIR = "cells"
+HEAP_FILENAME = "cells.bin"
+INDEX_FILENAME = "cells.idx"
+
+#: Cube cell backends; same names as the store-level formats.
+CELL_FORMATS = binfmt.STORE_FORMATS
 
 #: Index coordinates: (item level, path-level id, cell key).
 Coords = tuple[ItemLevel, int, CellKey]
+
+#: An index entry.  The representation is backend-specific —
+#: ``(filename, n_paths, redundant)`` for JSON cells, ``(heap offset,
+#: payload length, n_paths, redundant)`` for the packed heap — but the
+#: last two slots are common, so shared code reads ``entry[-2]``
+#: (n_paths) and ``entry[-1]`` (redundant) without dispatching.
+Entry = tuple
+
+
+class _JsonCells:
+    """One-JSON-file-per-cell backend (the portable interchange layout)."""
+
+    format = "json"
+
+    def __init__(self, directory: FsPath) -> None:
+        self.directory = directory
+        self.n_files = 0
+        #: Precomputed per-cuboid catalog masks; the JSON layout stores
+        #: none, so catalogs are derived from the keys on demand.
+        self.cell_masks: dict = {}
+
+    def begin(self) -> None:
+        """Reset for a fresh build (file numbering restarts at 0)."""
+        self.n_files = 0
+        (self.directory / CELLS_DIR).mkdir(parents=True, exist_ok=True)
+
+    def put(self, payload: dict, n_paths: int, redundant: bool) -> Entry:
+        filename = f"cell-{self.n_files:06d}.json"
+        self.n_files += 1
+        path = self.directory / CELLS_DIR / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return (filename, int(n_paths), bool(redundant))
+
+    def read(self, entry: Entry) -> dict:
+        path = self.directory / CELLS_DIR / entry[0]
+        if not path.exists():
+            raise StoreError(f"cell file {path} is missing")
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def finalise(self, index) -> dict:
+        """Meta-payload contribution; JSON keeps the cell index inline."""
+        cells = []
+        for (item_level, level_id), entries in index.items():
+            for key, entry in entries.items():
+                cells.append(
+                    {
+                        "item_level": list(item_level.levels),
+                        "path_level": level_id,
+                        "key": list(key),
+                        "file": entry[0],
+                        "n_paths": entry[1],
+                        "redundant": entry[2],
+                    }
+                )
+        return {"n_files": self.n_files, "cells": cells}
+
+    def load(self, payload: dict, schema: PathSchema):
+        """Rebuild the index from the inline ``cells`` list."""
+        self.n_files = int(payload.get("n_files", len(payload["cells"])))
+        index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
+        for entry in payload["cells"]:
+            item_level = ItemLevel(entry["item_level"])
+            level_id = int(entry["path_level"])
+            index.setdefault((item_level, level_id), {})[
+                tuple(entry["key"])
+            ] = (
+                entry["file"],
+                int(entry["n_paths"]),
+                bool(entry["redundant"]),
+            )
+        return index
+
+    def close(self) -> None:
+        pass
+
+    def discard_files(self) -> None:
+        cells_dir = self.directory / CELLS_DIR
+        if cells_dir.exists():
+            for stale in cells_dir.glob("cell-*.json"):
+                stale.unlink()
+            try:
+                cells_dir.rmdir()
+            except OSError:
+                pass  # non-cell files present; leave the directory
+
+
+class _HeapCells:
+    """Packed cell heap: one ``cells.bin`` blob + mmap'd ``cells.idx``.
+
+    Writes append length-prefixed payloads to a per-pid staging file
+    (seeded with a copy of the live heap when mutating an already-built
+    cube); :meth:`finalise` renames heap → index → meta-last, so a
+    reader never sees an index pointing past the heap.  Reads go
+    through ``os.pread`` on the staging handle while a build is open,
+    and through one shared read-only mmap afterwards.
+    """
+
+    format = "binary"
+
+    def __init__(self, directory: FsPath, n_dims: int) -> None:
+        self.directory = directory
+        self.n_dims = n_dims
+        self._staging = None
+        self._offset = 0
+        self._mmap: mmap.mmap | None = None
+        self._mmap_file = None
+        #: (item level, path-level id) -> per-dimension catalog masks,
+        #: decoded straight from ``cells.idx`` on load.
+        self.cell_masks: dict = {}
+
+    @property
+    def heap_path(self) -> FsPath:
+        return self.directory / HEAP_FILENAME
+
+    @property
+    def index_path(self) -> FsPath:
+        return self.directory / INDEX_FILENAME
+
+    @property
+    def _staging_path(self) -> FsPath:
+        return self.directory / f"{HEAP_FILENAME}.{os.getpid()}.tmp"
+
+    def begin(self) -> None:
+        """Start a fresh heap in the staging file."""
+        self._drop_mmap()
+        self._abort_staging()
+        self.cell_masks = {}
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._staging = open(self._staging_path, "w+b")
+        self._staging.write(HEAP_MAGIC)
+        self._offset = len(HEAP_MAGIC)
+
+    def _ensure_staging(self) -> None:
+        """Open the staging file, seeding it from the live heap."""
+        if self._staging is not None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.heap_path.exists():
+            shutil.copyfile(self.heap_path, self._staging_path)
+        else:
+            self._staging_path.write_bytes(HEAP_MAGIC)
+        self._staging = open(self._staging_path, "a+b")
+        self._offset = os.path.getsize(self._staging_path)
+
+    def put(self, payload: dict, n_paths: int, redundant: bool) -> Entry:
+        self._ensure_staging()
+        data = json.dumps(payload).encode("utf-8")
+        self._staging.write(HEAP_LENGTH_STRUCT.pack(len(data)))
+        self._staging.write(data)
+        entry = (
+            self._offset + HEAP_LENGTH_STRUCT.size,
+            len(data),
+            int(n_paths),
+            bool(redundant),
+        )
+        self._offset += HEAP_LENGTH_STRUCT.size + len(data)
+        return entry
+
+    def read(self, entry: Entry) -> dict:
+        offset, length = entry[0], entry[1]
+        if self._staging is not None:
+            # Mid-build reads (e.g. a migration parity check) hit the
+            # staging file; pread leaves the append position alone.
+            self._staging.flush()
+            data = os.pread(self._staging.fileno(), length, offset)
+        else:
+            data = self._view()[offset : offset + length]
+        if len(data) != length:
+            raise StoreError(
+                f"cell heap {self.heap_path} is truncated at byte {offset}"
+            )
+        return json.loads(data)
+
+    def _view(self) -> mmap.mmap:
+        if self._mmap is None:
+            if not self.heap_path.exists():
+                raise StoreError(f"cell heap {self.heap_path} is missing")
+            self._mmap_file = open(self.heap_path, "rb")
+            self._mmap = mmap.mmap(
+                self._mmap_file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        return self._mmap
+
+    def finalise(self, index) -> dict:
+        """Write ``cells.idx``, publish the staged heap, return meta fields.
+
+        Rename order — heap, then index, then (by the caller) the meta
+        file — keeps every published index consistent with a heap that
+        already contains its payloads.
+        """
+        def cuboid_rows():
+            for (item_level, level_id), entries in index.items():
+                yield (
+                    item_level.levels,
+                    level_id,
+                    (
+                        (key, e[0], e[1], e[2], e[3])
+                        for key, e in entries.items()
+                    ),
+                )
+
+        blob = binfmt.pack_cell_index(cuboid_rows(), self.n_dims)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self._staging is not None:
+            self._staging.close()
+            self._staging = None
+            self._drop_mmap()
+            os.replace(self._staging_path, self.heap_path)
+        elif not self.heap_path.exists():
+            # An empty cube flushed without a single put still publishes
+            # a (magic-only) heap so the pair of files stays consistent.
+            self._staging_path.write_bytes(HEAP_MAGIC)
+            os.replace(self._staging_path, self.heap_path)
+        index_temp = self.directory / f"{INDEX_FILENAME}.{os.getpid()}.tmp"
+        index_temp.write_bytes(blob)
+        os.replace(index_temp, self.index_path)
+        return {"n_cells": sum(len(entries) for entries in index.values())}
+
+    def load(self, payload: dict, schema: PathSchema):
+        """Rebuild the whole index from ``cells.idx`` — zero heap IO."""
+        self._drop_mmap()
+        self._abort_staging()
+        if not self.index_path.exists():
+            raise StoreError(
+                f"cube meta names the binary backend but {self.index_path} "
+                "is missing"
+            )
+        index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
+        self.cell_masks = {}
+        for levels, level_id, keys, entries, masks in binfmt.unpack_cell_index(
+            self.index_path.read_bytes()
+        ):
+            coords = (ItemLevel(levels), level_id)
+            index[coords] = dict(zip(keys, entries))
+            self.cell_masks[coords] = masks
+        return index
+
+    def close(self) -> None:
+        self._drop_mmap()
+        self._abort_staging()
+
+    def _drop_mmap(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._mmap_file is not None:
+            self._mmap_file.close()
+            self._mmap_file = None
+
+    def _abort_staging(self) -> None:
+        if self._staging is not None:
+            self._staging.close()
+            self._staging = None
+        self._staging_path.unlink(missing_ok=True)
+
+    def discard_files(self) -> None:
+        self.close()
+        self.heap_path.unlink(missing_ok=True)
+        self.index_path.unlink(missing_ok=True)
 
 
 class StoredCuboid:
@@ -67,12 +349,17 @@ class StoredCuboid:
         item_level: ItemLevel,
         path_level: PathLevel,
         keys: tuple[CellKey, ...],
+        value_masks: list[dict[str, int]] | None = None,
     ) -> None:
         self._store = store
         self.item_level = item_level
         self.path_level = path_level
         self._keys = keys
         self._key_set = frozenset(keys)
+        #: Per-dimension ``{value: cell-ordinal bitmap}`` decoded from
+        #: the binary cell index (``None`` when the backend stores
+        #: none); lets key catalogs skip their per-cell index pass.
+        self.value_masks = value_masks
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -105,6 +392,9 @@ class CubeStore:
         schema: The owning store's path schema; path levels in the meta
             file are rebound against ``schema.location`` on load.
         cache_size: LRU capacity, in cells.
+        cell_format: Backend for cubes *created* through this handle
+            (``"binary"`` or ``"json"``); defaults to binary.  Opening
+            an existing cube always adopts its on-disk format.
     """
 
     def __init__(
@@ -112,7 +402,13 @@ class CubeStore:
         directory: FsPath | str,
         schema: PathSchema,
         cache_size: int = 128,
+        cell_format: str = binfmt.DEFAULT_STORE_FORMAT,
     ) -> None:
+        if cell_format not in CELL_FORMATS:
+            raise StoreError(
+                f"unknown cell format {cell_format!r}; "
+                f"expected one of {CELL_FORMATS}"
+            )
         self.directory = FsPath(directory)
         self.schema = schema
         self.min_support: float | None = None
@@ -121,10 +417,11 @@ class CubeStore:
         #: :meth:`BuildStats.as_dict` snapshot of the build that produced
         #: the persisted cube, when the builder passed one to :meth:`flush`.
         self.build_stats: dict | None = None
+        self._default_format = cell_format
+        self._cells: _JsonCells | _HeapCells = self._make_backend(cell_format)
         self._cache: LRUCache = LRUCache(cache_size)
         #: (item level, path-level id) -> {cell key -> index entry}.
-        self._index: dict[tuple[ItemLevel, int], dict[CellKey, dict]] = {}
-        self._n_files = 0
+        self._index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
         #: Bumped on every index mutation; memoised views (the ``cuboids``
         #: tuple here, key catalogs and cached answers in the query layer)
         #: key off it to invalidate.
@@ -140,8 +437,14 @@ class CubeStore:
         #: :meth:`maybe_reload` compares against disk to notice rebuilds
         #: flushed by *other* processes (e.g. the CLI under a server).
         self._meta_signature: tuple[int, int] | None = None
-        if (self.directory / META_FILENAME).exists():
-            self._load_meta()
+        signature, text = self._read_meta()
+        if text is not None:
+            self._load_meta(signature, text)
+
+    def _make_backend(self, cell_format: str) -> _JsonCells | _HeapCells:
+        if cell_format == "binary":
+            return _HeapCells(self.directory, self.schema.n_dimensions)
+        return _JsonCells(self.directory)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -150,6 +453,11 @@ class CubeStore:
     def is_built(self) -> bool:
         """Whether a build has ever written (and flushed) into this store."""
         return self.path_lattice is not None
+
+    @property
+    def cell_format(self) -> str:
+        """The active cell backend, ``"binary"`` or ``"json"``."""
+        return self._cells.format
 
     def _bump_version(self) -> None:
         """Advance the mutation counter and push it to every subscriber."""
@@ -175,8 +483,14 @@ class CubeStore:
         path_lattice: PathLattice,
         min_support: float,
         min_deviation: float,
+        cell_format: str | None = None,
     ) -> "CubeStore":
-        """Start a fresh cube, discarding any previously indexed cells."""
+        """Start a fresh cube, discarding any previously indexed cells.
+
+        Args:
+            cell_format: Backend for the new cube; defaults to the
+                handle's configured format.
+        """
         with self._lock:
             self.path_lattice = path_lattice
             self.min_support = min_support
@@ -184,13 +498,19 @@ class CubeStore:
             self.build_stats = None
             self._index.clear()
             self._cache.clear()
-            self._n_files = 0
-            cells_dir = self.directory / CELLS_DIR
-            cells_dir.mkdir(parents=True, exist_ok=True)
-            # A rebuild restarts file numbering at 0; drop the previous
-            # build's files so a smaller cube leaves no orphans behind.
-            for stale in cells_dir.glob("cell-*.json"):
-                stale.unlink()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # A rebuild drops the previous build's files — of *both*
+            # backends, so switching formats leaves no orphans behind.
+            self._cells.close()
+            for backend in (
+                _JsonCells(self.directory),
+                _HeapCells(self.directory, self.schema.n_dimensions),
+            ):
+                backend.discard_files()
+            self._cells = self._make_backend(
+                cell_format or self._default_format
+            )
+            self._cells.begin()
             self._bump_version()
         return self
 
@@ -210,8 +530,6 @@ class CubeStore:
         with self._lock:
             lattice = self._require_built()
             level_id = lattice.index_of(cell.path_level)
-            filename = f"cell-{self._n_files:06d}.json"
-            self._n_files += 1
             payload = {
                 "key": list(cell.key),
                 "item_level": list(cell.item_level.levels),
@@ -220,14 +538,7 @@ class CubeStore:
                 "redundant": cell.redundant,
                 "flowgraph": flowgraph_to_dict(cell.flowgraph),
             }
-            path = self.directory / CELLS_DIR / filename
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(payload), encoding="utf-8")
-            entry = {
-                "file": filename,
-                "n_paths": cell.n_paths,
-                "redundant": cell.redundant,
-            }
+            entry = self._cells.put(payload, cell.n_paths, cell.redundant)
             self._index.setdefault(
                 (cell.item_level, level_id), {}
             )[cell.key] = entry
@@ -239,7 +550,7 @@ class CubeStore:
             self.put_cell(cell)
 
     def flush(self, build_stats=None) -> None:
-        """Write the meta file (index + lattice + thresholds) atomically.
+        """Publish the build: cell data first, then the meta file, atomically.
 
         Args:
             build_stats: Optional :class:`~repro.store.builder.BuildStats`
@@ -250,28 +561,17 @@ class CubeStore:
         """
         with self._lock:
             lattice = self._require_built()
-            cells = []
-            for (item_level, level_id), entries in self._index.items():
-                for key, entry in entries.items():
-                    cells.append(
-                        {
-                            "item_level": list(item_level.levels),
-                            "path_level": level_id,
-                            "key": list(key),
-                            **entry,
-                        }
-                    )
             if build_stats is not None:
                 self.build_stats = build_stats.as_dict()
             payload = {
+                "format": self._cells.format,
                 "min_support": self.min_support,
                 "min_deviation": self.min_deviation,
                 "path_lattice": [
                     path_level_to_dict(level) for level in lattice
                 ],
-                "n_files": self._n_files,
-                "cells": cells,
             }
+            payload.update(self._cells.finalise(self._index))
             if self.build_stats is not None:
                 payload["build_stats"] = self.build_stats
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -279,43 +579,70 @@ class CubeStore:
             temp = self.directory / (
                 f"{META_FILENAME}.{os.getpid()}.tmp"
             )
-            temp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=1))
+                handle.flush()
+                # The signature must describe *this* write: fstat the
+                # temp file before the rename (both survive it) rather
+                # than stat the destination after, where a concurrent
+                # flush could already have replaced it again.
+                stat = os.fstat(handle.fileno())
             temp.replace(meta)
-            self._meta_signature = self._stat_meta()
+            self._meta_signature = (stat.st_mtime_ns, stat.st_size)
             self._bump_version()
 
-    def _stat_meta(self) -> tuple[int, int] | None:
-        """(mtime_ns, size) of the on-disk meta file, or ``None``."""
-        try:
-            stat = os.stat(self.directory / META_FILENAME)
-        except OSError:
-            return None
-        return (stat.st_mtime_ns, stat.st_size)
+    def _read_meta(self) -> tuple[tuple[int, int] | None, str | None]:
+        """One atomic read of the meta file: ``(signature, text)``.
 
-    def _load_meta(self) -> None:
+        Opening once and taking ``fstat`` + the content from the same
+        file descriptor pins both to a single inode — a concurrent
+        ``os.replace`` by another process can swap the directory entry
+        between the two syscalls without desynchronising them (the old
+        per-field ``stat``-then-``read_text`` pair could pair one
+        build's signature with another's content).
+        """
+        try:
+            fd = os.open(self.directory / META_FILENAME, os.O_RDONLY)
+        except OSError:
+            return None, None
+        try:
+            stat = os.fstat(fd)
+            chunks = []
+            while True:
+                chunk = os.read(fd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            os.close(fd)
+        signature = (stat.st_mtime_ns, stat.st_size)
+        return signature, b"".join(chunks).decode("utf-8")
+
+    def _load_meta(
+        self,
+        signature: tuple[int, int] | None = None,
+        text: str | None = None,
+    ) -> None:
         with self._lock:
-            path = self.directory / META_FILENAME
-            self._meta_signature = self._stat_meta()
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            if text is None:
+                signature, text = self._read_meta()
+                if text is None:
+                    raise StoreError(
+                        f"no cube meta at {self.directory / META_FILENAME}"
+                    )
+            self._meta_signature = signature
+            payload = json.loads(text)
             self.min_support = payload["min_support"]
             self.min_deviation = payload["min_deviation"]
             self.path_lattice = PathLattice(
                 path_level_from_dict(level, self.schema.location)
                 for level in payload["path_lattice"]
             )
-            self._n_files = int(payload.get("n_files", len(payload["cells"])))
             self.build_stats = payload.get("build_stats")
-            self._index.clear()
+            self._cells.close()
+            self._cells = self._make_backend(payload.get("format", "json"))
             self._cache.clear()
-            for entry in payload["cells"]:
-                item_level = ItemLevel(entry["item_level"])
-                level_id = int(entry["path_level"])
-                key = tuple(entry["key"])
-                self._index.setdefault((item_level, level_id), {})[key] = {
-                    "file": entry["file"],
-                    "n_paths": int(entry["n_paths"]),
-                    "redundant": bool(entry["redundant"]),
-                }
+            self._index = self._cells.load(payload, self.schema)
             self._bump_version()
 
     def maybe_reload(self) -> bool:
@@ -324,16 +651,79 @@ class CubeStore:
         A long-lived server holds its handle open while CLI invocations
         may rebuild the cube underneath it; comparing the meta file's
         ``(mtime_ns, size)`` signature against the one last seen detects
-        that cheaply (one ``stat``).  Reloading bumps :attr:`version`, so
-        every subscribed cache invalidates.  Returns whether a reload
-        happened.
+        that cheaply.  The signature and the content are taken from one
+        file descriptor (:meth:`_read_meta`), so the comparison and the
+        subsequent parse always describe the same on-disk build.
+        Reloading bumps :attr:`version`, so every subscribed cache
+        invalidates.  Returns whether a reload happened.
         """
         with self._lock:
-            on_disk = self._stat_meta()
-            if on_disk is None or on_disk == self._meta_signature:
+            signature, text = self._read_meta()
+            if text is None or signature == self._meta_signature:
                 return False
-            self._load_meta()
+            self._load_meta(signature, text)
             return True
+
+    # ------------------------------------------------------------------
+    # format conversion
+    # ------------------------------------------------------------------
+    def convert(
+        self,
+        cell_format: str,
+        progress=None,
+        check: bool = True,
+    ) -> int:
+        """Rewrite the built cube's cells in *cell_format*, in place.
+
+        Every payload is read through the current backend and appended
+        through the target one; with *check* on, each payload is read
+        back from the new backend and compared before the old files are
+        dropped.  The meta file is republished last, so a crash leaves
+        the previous build intact and readable.
+
+        Args:
+            cell_format: ``"binary"`` or ``"json"``.
+            progress: Optional ``callback(done, total)`` fired per cell.
+            check: Verify every payload round-trips identically.
+
+        Returns:
+            The number of cells converted (0 when already in the target
+            format).
+        """
+        with self._lock:
+            self._require_built()
+            if cell_format not in CELL_FORMATS:
+                raise StoreError(
+                    f"unknown cell format {cell_format!r}; "
+                    f"expected one of {CELL_FORMATS}"
+                )
+            old = self._cells
+            if old.format == cell_format:
+                return 0
+            new = self._make_backend(cell_format)
+            new.begin()
+            total = self.n_cells()
+            done = 0
+            new_index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
+            for coords, entries in self._index.items():
+                fresh: dict[CellKey, Entry] = {}
+                for key, entry in entries.items():
+                    payload = old.read(entry)
+                    fresh[key] = new.put(payload, entry[-2], entry[-1])
+                    if check and new.read(fresh[key]) != payload:
+                        raise StoreError(
+                            f"conversion parity check failed for cell {key!r}"
+                        )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                new_index[coords] = fresh
+            self._index = new_index
+            self._cells = new
+            self._cache.clear()
+            self.flush()
+            old.discard_files()
+            return done
 
     # ------------------------------------------------------------------
     # reads (cache-fronted, lazily materialising)
@@ -369,12 +759,9 @@ class CubeStore:
         item_level: ItemLevel,
         path_level: PathLevel,
         key: CellKey,
-        entry: dict,
+        entry: Entry,
     ) -> Cell:
-        path = self.directory / CELLS_DIR / entry["file"]
-        if not path.exists():
-            raise StoreError(f"cell file {path} is missing")
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload = self._cells.read(entry)
         return Cell(
             key=key,
             item_level=item_level,
@@ -393,12 +780,19 @@ class CubeStore:
         self, item_level: ItemLevel, path_level: PathLevel
     ) -> StoredCuboid:
         lattice = self._require_built()
-        entries = self._index.get((item_level, lattice.index_of(path_level)))
+        coords = (item_level, lattice.index_of(path_level))
+        entries = self._index.get(coords)
         if entries is None:
             raise CubeError(
                 f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
             )
-        return StoredCuboid(self, item_level, path_level, tuple(entries))
+        return StoredCuboid(
+            self,
+            item_level,
+            path_level,
+            tuple(entries),
+            value_masks=self._cells.cell_masks.get(coords),
+        )
 
     @property
     def version(self) -> int:
@@ -427,7 +821,7 @@ class CubeStore:
             raise CubeError(
                 f"cuboid ⟨{item_level.levels!r}, ...⟩ is not materialised"
             )
-        return {key: entry["n_paths"] for key, entry in entries.items()}
+        return {key: entry[-2] for key, entry in entries.items()}
 
     @property
     def cuboids(self) -> tuple[StoredCuboid, ...]:
@@ -438,7 +832,13 @@ class CubeStore:
                 return cached[1]
             cuboids = tuple(
                 StoredCuboid(
-                    self, item_level, lattice[level_id], tuple(entries)
+                    self,
+                    item_level,
+                    lattice[level_id],
+                    tuple(entries),
+                    value_masks=self._cells.cell_masks.get(
+                        (item_level, level_id)
+                    ),
                 )
                 for (item_level, level_id), entries in self._index.items()
             )
@@ -505,6 +905,7 @@ class CubeStore:
         """Summary statistics for reporting."""
         out: dict[str, object] = {
             "built": self.is_built,
+            "format": self.cell_format,
             "cuboids": len(self._index),
             "cells": self.n_cells(),
             "min_support": self.min_support,

@@ -1,8 +1,13 @@
 """Partition files of the on-disk path store.
 
 A partitioned store splits a :class:`~repro.core.path_database.PathDatabase`
-into size-bounded *partitions*, each persisted as one CSV file (the
-interchange format of :meth:`PathDatabase.to_csv`).  Every partition
+into size-bounded *partitions*, each persisted as one file in the
+store's format — a columnar binary blob (``part-XXXXX.bin``, see
+:mod:`repro.store.binfmt`) for ``"binary"`` stores, or a CSV file
+(``part-XXXXX.csv``, the portable interchange format of
+:meth:`PathDatabase.to_csv`) for ``"json"`` stores.
+:func:`write_partition` / :func:`read_partition` dispatch on the file
+suffix, so mixed stores mid-migration stay readable.  Every partition
 carries a :class:`PartitionMeta` catalog entry holding
 
 * the row count and the (min, max) record-id range, and
@@ -26,15 +31,20 @@ from pathlib import Path as FsPath
 
 from repro.core.path_database import PathDatabase, PathSchema
 from repro.errors import StoreError
+from repro.store.binfmt import pack_partition, unpack_partition
 
 __all__ = [
     "BloomSummary",
     "PartitionMeta",
     "LOCATION_SUMMARY",
+    "partition_filename",
     "summarise_partition",
     "write_partition",
     "read_partition",
 ]
+
+#: File suffix per store format (``"binary"`` / ``"json"``).
+_FORMAT_SUFFIXES = {"binary": ".bin", "json": ".csv"}
 
 #: Summary key used for the stage-location column (dimension summaries are
 #: keyed ``dim:<name>`` so a dimension literally named "location" cannot
@@ -161,14 +171,27 @@ def summarise_partition(database: PathDatabase) -> dict[str, BloomSummary]:
     return summaries
 
 
+def partition_filename(partition_id: int, store_format: str) -> str:
+    """The canonical partition filename for *store_format*."""
+    suffix = _FORMAT_SUFFIXES.get(store_format)
+    if suffix is None:
+        raise StoreError(f"unknown store format {store_format!r}")
+    return f"part-{partition_id:05d}{suffix}"
+
+
 def write_partition(path: FsPath, database: PathDatabase) -> None:
-    """Persist one partition's rows as a CSV file."""
+    """Persist one partition, binary (``.bin``) or CSV by suffix."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(database.to_csv(), encoding="utf-8")
+    if path.suffix == ".bin":
+        path.write_bytes(pack_partition(database))
+    else:
+        path.write_text(database.to_csv(), encoding="utf-8")
 
 
 def read_partition(path: FsPath, schema: PathSchema) -> PathDatabase:
     """Load one partition file back into a :class:`PathDatabase`."""
     if not path.exists():
         raise StoreError(f"partition file {path} is missing")
+    if path.suffix == ".bin":
+        return unpack_partition(path.read_bytes(), schema)
     return PathDatabase.from_csv(schema, path.read_text(encoding="utf-8"))

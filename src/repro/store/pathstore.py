@@ -3,11 +3,11 @@
 A :class:`PartitionedPathStore` is a directory::
 
     store/
-      catalog.json            schema + fingerprint + partition registry
+      catalog.json            schema + fingerprint + format + partitions
       partitions/
-        part-00000.csv        <= partition_size rows each
-        part-00001.csv
-        ...
+        part-00000.bin        <= partition_size rows each; columnar
+        part-00001.bin           binary (default) or ``.csv`` for
+        ...                      ``"json"``-format stores
       cube/                   (optional) the persisted flowcube, see
         ...                   :mod:`repro.store.cube_store`
 
@@ -32,10 +32,12 @@ from repro.core.incremental import append_batch
 from repro.core.path import PathRecord
 from repro.core.path_database import PathDatabase, PathSchema
 from repro.errors import StoreError
+from repro.store.binfmt import DEFAULT_STORE_FORMAT, STORE_FORMATS
 from repro.store.catalog import Catalog, schema_fingerprint
 from repro.store.partition import (
     LOCATION_SUMMARY,
     PartitionMeta,
+    partition_filename,
     read_partition,
     summarise_partition,
     write_partition,
@@ -47,7 +49,7 @@ PARTITIONS_DIR = "partitions"
 
 
 class PartitionedPathStore:
-    """A path database persisted as size-bounded CSV partitions."""
+    """A path database persisted as size-bounded partition files."""
 
     def __init__(self, directory: FsPath, catalog: Catalog) -> None:
         self.directory = FsPath(directory)
@@ -63,12 +65,19 @@ class PartitionedPathStore:
         schema: PathSchema,
         partition_size: int = 512,
         extra: dict | None = None,
+        store_format: str = DEFAULT_STORE_FORMAT,
     ) -> "PartitionedPathStore":
         """Create an empty store at *directory* (which must not have one)."""
         directory = FsPath(directory)
         if (directory / "catalog.json").exists():
             raise StoreError(f"a store already exists at {directory}")
-        catalog = Catalog(directory, schema, partition_size, extra=extra)
+        catalog = Catalog(
+            directory,
+            schema,
+            partition_size,
+            extra=extra,
+            store_format=store_format,
+        )
         catalog.save()
         return cls(directory, catalog)
 
@@ -88,6 +97,11 @@ class PartitionedPathStore:
     @property
     def partition_size(self) -> int:
         return self.catalog.partition_size
+
+    @property
+    def store_format(self) -> str:
+        """The catalog's storage format, ``"binary"`` or ``"json"``."""
+        return self.catalog.store_format
 
     def __len__(self) -> int:
         return self.catalog.total_records
@@ -148,7 +162,9 @@ class PartitionedPathStore:
             partition_id = self.catalog.next_partition_id()
             meta = PartitionMeta(
                 partition_id=partition_id,
-                filename=f"part-{partition_id:05d}.csv",
+                filename=partition_filename(
+                    partition_id, self.catalog.store_format
+                ),
                 n_records=len(chunk),
                 min_record_id=chunk[0].record_id,
                 max_record_id=chunk[-1].record_id,
@@ -256,6 +272,72 @@ class PartitionedPathStore:
         return selected
 
     # ------------------------------------------------------------------
+    # format migration
+    # ------------------------------------------------------------------
+    def migrate_partitions(
+        self,
+        store_format: str,
+        progress=None,
+        check: bool = True,
+    ) -> dict[str, int]:
+        """Convert every partition file to *store_format* in place.
+
+        Each partition is decoded with its current codec, re-encoded with
+        the target one, and — with *check* on — read back and compared
+        via the CSV interchange rendering before the old file is removed
+        (a failed parity check aborts with both files intact).  The
+        catalog is saved after every converted partition — before the
+        old file is unlinked — so a crash mid-migration leaves a
+        readable mixed-suffix store that a rerun finishes; the format
+        flag itself flips in one final save.
+
+        Args:
+            store_format: ``"binary"`` or ``"json"``.
+            progress: Optional ``callback(done, total, filename)`` fired
+                after each converted partition.
+            check: Verify the round-trip before deleting the original.
+
+        Returns:
+            ``{"partitions": <converted count>, "skipped": <already in
+            the target format>}``.
+        """
+        if store_format not in STORE_FORMATS:
+            raise StoreError(
+                f"unknown store format {store_format!r}; "
+                f"expected one of {STORE_FORMATS}"
+            )
+        total = len(self.catalog.partitions)
+        converted = skipped = 0
+        for meta in self.catalog.partitions:
+            target = partition_filename(meta.partition_id, store_format)
+            if meta.filename == target:
+                skipped += 1
+                continue
+            old_path = self._partition_path(meta)
+            database = read_partition(old_path, self.schema)
+            new_path = self.directory / PARTITIONS_DIR / target
+            write_partition(new_path, database)
+            if check:
+                replica = read_partition(new_path, self.schema)
+                if replica.to_csv() != database.to_csv():
+                    new_path.unlink(missing_ok=True)
+                    raise StoreError(
+                        f"migration parity check failed for {meta.filename}"
+                    )
+            meta.filename = target
+            # Persist before dropping the original: a crash here leaves
+            # at worst an orphan old-suffix file, never a catalog entry
+            # pointing at a deleted partition.
+            self.catalog.save()
+            old_path.unlink()
+            converted += 1
+            if progress is not None:
+                progress(converted + skipped, total, target)
+        self.catalog.store_format = store_format
+        self.catalog.save()
+        return {"partitions": converted, "skipped": skipped}
+
+    # ------------------------------------------------------------------
     # the cube side of the store
     # ------------------------------------------------------------------
     def cube_store(self, cache_size: int = 128):
@@ -263,12 +345,16 @@ class PartitionedPathStore:
 
         The cube lives under ``<store>/cube``; it is empty until a build
         writes into it (``flowcube-store build`` or
-        :func:`repro.store.builder.build_cube` with ``into=``).
+        :func:`repro.store.builder.build_cube` with ``into=``).  New
+        cubes are written in the catalog's storage format.
         """
         from repro.store.cube_store import CubeStore
 
         return CubeStore(
-            self.directory / "cube", self.schema, cache_size=cache_size
+            self.directory / "cube",
+            self.schema,
+            cache_size=cache_size,
+            cell_format=self.catalog.store_format,
         )
 
     def describe(self) -> dict[str, object]:

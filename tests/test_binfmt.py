@@ -1,0 +1,468 @@
+"""The binary storage backend: codecs, cell heap, migration, parity.
+
+Four contracts:
+
+* **codec round-trips** (hypothesis): the columnar partition codec
+  agrees with the CSV interchange round-trip on adversarial values —
+  unicode, the path column's own separators (``|``, ``:``, ``\\``),
+  and string blobs whose byte length is not a multiple of eight (the
+  full-buffer-``cast('q')`` bug class) — and the cell-index codec is
+  an exact fixed point for arbitrary cuboid layouts including empty
+  cuboids and empty indexes;
+* **byte-identical cubes**: ``cube_to_json`` of a cube built from a
+  binary store equals the one built from a JSON/CSV store, across
+  engine × kernel × jobs;
+* **in-place migration**: ``flowcube-store migrate`` converts
+  partitions and cells both ways, parity-checked, leaving no orphan
+  files;
+* **read behaviour over the heap**: the LRU fronts binary cells the
+  same way it fronts JSON cell files, and ``maybe_reload`` notices a
+  cross-handle rebuild through the single-read meta signature.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import ConceptHierarchy
+from repro.core.path import Path, PathRecord
+from repro.core.path_database import PathDatabase, PathSchema
+from repro.core.serialization import cube_to_json
+from repro.core.stage import Stage
+from repro.errors import StoreError
+from repro.store import CubeStore, PartitionedPathStore, build_cube
+from repro.store.binfmt import (
+    INDEX_MAGIC,
+    ORDER_TAG,
+    pack_cell_index,
+    pack_partition,
+    unpack_cell_index,
+    unpack_partition,
+)
+from repro.store.cli import main
+
+# ----------------------------------------------------------------------
+# partition codec (hypothesis)
+# ----------------------------------------------------------------------
+
+# Unicode of every width (so the UTF-8 blob length is rarely a multiple
+# of eight) plus the path column's own separator characters.
+_TEXT = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\r"),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s != "*")
+_SEPARATORS = st.sampled_from(
+    ["a|b", "c:d", "e\\f", "naïve", "ブランド", "🛒", "\\", "|", ":", "::"]
+)
+_VALUE = st.one_of(_TEXT, _SEPARATORS)
+_DURATION = st.floats(
+    min_value=0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def binary_databases(draw):
+    """A small database stressing interning, unicode, and alignment."""
+    n_dims = draw(st.integers(min_value=1, max_value=3))
+    dim_values = draw(st.lists(_VALUE, min_size=1, max_size=4, unique=True))
+    locations = draw(st.lists(_VALUE, min_size=1, max_size=4, unique=True))
+    schema = PathSchema(
+        dimensions=tuple(
+            ConceptHierarchy.flat(f"d{i}", dim_values) for i in range(n_dims)
+        ),
+        location=ConceptHierarchy.flat("location", locations),
+        duration=ConceptHierarchy.flat("duration", ["0", "1"]),
+    )
+    records = []
+    for record_id in range(1, draw(st.integers(min_value=0, max_value=5)) + 1):
+        dims = tuple(
+            draw(st.sampled_from(dim_values)) for _ in range(n_dims)
+        )
+        stages = [
+            Stage(draw(st.sampled_from(locations)), draw(_DURATION))
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+        records.append(PathRecord(record_id, dims, Path(stages)))
+    return PathDatabase(schema, records)
+
+
+@given(binary_databases())
+@settings(max_examples=60, deadline=None)
+def test_partition_codec_agrees_with_csv_roundtrip(database):
+    # The contract: decoding pack_partition's blob yields exactly what
+    # writing and re-reading the CSV interchange format yields (which
+    # floats every duration), so the two partition layouts are
+    # interchangeable underneath the store.
+    via_csv = PathDatabase.from_csv(database.schema, database.to_csv())
+    via_binary = unpack_partition(pack_partition(database), database.schema)
+    assert list(via_binary) == list(via_csv)
+    assert via_binary.to_csv() == via_csv.to_csv()
+    # Packing is deterministic and a fixed point over its own decode.
+    assert pack_partition(via_binary) == pack_partition(via_csv)
+
+
+def test_partition_codec_rejects_garbage_and_foreign_endianness():
+    database = PathDatabase(
+        PathSchema(
+            dimensions=(ConceptHierarchy.flat("d0", ["x"]),),
+            location=ConceptHierarchy.flat("location", ["a"]),
+            duration=ConceptHierarchy.flat("duration", ["0"]),
+        ),
+        [PathRecord(1, ("x",), Path([Stage("a", 1.0)]))],
+    )
+    blob = pack_partition(database)
+    with pytest.raises(StoreError):
+        unpack_partition(b"not a partition", database.schema)
+    with pytest.raises(StoreError):
+        unpack_partition(blob[:40], database.schema)  # truncated header
+    # Byte-swap the ORDER_TAG word: a foreign-endian file must be
+    # rejected, not silently mis-decoded.
+    swapped = bytearray(blob)
+    swapped[8:16] = blob[8:16][::-1]
+    with pytest.raises(StoreError):
+        unpack_partition(bytes(swapped), database.schema)
+
+
+# ----------------------------------------------------------------------
+# cell-index codec (hypothesis)
+# ----------------------------------------------------------------------
+
+_KEY_PART = st.one_of(st.just("*"), _VALUE)
+
+
+@st.composite
+def cell_indexes(draw):
+    """(cuboids, n_dims) for the index codec, empty cuboids included."""
+    n_dims = draw(st.integers(min_value=0, max_value=3))
+    cuboids = []
+    offset = 8
+    for level_id in range(draw(st.integers(min_value=0, max_value=3))):
+        item_level = tuple(
+            draw(st.integers(min_value=0, max_value=4)) for _ in range(n_dims)
+        )
+        cells = []
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            key = tuple(draw(_KEY_PART) for _ in range(n_dims))
+            length = draw(st.integers(min_value=0, max_value=1 << 20))
+            cells.append(
+                (
+                    key,
+                    offset,
+                    length,
+                    draw(st.integers(min_value=0, max_value=1 << 40)),
+                    draw(st.booleans()),
+                )
+            )
+            offset += 8 + length
+        cuboids.append((item_level, level_id, cells))
+    return cuboids, n_dims
+
+
+@given(cell_indexes())
+@settings(max_examples=60, deadline=None)
+def test_cell_index_codec_is_a_fixed_point(case):
+    cuboids, n_dims = case
+    blob = pack_cell_index(cuboids, n_dims)
+    decoded = unpack_cell_index(blob)
+    assert len(decoded) == len(cuboids)
+    for (item_level, level_id, cells), got in zip(cuboids, decoded):
+        got_levels, got_level_id, got_keys, got_entries, got_masks = got
+        assert got_levels == item_level
+        assert got_level_id == level_id
+        assert got_keys == [cell[0] for cell in cells]
+        assert got_entries == [
+            (cell[1], cell[2], cell[3], cell[4]) for cell in cells
+        ]
+        # The precomputed catalog masks are exactly what a per-cell
+        # index pass over the keys would produce.
+        expected: list[dict[str, int]] = [{} for _ in range(n_dims)]
+        for ordinal, key in enumerate(got_keys):
+            for dim, value in enumerate(key):
+                expected[dim][value] = expected[dim].get(value, 0) | (
+                    1 << ordinal
+                )
+        assert got_masks == expected
+    # Deterministic encode.
+    assert pack_cell_index(cuboids, n_dims) == blob
+
+
+def test_cell_index_rejects_corruption():
+    blob = pack_cell_index(
+        [((0,), 0, [(("a",), 8, 4, 2, False)])], 1
+    )
+    assert blob[:8] == INDEX_MAGIC
+    with pytest.raises(StoreError):
+        unpack_cell_index(blob[: len(blob) - 8])
+    with pytest.raises(StoreError):
+        unpack_cell_index(b"FCWRONG!" + blob[8:])
+    swapped = bytearray(blob)
+    swapped[8:16] = blob[8:16][::-1]
+    assert int.from_bytes(blob[8:16], "little") == ORDER_TAG
+    with pytest.raises(StoreError):
+        unpack_cell_index(bytes(swapped))
+
+
+# ----------------------------------------------------------------------
+# byte-identical cubes across formats × engine × kernel × jobs
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def example_database():
+    from repro.core.path_database import example_path_database
+
+    return example_path_database()
+
+
+@pytest.mark.parametrize("engine", ["rollup", "direct"])
+@pytest.mark.parametrize("kernel", ["bitmap", "scan"])
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_cube_json_identical_across_formats(
+    tmp_path, example_database, engine, kernel, jobs
+):
+    rendered = {}
+    for store_format in ("binary", "json"):
+        directory = tmp_path / store_format
+        store = PartitionedPathStore.init(
+            directory,
+            example_database.schema,
+            partition_size=3,
+            store_format=store_format,
+        )
+        store.ingest(example_database)
+        build_cube(
+            store,
+            min_support=0.25,
+            min_deviation=2.0,
+            into=store.cube_store(),
+            engine=engine,
+            kernel=kernel,
+            jobs=jobs,
+        )
+        cold = PartitionedPathStore.open(directory).cube_store()
+        assert cold.cell_format == store_format
+        rendered[store_format] = cube_to_json(cold)
+    assert rendered["binary"] == rendered["json"]
+
+
+# ----------------------------------------------------------------------
+# in-place migration
+# ----------------------------------------------------------------------
+
+def _file_names(directory):
+    return sorted(p.name for p in directory.iterdir()) if directory.exists() else []
+
+
+def test_migrate_cli_round_trip(tmp_path, capsys, example_database):
+    target = str(tmp_path / "wh")
+    assert main(["init", target, "--example", "--partition-size", "3",
+                 "--format", "json"]) == 0
+    assert main(["ingest", target, "--example"]) == 0
+    assert main(["build", target, "--min-support", "0.25",
+                 "--min-deviation", "2.0"]) == 0
+    store = PartitionedPathStore.open(target)
+    baseline = cube_to_json(store.cube_store())
+    capsys.readouterr()
+
+    assert main(["migrate", target, "--to", "binary"]) == 0
+    output = capsys.readouterr().out
+    assert "partition" in output and "cube" in output and "binary" in output
+    migrated = PartitionedPathStore.open(target)
+    assert migrated.store_format == "binary"
+    assert all(
+        name.endswith(".bin")
+        for name in _file_names(tmp_path / "wh" / "partitions")
+    )
+    cube_dir = tmp_path / "wh" / "cube"
+    names = _file_names(cube_dir)
+    assert "cells.bin" in names and "cells.idx" in names
+    assert not list((cube_dir / "cells").glob("*.json")) if (
+        cube_dir / "cells"
+    ).exists() else True
+    assert cube_to_json(migrated.cube_store()) == baseline
+
+    # Migrating an already-binary store is a cheap no-op.
+    assert main(["migrate", target, "--to", "binary"]) == 0
+    assert "already" in capsys.readouterr().out
+
+    # And back: the portable layout returns, still byte-identical.
+    assert main(["migrate", target, "--to", "json"]) == 0
+    back = PartitionedPathStore.open(target)
+    assert back.store_format == "json"
+    assert all(
+        name.endswith(".csv")
+        for name in _file_names(tmp_path / "wh" / "partitions")
+    )
+    names = _file_names(cube_dir)
+    assert "cells.bin" not in names and "cells.idx" not in names
+    assert cube_to_json(back.cube_store()) == baseline
+
+
+def test_migration_survives_mixed_suffix_stores(tmp_path, example_database):
+    # A store interrupted mid-migration has partitions in both formats;
+    # reads dispatch per file, and a rerun finishes the job.
+    store = PartitionedPathStore.init(
+        tmp_path / "s",
+        example_database.schema,
+        partition_size=2,
+        store_format="json",
+    )
+    store.ingest(example_database)
+    before = store.load_all().to_csv()
+
+    calls = []
+
+    def interrupt(done, total, filename):
+        calls.append(filename)
+        if done == 2:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        store.migrate_partitions("binary", progress=interrupt)
+    reopened = PartitionedPathStore.open(tmp_path / "s")
+    suffixes = {
+        name[-4:] for name in _file_names(tmp_path / "s" / "partitions")
+    }
+    assert suffixes == {".bin", ".csv"}
+    assert reopened.load_all().to_csv() == before  # mixed reads work
+    total = len(_file_names(tmp_path / "s" / "partitions"))
+    result = reopened.migrate_partitions("binary")
+    assert result["skipped"] == 2 and result["partitions"] == total - 2
+    assert reopened.store_format == "binary"
+    assert PartitionedPathStore.open(tmp_path / "s").load_all().to_csv() == before
+
+
+# ----------------------------------------------------------------------
+# CubeStore behaviour over the heap backend
+# ----------------------------------------------------------------------
+
+def _built_binary_store(tmp_path, database, cache_size=128):
+    store = PartitionedPathStore.init(
+        tmp_path / "s", database.schema, partition_size=3
+    )
+    store.ingest(database)
+    build_cube(
+        store,
+        min_support=0.25,
+        min_deviation=2.0,
+        into=store.cube_store(cache_size=cache_size),
+    )
+    return store
+
+
+def test_lru_over_binary_cells(tmp_path, example_database):
+    store = _built_binary_store(tmp_path, example_database)
+    cube_store = CubeStore(
+        tmp_path / "s" / "cube", example_database.schema, cache_size=2
+    )
+    assert cube_store.cell_format == "binary"
+    cuboid = max(cube_store.cuboids, key=len)
+    keys = cuboid.keys[:3]
+    assert len(keys) == 3
+    level = cuboid.item_level
+    path_level = cuboid.path_level
+
+    first = cube_store.cell(level, keys[0], path_level)
+    assert cube_store.cell(level, keys[0], path_level) is first  # warm hit
+    stats = cube_store.cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+    cube_store.cell(level, keys[1], path_level)
+    cube_store.cell(level, keys[2], path_level)  # evicts keys[0]
+    assert cube_store.cache_stats()["evictions"] == 1
+    again = cube_store.cell(level, keys[0], path_level)
+    assert again is not first  # rematerialised from the heap
+    assert again.record_ids == first.record_ids
+    assert cube_store.cache_stats()["misses"] == 4
+
+
+def test_cell_sizes_and_describe_need_no_heap(tmp_path, example_database):
+    store = _built_binary_store(tmp_path, example_database)
+    cube_dir = tmp_path / "s" / "cube"
+    heap = (cube_dir / "cells.bin").read_bytes()
+    (cube_dir / "cells.bin").unlink()
+    # Index-only reads (open, sizes, describe) never touch cell bytes.
+    cube_store = CubeStore(cube_dir, example_database.schema)
+    cuboid = cube_store.cuboids[0]
+    sizes = cube_store.cell_sizes(cuboid.item_level, cuboid.path_level)
+    assert sizes and all(n > 0 for n in sizes.values())
+    assert cube_store.describe()["format"] == "binary"
+    # ... but materialising a cell does, and reports the loss clearly.
+    with pytest.raises(StoreError, match="cell heap"):
+        cube_store.cell(cuboid.item_level, cuboid.keys[0], cuboid.path_level)
+    (cube_dir / "cells.bin").write_bytes(heap)
+    assert cube_store.cell(
+        cuboid.item_level, cuboid.keys[0], cuboid.path_level
+    )
+
+
+def test_cold_open_serves_precomputed_catalog_masks(
+    tmp_path, example_database
+):
+    from repro.perf.query_kernel import CuboidKeyCatalog
+
+    _built_binary_store(tmp_path, example_database)
+    cold = PartitionedPathStore.open(tmp_path / "s").cube_store()
+    hierarchies = example_database.schema.dimensions
+    for cuboid in cold.cuboids:
+        assert cuboid.value_masks is not None
+        fast = CuboidKeyCatalog(
+            cuboid.keys, hierarchies, cuboid.value_masks
+        )
+        derived = CuboidKeyCatalog(cuboid.keys, hierarchies)
+        for dim in range(len(hierarchies)):
+            for key in cuboid.keys:
+                value = key[dim]
+                assert fast.value_mask(dim, value) == derived.value_mask(
+                    dim, value
+                )
+
+
+def test_maybe_reload_sees_cross_handle_rebuild(tmp_path, example_database):
+    store = _built_binary_store(tmp_path, example_database)
+    reader = PartitionedPathStore.open(tmp_path / "s").cube_store()
+    version = reader.version
+    assert reader.maybe_reload() is False  # signature unchanged
+
+    # Another handle rebuilds with a different threshold: the meta file
+    # is replaced, and the reader notices through the atomic signature.
+    build_cube(
+        store,
+        min_support=0.5,
+        min_deviation=2.0,
+        into=store.cube_store(),
+    )
+    assert reader.maybe_reload() is True
+    assert reader.version > version
+    assert reader.min_support == 0.5
+    assert reader.maybe_reload() is False
+
+
+def test_meta_format_field_defaults_to_json_for_legacy_cubes(
+    tmp_path, example_database
+):
+    # A cube written by the JSON backend minus the "format" field (the
+    # pre-binary layout) still opens as JSON cells.
+    store = PartitionedPathStore.init(
+        tmp_path / "s",
+        example_database.schema,
+        partition_size=3,
+        store_format="json",
+    )
+    store.ingest(example_database)
+    build_cube(
+        store, min_support=0.25, min_deviation=2.0, into=store.cube_store()
+    )
+    meta_path = tmp_path / "s" / "cube" / "cube.json"
+    payload = json.loads(meta_path.read_text(encoding="utf-8"))
+    assert payload["format"] == "json"
+    del payload["format"]
+    meta_path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    legacy = PartitionedPathStore.open(tmp_path / "s").cube_store()
+    assert legacy.cell_format == "json"
+    assert legacy.n_cells() > 0
+    next(iter(legacy.cuboids[0]))  # cells still materialise

@@ -321,6 +321,49 @@ def test_etag_on_post_query(app):
     assert "ETag" in response.headers
 
 
+def test_cache_control_rides_along_with_etag(app):
+    first = get(app, "/cubes/wh/slice", {"cut": "d0:d0_0"})
+    assert first.status == 200
+    assert first.headers["Cache-Control"] == "max-age=60"
+    revalidated = app.handle(
+        Request(
+            method="GET",
+            path="/cubes/wh/slice",
+            query={"cut": "d0:d0_0"},
+            headers={"if-none-match": first.headers["ETag"]},
+        )
+    )
+    # The 304 refreshes the client's freshness lifetime too.
+    assert revalidated.status == 304
+    assert revalidated.headers["Cache-Control"] == "max-age=60"
+
+
+def test_cache_control_max_age_configurable_and_omittable(tenant):
+    custom = SlicerApp([tenant], max_age=5)
+    response = custom.handle(
+        Request(
+            method="GET",
+            path="/cubes/wh/slice",
+            query={"cut": "d0:d0_0"},
+            headers={},
+        )
+    )
+    assert response.headers["Cache-Control"] == "max-age=5"
+    bare = SlicerApp([tenant], max_age=None)
+    response = bare.handle(
+        Request(
+            method="GET",
+            path="/cubes/wh/slice",
+            query={"cut": "d0:d0_0"},
+            headers={},
+        )
+    )
+    assert response.status == 200
+    assert "Cache-Control" not in response.headers
+    with pytest.raises(ServeError):
+        SlicerApp([tenant], max_age=-1)
+
+
 # ----------------------------------------------------------------------
 # navigation and derivation endpoints
 # ----------------------------------------------------------------------
