@@ -9,7 +9,13 @@ The numbers the serving layer has to answer for:
   query cache interplay), point queries, and ``/stats`` polls;
 * whether the bytes coming off the socket under load are the same bytes
   a fresh seed ``"scan"`` kernel renders for the same cut — throughput
-  that serves wrong answers does not count.
+  that serves wrong answers does not count;
+* the cold-slice service point at scale (full runs only): a 10k-path,
+  ~15k-cell binary store mounted fresh, then one slice per level-1 cut
+  — every request misses the response and query caches, so the latency
+  is the zero-copy read path itself (lazy mask decode plus per-cell
+  heap reads), with the tenant's ``io_counters`` reported next to the
+  cube's size on disk.
 
 Each client is a closed-loop thread with one persistent keep-alive
 connection: it fires a request, waits for the full response, records the
@@ -37,17 +43,24 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks.bench_store import CONFIG, MIN_SUPPORT, _make_store
+from benchmarks.bench_store import (
+    CONFIG,
+    FORMATS_SCALE_PATHS,
+    MIN_SUPPORT,
+    _disk_bytes,
+    _make_store,
+)
 from repro.query.api import FlowCubeQuery
 from repro.serve import ServerThread, create_app, slice_payload
 from repro.serve.http import encode_json
 from repro.store import build_cube
-from repro.synth import generate_path_database
+from repro.synth import generate_path_database, scaled_config
 
 N_PARTITIONS = 4
 CLIENTS = 4
 DURATION_SECONDS = 2.0
 WORKERS = 8
+SCALE_PARTITIONS = 8
 
 
 def _build_store(directory: Path, database):
@@ -167,6 +180,71 @@ def _measure(
     }
 
 
+def _cold_scale_point(n_paths: int = FORMATS_SCALE_PATHS) -> dict:
+    """Cold-slice service latency on a cell-heavy store (full runs only).
+
+    Mirrors ``bench_store``'s formats scale point: the cube is built at
+    an absolute support of 2 so the store holds ~15k cells.  The server
+    mounts the store fresh and each level-1 cut is requested exactly
+    once over one keep-alive connection — the response cache, the query
+    cache and the cell heap are all cold for every request, so the
+    latencies chart the zero-copy read path itself (lazy mask decode
+    plus per-matching-cell heap reads) at scale.  A warm repeat of the
+    first cut closes the loop from the response byte cache, and the
+    tenant's ``io_counters`` land next to the cube's bytes on disk.
+    """
+    database = generate_path_database(scaled_config(n_paths))
+    cuts = _level1_cuts(database)
+    encoded = [
+        "|".join(f"{k}:{v}" for k, v in sorted(dims.items())) for dims in cuts
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "wh"
+        store = _make_store(directory, database, SCALE_PARTITIONS)
+        build_cube(
+            store,
+            min_support=2,
+            compute_exceptions=False,
+            into=store.cube_store(),
+        )
+        store.close()
+        cube_bytes = _disk_bytes(directory / "cube")
+        app = create_app({"wh": directory})
+        with ServerThread(app, workers=WORKERS) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            latencies = []
+            try:
+                for cut in encoded + encoded[:1]:  # last one: warm repeat
+                    start = time.perf_counter()
+                    conn.request("GET", f"/cubes/wh/slice?cut={cut}")
+                    response = conn.getresponse()
+                    response.read()
+                    latencies.append(time.perf_counter() - start)
+                    assert response.status == 200, cut
+            finally:
+                conn.close()
+            warm_seconds = latencies.pop()
+            tenant = app.tenants["wh"]
+            io = tenant.cube_store.io_counters()
+            n_cells = tenant.cube_store.n_cells()
+            tenant.close()
+    ordered = sorted(latencies)
+    return {
+        "n_paths": len(database),
+        "n_partitions": SCALE_PARTITIONS,
+        "build_min_support": 2,
+        "n_cells": n_cells,
+        "n_cold_requests": len(ordered),
+        "cold_p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
+        "cold_max_ms": round(ordered[-1] * 1000, 3),
+        "cold_mean_ms": round(statistics.fmean(ordered) * 1000, 3),
+        "warm_repeat_ms": round(warm_seconds * 1000, 3),
+        "cube_bytes": cube_bytes,
+        "io": io,
+    }
+
+
 def _parity(server: ServerThread, database) -> bool:
     """Socket slice bytes == the seed scan kernel's rendered payload."""
     tenant = server.app.tenants["wh"]
@@ -212,7 +290,7 @@ def run_suite(
             }
             parity = _parity(server, database)
             tenant_stats = app.tenants["wh"].stats()
-    return {
+    report = {
         "config": {
             "n_paths": len(database),
             "min_support": MIN_SUPPORT,
@@ -226,6 +304,9 @@ def run_suite(
         "parity": {"slice_byte_identical_to_scan_kernel": parity},
         "tenant": tenant_stats,
     }
+    if not quick:
+        report["cold_scale_point"] = _cold_scale_point()
+    return report
 
 
 # ----------------------------------------------------------------------

@@ -22,7 +22,10 @@ Six questions the store and perf layers have to answer honestly:
   data: cold cube open (store handle plus key catalogs for every
   cuboid, zero cell bytes read), cold index-first slice, the pooled
   pack pass decoding partitions, and bytes on disk — with the two
-  formats' cubes asserted byte-identical under ``cube_to_json``;
+  formats' cubes asserted byte-identical under ``cube_to_json``, a
+  legacy ``FCHEAP01`` (JSON-in-heap) row for the generation headline,
+  and a zero-copy tripwire that *fails the run* if a cold open ever
+  reads heap bytes or decodes catalog masks again;
 * what the bitmap query kernel buys on the serving path: a cold slice
   over the cube store with the index-first kernel (predicates answered
   from the key catalog, only matching cells read) vs the seed full scan,
@@ -43,6 +46,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import shutil
 import sys
 import tempfile
 import time
@@ -595,6 +599,41 @@ def _disk_bytes(directory: Path) -> int:
     return sum(p.stat().st_size for p in directory.rglob("*") if p.is_file())
 
 
+def _zero_copy_tripwire(store, hierarchies, value) -> dict:
+    """The zero-copy contract, enforced: the run fails on a regress.
+
+    A fresh binary handle must read **zero** cell-heap bytes and decode
+    **zero** catalog masks through open plus a :class:`CuboidKeyCatalog`
+    for every cuboid — the masks stay lazy byte spans over the mmap'd
+    ``cells.idx``.  An index-first slice must then stream mask bits
+    (the counting hook) and pay heap bytes only for materialised cells.
+    """
+    served = store.cube_store(cache_size=CACHE_SIZE)
+    for cuboid in served.cuboids:
+        CuboidKeyCatalog(cuboid.keys, hierarchies, cuboid.value_masks)
+    opened = served.io_counters()
+    if opened["heap_bytes_read"] or opened["mask_bits_decoded"]:
+        raise AssertionError(f"cold open is no longer zero-copy: {opened}")
+    cells = list(FlowCubeQuery(served, kernel="index").slice(d0=value))
+    sliced = served.io_counters()
+    if not cells or not sliced["mask_bits_decoded"]:
+        raise AssertionError(
+            f"index-first slice did not stream catalog masks: {sliced}"
+        )
+    if not sliced["heap_bytes_read"]:
+        raise AssertionError(
+            f"slice materialised cells without heap reads: {sliced}"
+        )
+    served.close()
+    return {
+        "cold_open_heap_bytes": opened["heap_bytes_read"],
+        "cold_open_mask_bits": opened["mask_bits_decoded"],
+        "slice_mask_bits": sliced["mask_bits_decoded"],
+        "slice_heap_bytes": sliced["heap_bytes_read"],
+        "n_matching_cells": len(cells),
+    }
+
+
 def _formats_section(
     database,
     n_partitions: int,
@@ -716,6 +755,48 @@ def _formats_section(
                 "partitions_bytes": _disk_bytes(directory / "partitions"),
                 "cube_bytes": _disk_bytes(directory / "cube"),
             }
+            if store_format == "binary":
+                rows[store_format]["zero_copy"] = _zero_copy_tripwire(
+                    store, hierarchies, value
+                )
+
+        # The previous heap generation (FCHEAP01: JSON payloads inside
+        # the heap) on a copy of the same binary store.  Open and mask
+        # streaming are identical — only the per-cell payload decode
+        # differs — so this row isolates what the FCHEAP02 codec buys.
+        legacy_dir = Path(tmp) / "binary-fcheap01"
+        shutil.copytree(Path(tmp) / "binary", legacy_dir)
+        legacy_store = PartitionedPathStore.open(legacy_dir)
+        legacy_store.cube_store().convert("binary", generation=1)
+
+        def legacy_cold_open():
+            served = legacy_store.cube_store(cache_size=CACHE_SIZE)
+            for cuboid in served.cuboids:
+                CuboidKeyCatalog(cuboid.keys, hierarchies, cuboid.value_masks)
+            return served
+
+        legacy_open_seconds, legacy_served = _best(
+            legacy_cold_open, open_repeats
+        )
+
+        def legacy_cold_slice():
+            query = FlowCubeQuery(
+                legacy_store.cube_store(cache_size=CACHE_SIZE),
+                kernel="index",
+            )
+            return [(c.item_level, c.key) for c in query.slice(d0=value)]
+
+        legacy_slice_seconds, legacy_matched = _best(
+            legacy_cold_slice, open_repeats
+        )
+        assert cube_to_json(legacy_served) == rendered["binary"]
+        assert len(legacy_matched) == rows["binary"]["n_matching_cells"]
+        legacy_row = {
+            "cold_open_seconds": round(legacy_open_seconds, 5),
+            "cold_slice_seconds": round(legacy_slice_seconds, 5),
+            "cube_bytes": _disk_bytes(legacy_dir / "cube"),
+        }
+        legacy_store.close()
     assert rendered["binary"] == rendered["json"]
     json_row, binary_row = rows["json"], rows["binary"]
     return {
@@ -726,6 +807,7 @@ def _formats_section(
         "n_cells": n_cells,
         "json": json_row,
         "binary": binary_row,
+        "binary_fcheap01": legacy_row,
         "byte_identical": True,
         "binary_speedup": {
             "cold_open": round(
@@ -755,6 +837,14 @@ def _formats_section(
             ),
             "cube_bytes": round(
                 json_row["cube_bytes"] / binary_row["cube_bytes"], 2
+            ),
+            "cold_slice_vs_fcheap01": round(
+                legacy_row["cold_slice_seconds"]
+                / binary_row["cold_slice_seconds"],
+                2,
+            ),
+            "cube_bytes_vs_fcheap01": round(
+                legacy_row["cube_bytes"] / binary_row["cube_bytes"], 2
             ),
         },
     }
@@ -964,6 +1054,15 @@ def test_formats_parity_and_binary_wins(store_db):
     assert section["byte_identical"]
     assert section["binary_speedup"]["cold_open"] > 1.0
     assert section["binary"]["partitions_bytes"] > 0
+    # The zero-copy tripwire ran (it raises on regress) and the legacy
+    # generation row parity-checked against the FCHEAP02 store.
+    tripwire = section["binary"]["zero_copy"]
+    assert tripwire["cold_open_heap_bytes"] == 0
+    assert tripwire["cold_open_mask_bits"] == 0
+    assert tripwire["slice_mask_bits"] > 0
+    assert section["binary_fcheap01"]["cube_bytes"] > section["binary"][
+        "cube_bytes"
+    ]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -26,6 +26,7 @@ from repro.core.path_database import PathDatabase
 from repro.errors import CubeError
 
 __all__ = [
+    "exceptions_from_dicts",
     "flowgraph_to_dict",
     "flowgraph_from_dict",
     "cube_to_json",
@@ -100,7 +101,18 @@ def flowgraph_from_dict(data: dict) -> FlowGraph:
             graph._roots[prefix[0]] = node  # noqa: SLF001
         else:
             graph._index[prefix[:-1]].children[prefix[-1]] = node  # noqa: SLF001
-    graph.exceptions = [
+    graph.exceptions = exceptions_from_dicts(data.get("exceptions", []))
+    return graph
+
+
+def exceptions_from_dicts(data: list[dict]) -> list[FlowException]:
+    """Rebuild :class:`FlowException` objects from their plain-dict form.
+
+    Shared by :func:`flowgraph_from_dict` and the binary cell codec
+    (:func:`repro.store.binfmt.decode_cell_parts`), which stores the
+    exception list as a JSON blob inside the ``FCHEAP02`` record.
+    """
+    return [
         FlowException(
             node_prefix=tuple(exc["node_prefix"]),
             condition=tuple(
@@ -112,9 +124,8 @@ def flowgraph_from_dict(data: dict) -> FlowGraph:
             conditional=dict(exc["conditional"]),
             deviation=float(exc["deviation"]),
         )
-        for exc in data.get("exceptions", [])
+        for exc in data
     ]
-    return graph
 
 
 def path_level_to_dict(level: PathLevel) -> dict:

@@ -29,10 +29,51 @@ from repro.core.path_database import PathDatabase, PathSchema
 from repro.encoding.item_encoding import DimItem, render_dim_item
 from repro.encoding.stage_encoding import StageItem, render_stage_item
 
-__all__ = ["Item", "Transaction", "TransactionDatabase"]
+__all__ = ["EncodingMemo", "Item", "Transaction", "TransactionDatabase"]
 
 #: The mining alphabet: dimension items and stage items, mixed.
 Item = DimItem | StageItem
+
+
+class EncodingMemo:
+    """Shared ancestor-closure caches, reusable across partitions.
+
+    A :class:`TransactionDatabase` memoises the per-dimension-value and
+    per-path item closures it builds — but only within itself.  A build
+    that encodes one partition after another (the serial scan passes,
+    the shared pack pass, a worker process crunching its affine
+    partitions) re-derives identical closures for every partition, since
+    partitions of one store draw from the same small vocabulary.
+    Passing the same memo to each database hoists the caches to the
+    scan: each distinct dimension value and discretised path is encoded
+    once per build, and the *identical* item objects flow into every
+    partition's transactions (identity also speeds up the hash-heavy
+    set work downstream).
+
+    The closures depend on the encoding configuration, so a memo pins
+    the ``(include_top_level, path lattice)`` of the first database that
+    uses it and rejects a mismatching reuse.
+    """
+
+    __slots__ = ("dim_closures", "stage_closures", "_config")
+
+    def __init__(self) -> None:
+        self.dim_closures: dict[tuple[int, object], tuple[DimItem, ...]] = {}
+        self.stage_closures: dict[tuple, frozenset[StageItem]] = {}
+        self._config: tuple | None = None
+
+    def bind(
+        self, path_lattice: PathLattice, include_top_level: bool
+    ) -> None:
+        """Pin (or validate) the memo's encoding configuration."""
+        config = (bool(include_top_level), tuple(path_lattice))
+        if self._config is None:
+            self._config = config
+        elif self._config != config:
+            raise ValueError(
+                "encoding memo is bound to a different configuration "
+                "(path lattice / include_top_level); use a fresh memo"
+            )
 
 
 @dataclass(frozen=True)
@@ -59,6 +100,9 @@ class TransactionDatabase:
         include_top_level: Keep the ``1**``-style apex dimension items
             (always true in every transaction).  Off for Shared (pruning
             rule 3), on for the Basic baseline.
+        memo: Optional :class:`EncodingMemo` shared with other databases
+            of the same store (one scan encoding many partitions); the
+            closure caches live in the memo instead of this instance.
     """
 
     def __init__(
@@ -66,6 +110,7 @@ class TransactionDatabase:
         database: PathDatabase,
         path_lattice: PathLattice,
         include_top_level: bool = False,
+        memo: EncodingMemo | None = None,
     ) -> None:
         self.schema: PathSchema = database.schema
         self.path_lattice = path_lattice
@@ -74,8 +119,14 @@ class TransactionDatabase:
         # for discretised durations — whole paths, so the ancestor-closure
         # item objects are built once per distinct value/path and reused
         # (identical item objects also hash-dedupe faster downstream).
-        self._dim_closures: dict[tuple[int, object], tuple[DimItem, ...]] = {}
-        self._stage_closures: dict[tuple, frozenset[StageItem]] = {}
+        # A shared memo widens the reuse from one partition to the scan.
+        if memo is not None:
+            memo.bind(path_lattice, include_top_level)
+            self._dim_closures = memo.dim_closures
+            self._stage_closures = memo.stage_closures
+        else:
+            self._dim_closures = {}
+            self._stage_closures = {}
         self._interned = None
         self.transactions: list[Transaction] = [
             self._encode(record) for record in database

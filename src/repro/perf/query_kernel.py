@@ -77,10 +77,14 @@ class CuboidKeyCatalog:
         hierarchies: One :class:`ConceptHierarchy` per dimension (the
             schema's ``dimensions``), used for descendant closures.
         value_masks: Optional precomputed per-dimension ``{value:
-            ordinal bitmap}`` dicts over exactly these *keys* (e.g.
-            decoded from a binary cube's cell index); when given, the
-            per-cell index pass is skipped entirely.  Ownership
-            transfers to the catalog — do not mutate afterwards.
+            ordinal bitmap}`` mappings over exactly these *keys* —
+            plain dicts, or the lazy mmap-backed
+            :class:`~repro.store.binfmt.LazyMaskMap` views a binary
+            cube's cell index hands out (each bitmap is decoded on
+            first access, so building the catalog reads no mask
+            bytes).  When given, the per-cell index pass is skipped
+            entirely.  Ownership transfers to the catalog — do not
+            mutate afterwards.
     """
 
     def __init__(
@@ -161,10 +165,14 @@ class CuboidKeyCatalog:
             for concept in closure:
                 mask |= per_dim.get(concept, 0)
         else:
+            # Probe by key and fetch only the members' masks: with a
+            # lazy mmap-backed mask map (binary stores) this decodes
+            # just the bitmaps the slice actually ANDs, instead of
+            # materialising every value's mask via ``items()``.
             members = set(closure)
-            for value, value_mask in per_dim.items():
+            for value in per_dim.keys():
                 if value in members:
-                    mask |= value_mask
+                    mask |= per_dim.get(value, 0)
         self._closure_cache[(dim, wanted)] = mask
         return mask
 

@@ -359,7 +359,11 @@ class FlowCubeQuery:
         keys = getattr(cuboid, "keys", None)
         if keys is None:  # in-memory Cuboid
             keys = tuple(cuboid.cells)
-        catalog = CuboidKeyCatalog(keys, self._hierarchies)
+        # Store cuboids hand over their precomputed value masks (lazy
+        # spans over the mmap'd index), sparing the per-cell index pass.
+        catalog = CuboidKeyCatalog(
+            keys, self._hierarchies, getattr(cuboid, "value_masks", None)
+        )
         self._catalogs[coords] = (n_cells, catalog)
         return catalog
 

@@ -55,17 +55,26 @@ def create_app(
     cache_size: int = 256,
     token: str | None = None,
     max_age: int | None = 60,
+    admin_token: str | None = None,
 ) -> SlicerApp:
     """Mount the named stores and build the slicer application.
 
     ``max_age`` sets the ``Cache-Control: max-age`` seconds emitted next
     to the ETags on cacheable responses (``None`` omits the header).
+    ``admin_token`` switches on the runtime ``mount``/``unmount`` admin
+    routes (requests authenticate with an ``X-Admin-Token`` header).
     """
     tenants = [
         CubeTenant.mount(name, directory, cache_size=cache_size)
         for name, directory in cubes.items()
     ]
-    return SlicerApp(tenants, token=token, max_age=max_age)
+    return SlicerApp(
+        tenants,
+        token=token,
+        max_age=max_age,
+        admin_token=admin_token,
+        cache_size=cache_size,
+    )
 
 
 async def run(
@@ -85,4 +94,6 @@ async def run(
     finally:
         await server.stop()
         for tenant in app.tenants.values():
-            tenant.flush_stats()
+            # close() flushes the query-cache counters and releases the
+            # cube's mmaps and file handles (heap, index, string table).
+            tenant.close()

@@ -12,7 +12,15 @@ Route map (all responses JSON)::
     POST /cubes/{name}/query            one cell (''derive'': planner support)
     GET  /cubes/{name}/flowgraph        flowgraph report for a cut
     GET  /cubes/{name}/exceptions       (ε, δ) exceptions across a cut
+    POST /cubes/{name}/mount            admin: mount the store in "path"
+    POST /cubes/{name}/unmount          admin: release the tenant's files
     GET  /stats                         per-tenant cache/derivation counters
+
+The two admin routes exist only when the app was built with an
+``admin_token`` (CLI: ``--admin-token``) and require it in an
+``X-Admin-Token`` header — deliberately separate from the read-path
+bearer token, so handing a client query access never hands it the
+ability to detach a cube's files.
 
 Constraints arrive as a *cut* string (``product:outerwear|brand:nike``,
 see :mod:`repro.serve.cuts`) in the ``cut=`` query parameter or the
@@ -43,6 +51,7 @@ from repro.errors import (
     FlowCubeError,
     QueryError,
     ServeError,
+    StoreError,
 )
 from repro.query.render import render_text
 from repro.serve.cuts import format_cut, parse_cut
@@ -102,6 +111,13 @@ class SlicerApp:
             ``ETag``) on every cacheable 200 and 304 — clients may reuse
             a response that long before revalidating.  ``None`` omits
             the header entirely.
+        admin_token: Enables the runtime mount/unmount admin routes
+            (``POST /cubes/{name}/mount`` / ``.../unmount``); requests
+            must carry it in an ``X-Admin-Token`` header.  ``None``
+            (the default) leaves the admin surface switched off.
+        cache_size: Cell/query cache capacity for tenants mounted *at
+            runtime* through the admin routes (tenants passed in were
+            built with their own sizes already).
     """
 
     def __init__(
@@ -109,6 +125,8 @@ class SlicerApp:
         tenants: Iterable[CubeTenant],
         token: str | None = None,
         max_age: int | None = 60,
+        admin_token: str | None = None,
+        cache_size: int = 256,
     ) -> None:
         self._tenants: dict[str, CubeTenant] = {}
         for tenant in tenants:
@@ -118,6 +136,8 @@ class SlicerApp:
         if not self._tenants:
             raise ServeError("the slicer needs at least one cube to serve")
         self._token = token
+        self._admin_token = admin_token
+        self._cache_size = cache_size
         if max_age is not None and max_age < 0:
             raise ServeError(f"max_age must be >= 0, got {max_age}")
         self._max_age = max_age
@@ -168,6 +188,10 @@ class SlicerApp:
             return Response.json(
                 [tenant.describe() for tenant in self._tenants.values()]
             )
+        # Admin routes dispatch before the tenant lookup: mount targets
+        # a name that is *not* mounted yet.
+        if len(segments) == 3 and segments[2] in ("mount", "unmount"):
+            return self._admin(segments[1], segments[2], request)
         tenant = self._tenants.get(segments[1])
         if tenant is None:
             raise QueryError(f"no cube named {segments[1]!r} is mounted")
@@ -194,6 +218,68 @@ class SlicerApp:
         ):
             return Response.json({"error": "use POST"}, 405)
         return handler(tenant, request)
+
+    # ------------------------------------------------------------------
+    # admin: runtime mount / unmount
+    # ------------------------------------------------------------------
+    def _admin(self, name: str, verb: str, request: Request) -> Response:
+        """``POST /cubes/{name}/mount`` and ``.../unmount``.
+
+        Mounting opens the store named in the JSON body's ``"path"`` and
+        starts serving it as *name*; unmounting closes every file handle
+        and mmap the tenant holds (heap, index, string table), so the
+        directory can be rebuilt or removed without restarting the
+        server.  In-flight requests against an unmounting tenant may
+        fail with a store error — the admin asked for its files back.
+        """
+        if self._admin_token is None:
+            return Response.json(
+                {"error": "admin routes are disabled (set an admin token)"},
+                403,
+            )
+        if request.headers.get("x-admin-token") != self._admin_token:
+            return Response.json({"error": "unauthorized"}, 401)
+        if request.method != "POST":
+            return Response.json({"error": "use POST"}, 405)
+        if verb == "mount":
+            params = request.json()
+            path = params.get("path")
+            if not path or not isinstance(path, str):
+                raise ServeError('mount needs a "path" to the store')
+            with self._lock:
+                if name in self._tenants:
+                    return Response.json(
+                        {"error": f"cube {name!r} is already mounted"}, 409
+                    )
+            try:
+                tenant = CubeTenant.mount(
+                    name, path, cache_size=self._cache_size
+                )
+            except StoreError as exc:
+                return Response.json({"error": str(exc)}, 400)
+            with self._lock:
+                if name in self._tenants:  # lost a mount race
+                    tenant.close()
+                    return Response.json(
+                        {"error": f"cube {name!r} is already mounted"}, 409
+                    )
+                self._tenants[name] = tenant
+            return Response.json(
+                {"mounted": name, "cube": tenant.describe()}, 201
+            )
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                return Response.json(
+                    {"error": f"no cube named {name!r} is mounted"}, 404
+                )
+            if len(self._tenants) == 1:
+                return Response.json(
+                    {"error": "cannot unmount the last cube"}, 409
+                )
+            del self._tenants[name]
+        tenant.close()
+        return Response.json({"unmounted": name})
 
     # ------------------------------------------------------------------
     # request parsing helpers

@@ -95,6 +95,23 @@ class CubeTenant:
         """Notice an external rebuild (one ``stat``); True when reloaded."""
         return self.cube_store.maybe_reload()
 
+    def close(self) -> None:
+        """Unmount: flush counters, then release every file handle/map.
+
+        After closing, the cube store's mmaps (cell heap, cell index,
+        shared string table) are dropped, so the store directory can be
+        deleted or rebuilt without this process pinning stale inodes.
+        The tenant must not serve requests afterwards.
+        """
+        try:
+            self.cube_store.unsubscribe(self._invalidated)
+        except ValueError:
+            pass  # already unsubscribed (double close)
+        self.flush_stats()
+        self._responses.clear()
+        self.cube_store.close()
+        self.store.close()
+
     @property
     def version(self) -> int:
         """The store's mutation counter (folds into response-cache keys)."""

@@ -17,9 +17,22 @@ diagrams):
   ``(offset, length, n_paths, redundant)`` entries in grouped columnar
   arenas, so :class:`~repro.store.cube_store.CubeStore` materialises
   its whole in-memory index with a handful of C-speed ``zip`` passes
-  and *zero* cell-payload IO.
+  and *zero* cell-payload IO;
+* :class:`StringTable` — the shared per-store intern table
+  (``strings.bin``): one mmap'd vocabulary for every partition, with
+  ``FCPART02`` partitions carrying only a small local→global remap
+  arena instead of a private copy of the location/product strings;
+* :func:`encode_cell_payload` / :func:`decode_cell_payload` /
+  :func:`decode_cell_parts` — the compact ``FCHEAP02`` cell codec:
+  varint-packed flowgraph counters with a parent-ordinal node
+  encoding, bulk ``int32`` record ids, and (optionally zlib'd) JSON
+  exception lists, byte-identical through ``cube_to_json``;
+* :class:`MaskArena` / :class:`LazyMaskMap` — lazily-sliced catalog
+  masks: ``cells.idx`` stays mmap'd and each ``(cuboid, dim, value)``
+  bitmap is decoded with one ``int.from_bytes`` over the map the first
+  time a query actually ANDs it, never during open.
 
-Framing rules shared by both codecs:
+Framing rules shared by the ``int64`` codecs:
 
 * all integers are native-endian ``int64`` (``array('q')``), durations
   native ``float64`` (``array('d')``); the header leads with
@@ -29,17 +42,29 @@ Framing rules shared by both codecs:
   zero-padded), and decoding slices **exactly** the bytes each arena
   owns before ``frombytes`` — never a full-buffer ``cast('q')``, which
   breaks the moment a variable-length blob is not a multiple of eight;
-* the cell heap (``cells.bin``) itself is not parsed here: it is an
-  append-only blob of ``<q``-length-prefixed JSON payloads after
-  :data:`HEAP_MAGIC`, addressed only through the index offsets.
+* decode buffers may be ``bytes``, a ``memoryview``, or an ``mmap`` —
+  every slice taken is exactly the bytes an arena owns, so an mmap'd
+  reader touches only the pages it needs.
+
+The cell heap (``cells.bin``) is an append-only blob of
+``<q``-length-prefixed payloads after :data:`HEAP_MAGIC` (generation 1,
+JSON payloads) or :data:`HEAP_MAGIC_V2` (generation 2,
+:func:`encode_cell_payload` binary payloads), addressed only through
+the index offsets.
 """
 
 from __future__ import annotations
 
+import json
+import mmap
+import os
 import struct
+import zlib
 from array import array
 from collections.abc import Iterable, Sequence
+from pathlib import Path as FsPath
 
+from repro.core.flowgraph import FlowGraph, FlowGraphNode
 from repro.core.path import Path, PathRecord
 from repro.core.path_database import PathDatabase, PathSchema
 from repro.core.stage import Stage
@@ -48,9 +73,20 @@ from repro.errors import StoreError
 __all__ = [
     "DEFAULT_STORE_FORMAT",
     "HEAP_MAGIC",
+    "HEAP_MAGIC_V2",
     "INDEX_MAGIC",
     "PARTITION_MAGIC",
+    "PARTITION_MAGIC_V2",
     "STORE_FORMATS",
+    "STRINGS_FILENAME",
+    "STRINGS_MAGIC",
+    "LazyMaskMap",
+    "MaskArena",
+    "StringTable",
+    "decode_cell_parts",
+    "decode_cell_payload",
+    "encode_cell_payload",
+    "heap_generation",
     "pack_cell_index",
     "pack_partition",
     "unpack_cell_index",
@@ -65,14 +101,32 @@ STORE_FORMATS = ("binary", "json")
 #: New stores default to the compact binary layout.
 DEFAULT_STORE_FORMAT = "binary"
 
-#: Leading 8 bytes of a columnar partition file.
+#: Leading 8 bytes of a generation-1 columnar partition file (private
+#: per-partition string table).
 PARTITION_MAGIC = b"FCPART01"
+
+#: Leading 8 bytes of a generation-2 columnar partition file: string
+#: references resolve through the shared store table via a
+#: local→global remap arena.
+PARTITION_MAGIC_V2 = b"FCPART02"
+
+#: Leading 8 bytes of the shared per-store string table
+#: (``strings.bin``).
+STRINGS_MAGIC = b"FCSTRS01"
+
+#: File name of the shared string table inside the partitions
+#: directory.
+STRINGS_FILENAME = "strings.bin"
 
 #: Leading 8 bytes of a cell-heap index file (``cells.idx``).
 INDEX_MAGIC = b"FCCIDX01"
 
-#: Leading 8 bytes of a cell-heap blob (``cells.bin``).
+#: Leading 8 bytes of a generation-1 cell-heap blob (JSON payloads).
 HEAP_MAGIC = b"FCHEAP01"
+
+#: Leading 8 bytes of a generation-2 cell-heap blob
+#: (:func:`encode_cell_payload` binary payloads).
+HEAP_MAGIC_V2 = b"FCHEAP02"
 
 #: Endianness sentinel: stored as the first header word; a reader on a
 #: host with the opposite byte order decodes a different value and
@@ -148,6 +202,8 @@ def _read_strings(
     if blob_end > len(buffer):
         raise StoreError(f"corrupt {what}: truncated string blob")
     blob = buffer[blob_start:blob_end]
+    if not isinstance(blob, bytes):
+        blob = bytes(blob)
     strings = [
         blob[offsets[i] : offsets[i + 1]].decode("utf-8")
         for i in range(n_strings)
@@ -166,14 +222,690 @@ def _key_tuples(
 
 
 # --------------------------------------------------------------------------
+# Shared string table (strings.bin)
+# --------------------------------------------------------------------------
+
+
+class StringTable:
+    """The shared per-store intern table backing ``FCPART02`` partitions.
+
+    On disk (``strings.bin``)::
+
+        FCSTRS01 | header i64[3] | string offsets i64[S+1] | utf8 blob ⌈8⌉
+
+    header = [ORDER_TAG, n_strings S, blob byte length].  The table is
+    **append-only**: global ids are stable across saves, so a reader
+    holding an older map keeps resolving every id it has ever seen while
+    a writer interns new vocabulary and atomically replaces the file.
+
+    Loaded tables are mmap'd and decoded lazily — :meth:`get` slices one
+    string out of the map the first time its id is referenced and
+    memoises the result, so every partition sharing a location ends up
+    with the *same* ``str`` object (identity-friendly hashing downstream)
+    and an open touches only the vocabulary it actually resolves.
+    """
+
+    __slots__ = (
+        "_blob_start",
+        "_file",
+        "_ids",
+        "_mm",
+        "_offsets",
+        "_n_disk",
+        "_strings",
+    )
+
+    def __init__(self) -> None:
+        self._strings: list[str | None] = []
+        self._ids: dict[str, int] | None = {}
+        self._mm: mmap.mmap | None = None
+        self._file = None
+        self._offsets: array | None = None
+        self._blob_start = 0
+        self._n_disk = 0
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    @property
+    def dirty(self) -> bool:
+        """True when :meth:`intern` added strings not yet saved."""
+        return len(self._strings) > self._n_disk
+
+    def intern(self, value: str) -> int:
+        """Global id of *value*, appending it if new."""
+        ids = self._ids
+        if ids is None:
+            ids = {self.get(ref): ref for ref in range(len(self._strings))}
+            self._ids = ids
+        ref = ids.get(value)
+        if ref is None:
+            ref = len(self._strings)
+            self._strings.append(value)
+            ids[value] = ref
+        return ref
+
+    def get(self, ref: int) -> str:
+        """The string with global id *ref* (lazily decoded from the map)."""
+        try:
+            value = self._strings[ref]
+        except IndexError:
+            raise StoreError(
+                f"string table has no id {ref} (stale partition?)"
+            ) from None
+        if value is None:
+            mm = self._mm
+            if mm is None:
+                raise StoreError("string table is closed")
+            offsets = self._offsets
+            start = self._blob_start + offsets[ref]
+            value = mm[start : self._blob_start + offsets[ref + 1]].decode(
+                "utf-8"
+            )
+            self._strings[ref] = value
+        return value
+
+    @classmethod
+    def load(cls, path) -> "StringTable":
+        """Map ``strings.bin`` at *path* (validating magic and byte order)."""
+        what = "string table"
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise StoreError(f"cannot open string table {path}: {exc}") from None
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            handle.close()
+            raise StoreError(f"cannot map string table {path}: {exc}") from None
+        try:
+            _check_magic(mapped, STRINGS_MAGIC, what)
+            header = _read_header(mapped, len(STRINGS_MAGIC), 3, what)
+            _, n_strings, blob_len = header
+            offset = len(STRINGS_MAGIC) + 3 * _I64
+            offsets = _read_i64(mapped, offset, n_strings + 1, what)
+            blob_start = offset + (n_strings + 1) * _I64
+            if blob_start + blob_len > len(mapped):
+                raise StoreError(f"corrupt {what}: truncated string blob")
+        except StoreError:
+            mapped.close()
+            handle.close()
+            raise
+        table = cls()
+        table._mm = mapped
+        table._file = handle
+        table._offsets = offsets
+        table._blob_start = blob_start
+        table._strings = [None] * n_strings
+        table._n_disk = n_strings
+        table._ids = None
+        return table
+
+    def save(self, path) -> None:
+        """Atomically (re)write the table at *path* (temp + rename)."""
+        strings = [self.get(ref) for ref in range(len(self._strings))]
+        offsets_bytes, blob_bytes, blob_len = _pack_strings(strings)
+        header = array("q", [ORDER_TAG, len(strings), blob_len])
+        path = FsPath(path)
+        temp = path.parent / (path.name + ".tmp")
+        temp.write_bytes(
+            b"".join((STRINGS_MAGIC, header.tobytes(), offsets_bytes, blob_bytes))
+        )
+        os.replace(temp, path)
+        self._n_disk = len(strings)
+
+    def close(self) -> None:
+        """Release the map and file handle (ids already decoded stay valid)."""
+        mapped, self._mm = self._mm, None
+        handle, self._file = self._file, None
+        if mapped is not None:
+            mapped.close()
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "StringTable":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# FCHEAP02 cell payload codec
+# --------------------------------------------------------------------------
+
+_HEAP2_RAW = 0x01  # payload is a verbatim JSON blob (shape fell outside codec)
+_HEAP2_EXC = 0x02  # record carries a (JSON) exception list
+_HEAP2_EXC_ZLIB = 0x04  # ... and it is zlib-compressed
+_HEAP2_PURE = 0x08  # varint stream has no continuation bytes (list() decode)
+
+#: Fixed head after the flags byte: varint stream length, strings blob
+#: length, record-id count (record ids follow as little-endian int32).
+_HEAP2_HEAD = struct.Struct("<III")
+_HEAP2_EXC_LEN = struct.Struct("<I")
+
+_PAYLOAD_KEYS = (
+    "key",
+    "item_level",
+    "path_level",
+    "record_ids",
+    "redundant",
+    "flowgraph",
+)
+_FLOWGRAPH_KEYS = ("n_paths", "nodes", "exceptions")
+_NODE_KEYS = ("prefix", "count", "durations", "transitions")
+
+_LITTLE_ENDIAN = struct.pack("=H", 1) == struct.pack("<H", 1)
+
+
+class _NotStructured(Exception):
+    """Payload shape falls outside the structured codec → store raw JSON."""
+
+
+def _append_varint(out: bytearray, value: int) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _decode_varints(stream: bytes) -> list[int]:
+    values: list[int] = []
+    append = values.append
+    pending = 0
+    shift = 0
+    for byte in stream:
+        if byte < 0x80:
+            if shift:
+                append(pending | (byte << shift))
+                pending = 0
+                shift = 0
+            else:
+                append(byte)
+        else:
+            pending |= (byte & 0x7F) << shift
+            shift += 7
+    if shift:
+        raise StoreError("corrupt cell payload: dangling varint")
+    return values
+
+
+def _json_bytes(payload) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def _checked_count(value) -> int:
+    """A non-negative true ``int`` (bools and floats force the raw path)."""
+    if type(value) is not int or value < 0:
+        raise _NotStructured
+    return value
+
+
+def _encode_structured(payload: dict) -> bytes:
+    if not isinstance(payload, dict) or tuple(payload) != _PAYLOAD_KEYS:
+        raise _NotStructured
+    flowgraph = payload["flowgraph"]
+    if not isinstance(flowgraph, dict) or tuple(flowgraph) != _FLOWGRAPH_KEYS:
+        raise _NotStructured
+    strings: dict[str, int] = {}
+
+    def sid(value: str) -> int:
+        if type(value) is not str:
+            raise _NotStructured
+        ref = strings.get(value)
+        if ref is None:
+            ref = len(strings)
+            strings[value] = ref
+        return ref
+
+    body = bytearray()
+    key = payload["key"]
+    item_level = payload["item_level"]
+    record_ids = payload["record_ids"]
+    nodes = flowgraph["nodes"]
+    exceptions = flowgraph["exceptions"]
+    if not (
+        isinstance(key, (list, tuple))
+        and isinstance(item_level, (list, tuple))
+        and isinstance(record_ids, (list, tuple))
+        and isinstance(nodes, list)
+        and isinstance(exceptions, list)
+    ):
+        raise _NotStructured
+    redundant = payload["redundant"]
+    if redundant is not True and redundant is not False:
+        raise _NotStructured
+    _append_varint(body, len(key))
+    for part in key:
+        _append_varint(body, sid(part))
+    _append_varint(body, len(item_level))
+    for level in item_level:
+        _append_varint(body, _checked_count(level))
+    _append_varint(body, _checked_count(payload["path_level"]))
+    body.append(1 if redundant else 0)
+    _append_varint(body, _checked_count(flowgraph["n_paths"]))
+    _append_varint(body, len(nodes))
+    ordinals: dict[tuple, int] = {}
+    for node in nodes:
+        if not isinstance(node, dict) or tuple(node) != _NODE_KEYS:
+            raise _NotStructured
+        prefix = node["prefix"]
+        if not isinstance(prefix, (list, tuple)) or not prefix:
+            raise _NotStructured
+        prefix = tuple(prefix)
+        if len(prefix) == 1:
+            _append_varint(body, 0)
+        else:
+            parent = ordinals.get(prefix[:-1])
+            if parent is None:
+                raise _NotStructured
+            _append_varint(body, parent + 1)
+        ordinals[prefix] = len(ordinals)
+        _append_varint(body, sid(prefix[-1]))
+        _append_varint(body, _checked_count(node["count"]))
+        for mapping in (node["durations"], node["transitions"]):
+            if not isinstance(mapping, dict):
+                raise _NotStructured
+            _append_varint(body, len(mapping))
+            for text, count in mapping.items():
+                _append_varint(body, sid(text))
+                _append_varint(body, _checked_count(count))
+    rid_arena = array("i")
+    try:
+        for rid in record_ids:
+            if type(rid) is not int or rid < 0:
+                raise _NotStructured
+            rid_arena.append(rid)
+    except OverflowError:
+        raise _NotStructured from None
+    if not _LITTLE_ENDIAN:
+        rid_arena.byteswap()
+    head = bytearray()
+    _append_varint(head, len(strings))
+    chunks = [text.encode("utf-8") for text in strings]
+    for chunk in chunks:
+        _append_varint(head, len(chunk))
+    stream = bytes(head) + bytes(body)
+    flags = 0
+    if not stream or max(stream) < 0x80:
+        flags |= _HEAP2_PURE
+    exc_blob = b""
+    if exceptions:
+        flags |= _HEAP2_EXC
+        exc_blob = _json_bytes(exceptions)
+        packed = zlib.compress(exc_blob, 6)
+        if len(packed) < len(exc_blob):
+            flags |= _HEAP2_EXC_ZLIB
+            exc_blob = packed
+    blob = b"".join(chunks)
+    try:
+        parts = [
+            bytes((flags,)),
+            _HEAP2_HEAD.pack(len(stream), len(blob), len(rid_arena)),
+            stream,
+            blob,
+            rid_arena.tobytes(),
+        ]
+        if exc_blob:
+            parts.append(_HEAP2_EXC_LEN.pack(len(exc_blob)))
+            parts.append(exc_blob)
+    except struct.error:
+        raise _NotStructured from None
+    return b"".join(parts)
+
+
+def encode_cell_payload(payload: dict) -> bytes:
+    """Encode one cell payload as a generation-2 (``FCHEAP02``) record.
+
+    Canonical payloads — the exact dict shape
+    :meth:`~repro.store.cube_store.CubeStore.put_cell` writes — pack into
+    one flags byte, a varint stream (parent-ordinal node encoding: each
+    node stores its parent's ordinal and last location instead of the
+    whole prefix), a per-cell UTF-8 string blob, a bulk little-endian
+    ``int32`` record-id arena, and an optional (zlib'd when smaller)
+    JSON exception blob.  Any payload outside that shape — foreign key
+    order, bool/float counters, out-of-range record ids — falls back to
+    a verbatim JSON record (:data:`_HEAP2_RAW`), so
+    ``decode(encode(p)) == p`` holds for *every* JSON-compatible
+    payload, byte-identical through ``cube_to_json``.
+    """
+    try:
+        return _encode_structured(payload)
+    except _NotStructured:
+        return bytes((_HEAP2_RAW,)) + _json_bytes(payload)
+
+
+def _split_heap2(buffer: bytes, flags: int):
+    stream_len, blob_len, n_rids = _HEAP2_HEAD.unpack_from(buffer, 1)
+    offset = 1 + _HEAP2_HEAD.size
+    stream = buffer[offset : offset + stream_len]
+    offset += stream_len
+    blob = buffer[offset : offset + blob_len]
+    offset += blob_len
+    rid_end = offset + 4 * n_rids
+    if rid_end > len(buffer):
+        raise StoreError("corrupt cell payload: truncated record ids")
+    rid_arena = array("i")
+    rid_arena.frombytes(buffer[offset:rid_end])
+    if not _LITTLE_ENDIAN:
+        rid_arena.byteswap()
+    exceptions: list = []
+    if flags & _HEAP2_EXC:
+        (exc_len,) = _HEAP2_EXC_LEN.unpack_from(buffer, rid_end)
+        exc = buffer[rid_end + _HEAP2_EXC_LEN.size : rid_end + _HEAP2_EXC_LEN.size + exc_len]
+        if flags & _HEAP2_EXC_ZLIB:
+            exc = zlib.decompress(exc)
+        exceptions = json.loads(exc)
+    if flags & _HEAP2_PURE:
+        values = list(stream)
+    else:
+        values = _decode_varints(stream)
+    n_strings = values[0]
+    strings: list[str] = []
+    position = 0
+    for length in values[1 : 1 + n_strings]:
+        strings.append(blob[position : position + length].decode("utf-8"))
+        position += length
+    return values, 1 + n_strings, strings, rid_arena, exceptions
+
+
+def decode_cell_payload(buffer: bytes) -> dict:
+    """Decode a generation-2 heap record back into its payload dict.
+
+    The result compares (and JSON-serialises) identically to what
+    ``json.loads`` returns for the generation-1 record of the same cell
+    — the parity contract ``migrate``/``convert`` assert per cell.
+    """
+    try:
+        flags = buffer[0]
+        if flags & _HEAP2_RAW:
+            return json.loads(bytes(buffer[1:]))
+        values, i, strings, rid_arena, exceptions = _split_heap2(buffer, flags)
+        n_key = values[i]
+        i += 1
+        key = [strings[ref] for ref in values[i : i + n_key]]
+        i += n_key
+        n_item = values[i]
+        i += 1
+        item_level = values[i : i + n_item]
+        i += n_item
+        path_level = values[i]
+        redundant = bool(values[i + 1])
+        n_paths = values[i + 2]
+        n_nodes = values[i + 3]
+        i += 4
+        nodes = []
+        prefixes: list[list[str]] = []
+        for _ in range(n_nodes):
+            parent = values[i]
+            location = strings[values[i + 1]]
+            count = values[i + 2]
+            i += 3
+            if parent:
+                prefix = prefixes[parent - 1] + [location]
+            else:
+                prefix = [location]
+            prefixes.append(prefix)
+            n = values[i]
+            i += 1
+            durations = {}
+            for _ in range(n):
+                durations[strings[values[i]]] = values[i + 1]
+                i += 2
+            n = values[i]
+            i += 1
+            transitions = {}
+            for _ in range(n):
+                transitions[strings[values[i]]] = values[i + 1]
+                i += 2
+            nodes.append(
+                {
+                    "prefix": prefix,
+                    "count": count,
+                    "durations": durations,
+                    "transitions": transitions,
+                }
+            )
+        return {
+            "key": key,
+            "item_level": item_level,
+            "path_level": path_level,
+            "record_ids": list(rid_arena),
+            "redundant": redundant,
+            "flowgraph": {
+                "n_paths": n_paths,
+                "nodes": nodes,
+                "exceptions": exceptions,
+            },
+        }
+    except (IndexError, ValueError, struct.error) as exc:
+        raise StoreError(f"corrupt cell payload: {exc}") from None
+
+
+def decode_cell_parts(buffer: bytes):
+    """Decode a generation-2 record straight into live query objects.
+
+    Returns ``(record_ids, redundant, flowgraph)`` without ever building
+    the payload dict: nodes are constructed directly from the varint
+    stream (``__new__`` + slot assignment, parents resolved by ordinal),
+    skipping both ``json.loads`` and ``flowgraph_from_dict``.  This is
+    the cold-slice hot path — materialising a cell is one pass over the
+    stream, with the 1- and 2-entry tally dicts (the overwhelmingly
+    common sizes) special-cased to dict literals.
+    """
+    from repro.core.serialization import exceptions_from_dicts, flowgraph_from_dict
+
+    try:
+        flags = buffer[0]
+        if flags & _HEAP2_RAW:
+            payload = json.loads(bytes(buffer[1:]))
+            return (
+                payload["record_ids"],
+                payload["redundant"],
+                flowgraph_from_dict(payload["flowgraph"]),
+            )
+        values, i, strings, rid_arena, exceptions = _split_heap2(buffer, flags)
+        n_key = values[i]
+        i += 1 + n_key
+        n_item = values[i]
+        i += 1 + n_item
+        redundant = bool(values[i + 1])
+        n_paths = values[i + 2]
+        n_nodes = values[i + 3]
+        i += 4
+        graph = FlowGraph()
+        graph.n_paths = n_paths
+        index = graph._index  # noqa: SLF001 - same-package rebuild
+        roots = graph._roots  # noqa: SLF001
+        nodes: list[FlowGraphNode] = []
+        new = FlowGraphNode.__new__
+        for _ in range(n_nodes):
+            parent_ordinal = values[i]
+            location = strings[values[i + 1]]
+            node = new(FlowGraphNode)
+            node.count = values[i + 2]
+            i += 3
+            if parent_ordinal:
+                parent = nodes[parent_ordinal - 1]
+                prefix = parent.prefix + (location,)
+                parent.children[location] = node
+            else:
+                prefix = (location,)
+                roots[location] = node
+            node.prefix = prefix
+            n = values[i]
+            i += 1
+            if n == 1:
+                node.duration_counts = {strings[values[i]]: values[i + 1]}
+                i += 2
+            elif n == 2:
+                node.duration_counts = {
+                    strings[values[i]]: values[i + 1],
+                    strings[values[i + 2]]: values[i + 3],
+                }
+                i += 4
+            else:
+                end = i + 2 * n
+                node.duration_counts = {
+                    strings[values[j]]: values[j + 1] for j in range(i, end, 2)
+                }
+                i = end
+            n = values[i]
+            i += 1
+            if n == 1:
+                node.transition_counts = {strings[values[i]]: values[i + 1]}
+                i += 2
+            elif n == 2:
+                node.transition_counts = {
+                    strings[values[i]]: values[i + 1],
+                    strings[values[i + 2]]: values[i + 3],
+                }
+                i += 4
+            else:
+                end = i + 2 * n
+                node.transition_counts = {
+                    strings[values[j]]: values[j + 1] for j in range(i, end, 2)
+                }
+                i = end
+            node.children = {}
+            index[prefix] = node
+            nodes.append(node)
+        if exceptions:
+            graph.exceptions = exceptions_from_dicts(exceptions)
+        return list(rid_arena), redundant, graph
+    except (IndexError, ValueError, struct.error) as exc:
+        raise StoreError(f"corrupt cell payload: {exc}") from None
+
+
+def heap_generation(magic: bytes) -> int:
+    """Heap generation for the leading 8 bytes of ``cells.bin``."""
+    if magic == HEAP_MAGIC:
+        return 1
+    if magic == HEAP_MAGIC_V2:
+        return 2
+    raise StoreError("not a cell heap: bad magic")
+
+
+# --------------------------------------------------------------------------
+# Lazily-sliced catalog masks
+# --------------------------------------------------------------------------
+
+
+class MaskArena:
+    """Owner of the masks region of an mmap'd ``cells.idx``.
+
+    Hands out :class:`LazyMaskMap` views whose bitmaps are decoded from
+    the map — one ``int.from_bytes`` over exactly the mask's bytes — the
+    first time a query ANDs them, and memoised after that.  ``counters``
+    (shared with the owning store backend) tallies every decode so the
+    benchmark tripwire can prove masks really stream from the index.
+
+    :meth:`close` materialises whatever the outstanding maps have *not*
+    decoded yet before the buffer is dropped, so a catalog built against
+    a superseded map keeps answering queries after ``maybe_reload()``
+    swapped the backend underneath it.
+    """
+
+    __slots__ = ("_buffer", "_maps", "counters")
+
+    def __init__(self, buffer, counters: dict | None = None) -> None:
+        self._buffer = buffer
+        self._maps: list[LazyMaskMap] = []
+        self.counters = counters if counters is not None else {}
+
+    def new_map(self, spans: dict[str, tuple[int, int]]) -> "LazyMaskMap":
+        mask_map = LazyMaskMap(self, spans)
+        self._maps.append(mask_map)
+        return mask_map
+
+    def read(self, start: int, end: int) -> int:
+        buffer = self._buffer
+        if buffer is None:
+            raise StoreError("cell index is closed")
+        self.counters["mask_bits_decoded"] = (
+            self.counters.get("mask_bits_decoded", 0) + 1
+        )
+        return int.from_bytes(buffer[start:end], "little")
+
+    def close(self, materialise: bool = True) -> None:
+        """Drop the buffer, first decoding what live maps still need.
+
+        *materialise* is False for a final (user-initiated) store close,
+        where later mask reads are a caller bug and should raise rather
+        than silently pay a full eager decode.
+        """
+        if self._buffer is None:
+            return
+        if materialise:
+            for mask_map in self._maps:
+                mask_map.materialise()
+        self._buffer = None
+
+
+class LazyMaskMap:
+    """One cuboid dimension's ``{value: cell-ordinal bitmap}``, lazily.
+
+    Quacks like the plain dict
+    :class:`~repro.perf.query_kernel.CuboidKeyCatalog` used to copy the
+    masks into — ``get`` / ``items`` / ``keys`` / iteration / ``len`` —
+    but each bitmap stays a ``(start, end)`` span over the mmap'd index
+    until the first access decodes it.
+    """
+
+    __slots__ = ("_arena", "_masks", "_spans")
+
+    def __init__(self, arena: MaskArena, spans: dict[str, tuple[int, int]]) -> None:
+        self._arena = arena
+        self._spans = spans
+        self._masks: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __contains__(self, value) -> bool:
+        return value in self._spans
+
+    def __iter__(self):
+        return iter(self._spans)
+
+    def keys(self):
+        return self._spans.keys()
+
+    def get(self, value, default=0):
+        mask = self._masks.get(value)
+        if mask is None:
+            span = self._spans.get(value)
+            if span is None:
+                return default
+            mask = self._arena.read(span[0], span[1])
+            self._masks[value] = mask
+        return mask
+
+    def items(self):
+        if len(self._masks) != len(self._spans):
+            self.materialise()
+        return self._masks.items()
+
+    def materialise(self) -> None:
+        """Decode every remaining span (used by :meth:`MaskArena.close`)."""
+        masks = self._masks
+        for value, span in self._spans.items():
+            if value not in masks:
+                masks[value] = self._arena.read(span[0], span[1])
+
+
+# --------------------------------------------------------------------------
 # Columnar partitions
 # --------------------------------------------------------------------------
 
 
-def pack_partition(database: PathDatabase) -> bytes:
+def pack_partition(
+    database: PathDatabase, strings: StringTable | None = None
+) -> bytes:
     """Encode *database* as one columnar partition blob.
 
-    Layout (all arenas 8-byte aligned)::
+    Without *strings* — the generation-1 layout, a self-contained file
+    (all arenas 8-byte aligned)::
 
         FCPART01 | header i64[6] | string offsets i64[S+1] | utf8 blob ⌈8⌉
         | record_ids i64[R] | dim refs i64[R*D] | path offsets i64[R+1]
@@ -184,6 +916,19 @@ def pack_partition(database: PathDatabase) -> bytes:
     locations share one interned string table, so repeated concepts and
     locations cost 8 bytes per reference; durations are exact IEEE
     doubles (no ``repr`` round-trip).
+
+    With *strings* — the generation-2 layout: the private string table
+    is replaced by a local→global **remap arena** into the shared store
+    table (every value is interned into *strings*, which the caller
+    saves as ``strings.bin``)::
+
+        FCPART02 | header i64[6] | remap i64[S]
+        | record_ids i64[R] | dim refs i64[R*D] | path offsets i64[R+1]
+        | stage location refs i64[T] | stage durations f64[T]
+
+    header = [ORDER_TAG, R, D, n_locals S, 0 (reserved), T]; dim and
+    location refs stay partition-local (dense, decode-once), and the
+    remap arena resolves them through the shared vocabulary.
     """
     interned: dict[str, int] = {}
     record_ids = array("q")
@@ -203,7 +948,15 @@ def pack_partition(database: PathDatabase) -> bytes:
             durations.append(stage.duration)
         total_stages += len(record.path)
         path_offsets.append(total_stages)
-    offsets_bytes, blob_bytes, blob_len = _pack_strings(interned)
+    if strings is None:
+        magic = PARTITION_MAGIC
+        offsets_bytes, blob_bytes, blob_len = _pack_strings(interned)
+        table_bytes = offsets_bytes + blob_bytes
+    else:
+        magic = PARTITION_MAGIC_V2
+        blob_len = 0
+        remap = array("q", [strings.intern(value) for value in interned])
+        table_bytes = remap.tobytes()
     header = array(
         "q",
         [
@@ -217,10 +970,9 @@ def pack_partition(database: PathDatabase) -> bytes:
     )
     return b"".join(
         (
-            PARTITION_MAGIC,
+            magic,
             header.tobytes(),
-            offsets_bytes,
-            blob_bytes,
+            table_bytes,
             record_ids.tobytes(),
             dim_refs.tobytes(),
             path_offsets.tobytes(),
@@ -230,8 +982,16 @@ def pack_partition(database: PathDatabase) -> bytes:
     )
 
 
-def unpack_partition(buffer: bytes, schema: PathSchema) -> PathDatabase:
+def unpack_partition(
+    buffer, schema: PathSchema, strings: StringTable | None = None
+) -> PathDatabase:
     """Decode a :func:`pack_partition` blob back into a database.
+
+    Accepts either generation (dispatch on the magic); generation-2
+    buffers additionally need the store's shared :class:`StringTable`.
+    *buffer* may be ``bytes`` or a ``memoryview`` over an mmap'd file —
+    every arena is sliced exactly, so a mapped read touches only the
+    pages the decode needs.
 
     The whole decode is bulk work — ``frombytes`` per arena, one
     ``zip`` transpose for the dim tuples, one ``map`` over
@@ -241,7 +1001,11 @@ def unpack_partition(buffer: bytes, schema: PathSchema) -> PathDatabase:
     already-validated database.
     """
     what = "columnar partition"
-    _check_magic(buffer, PARTITION_MAGIC, what)
+    if len(buffer) >= 8 and buffer[:8] == PARTITION_MAGIC_V2:
+        shared = True
+    else:
+        _check_magic(buffer, PARTITION_MAGIC, what)
+        shared = False
     header = _read_header(buffer, len(PARTITION_MAGIC), 6, what)
     _, n_records, n_dims, n_strings, blob_len, total_stages = header
     if n_dims != schema.n_dimensions:
@@ -250,7 +1014,20 @@ def unpack_partition(buffer: bytes, schema: PathSchema) -> PathDatabase:
             f"{schema.n_dimensions}"
         )
     offset = len(PARTITION_MAGIC) + 6 * _I64
-    strings, offset = _read_strings(buffer, offset, n_strings, blob_len, what)
+    if shared:
+        if strings is None:
+            raise StoreError(
+                "partition references the shared string table, but the "
+                "store has no strings.bin"
+            )
+        remap = _read_i64(buffer, offset, n_strings, what)
+        offset += n_strings * _I64
+        table_get = strings.get
+        strings = [table_get(ref) for ref in remap]
+    else:
+        strings, offset = _read_strings(
+            buffer, offset, n_strings, blob_len, what
+        )
     record_ids = _read_i64(buffer, offset, n_records, what)
     offset += n_records * _I64
     dim_refs = _read_i64(buffer, offset, n_records * n_dims, what)
@@ -390,25 +1167,32 @@ def pack_cell_index(
 
 
 def unpack_cell_index(
-    buffer: bytes,
+    buffer,
+    mask_arena: MaskArena | None = None,
 ) -> list[
     tuple[
         tuple[int, ...],
         int,
         list[tuple[str, ...]],
         list[tuple[int, int, int, bool]],
-        list[dict[str, int]],
+        list,
     ]
 ]:
     """Decode ``cells.idx`` → ``[(item_level_ids, path_level_id, keys,
     entries, masks)]`` with entries as ``(offset, length, n_paths,
-    redundant)`` and masks as one ``{value: ordinal bitmap}`` per
-    dimension.
+    redundant)`` and masks as one ``{value: ordinal bitmap}`` mapping
+    per dimension.
 
     Everything per-cell happens inside C loops: one ``map`` decodes the
     key refs, one ``zip`` transpose rebuilds the key tuples, one
-    four-column ``zip`` materialises the entry tuples, and each catalog
-    mask is a single ``int.from_bytes``.
+    four-column ``zip`` materialises the entry tuples.
+
+    Without *mask_arena* each catalog mask is decoded eagerly (a single
+    ``int.from_bytes`` per value).  With it — an arena wrapping the
+    same (typically mmap'd) *buffer* — masks come back as
+    :class:`LazyMaskMap` views holding only byte spans: the open does
+    **zero** mask decoding, and each bitmap streams out of the map the
+    first time a query ANDs it.
     """
     what = "cell index"
     _check_magic(buffer, INDEX_MAGIC, what)
@@ -458,20 +1242,27 @@ def unpack_cell_index(
         row += width
         n_bytes = (count + 7) >> 3
         padded = n_bytes + _pad8(n_bytes)
-        masks: list[dict[str, int]] = []
+        masks: list = []
         for dim in range(n_dims):
             n_values = mask_counts[mask_row + dim]
-            per_dim: dict[str, int] = {}
-            for ref in mask_refs[mask_at : mask_at + n_values]:
-                end = offset + padded
-                if end > len(buffer):
-                    raise StoreError(f"corrupt {what}: truncated mask bits")
-                per_dim[strings[ref]] = int.from_bytes(
-                    buffer[offset:end], "little"
-                )
-                offset = end
+            end = offset + n_values * padded
+            if end > len(buffer):
+                raise StoreError(f"corrupt {what}: truncated mask bits")
+            if mask_arena is None:
+                per_dim: dict[str, int] = {}
+                for ref in mask_refs[mask_at : mask_at + n_values]:
+                    per_dim[strings[ref]] = int.from_bytes(
+                        buffer[offset : offset + padded], "little"
+                    )
+                    offset += padded
+                masks.append(per_dim)
+            else:
+                spans: dict[str, tuple[int, int]] = {}
+                for ref in mask_refs[mask_at : mask_at + n_values]:
+                    spans[strings[ref]] = (offset, offset + padded)
+                    offset += padded
+                masks.append(mask_arena.new_map(spans))
             mask_at += n_values
-            masks.append(per_dim)
         mask_row += n_dims
         out.append(
             (

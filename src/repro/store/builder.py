@@ -83,7 +83,7 @@ from repro.core.flowgraph_exceptions import (
     serial_exception_pass,
 )
 from repro.core.lattice import ItemLattice, ItemLevel, PathLattice, PathLevel
-from repro.encoding.transactions import TransactionDatabase
+from repro.encoding.transactions import EncodingMemo, TransactionDatabase
 from repro.errors import CubeError
 from repro.mining.apriori import count_candidates, generate_candidates
 from repro.mining.result import FlowMiningResult, item_sort_key
@@ -414,6 +414,9 @@ def _task_bind_store(store_dir: str, path_lattice: PathLattice) -> bool:
     ctx["store"] = PartitionedPathStore.open(store_dir)
     ctx["lattice"] = path_lattice
     ctx["cached"] = None
+    # One encoding memo per worker per build: every partition this
+    # worker encodes shares the ancestor-closure caches.
+    ctx["memo"] = EncodingMemo()
     return True
 
 
@@ -451,7 +454,10 @@ def _worker_partition(partition_id: int, encode: bool):
         ctx["cached"] = cached
     if encode and cached["transactions"] is None:
         encoded = TransactionDatabase(
-            cached["database"], ctx["lattice"], include_top_level=False
+            cached["database"],
+            ctx["lattice"],
+            include_top_level=False,
+            memo=ctx.get("memo"),
         )
         cached["transactions"] = [t.items for t in encoded.transactions]
     return cached
@@ -701,13 +707,14 @@ def _share_mining_rows(
     counts: Counter = Counter()
     table: Counter | None = Counter() if next_precount is not None else None
     id_rows: list[list[array]] = []
+    memo = EncodingMemo()
     for _, database in store.iter_partitions():
         tracker.enter()
         try:
             if build_stats is not None:
                 build_stats.scans += 1
             encoded = TransactionDatabase(
-                database, path_lattice, include_top_level=False
+                database, path_lattice, include_top_level=False, memo=memo
             )
             part_rows = []
             for transaction in encoded.transactions:
@@ -780,6 +787,7 @@ def _scan_partitions(
     """
     encode = kind in ("scan1", "count")
     if pool is None:
+        memo = EncodingMemo()
         for _, database in store.iter_partitions():
             tracker.enter()
             try:
@@ -787,7 +795,8 @@ def _scan_partitions(
                     build_stats.scans += 1
                 if encode:
                     encoded = TransactionDatabase(
-                        database, path_lattice, include_top_level=False
+                        database, path_lattice, include_top_level=False,
+                        memo=memo,
                     )
                     transactions = [t.items for t in encoded.transactions]
                     if kind == "scan1":

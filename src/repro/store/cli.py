@@ -268,6 +268,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="require 'Authorization: Bearer TOKEN' on every request",
     )
     serve.add_argument(
+        "--admin-token",
+        default=None,
+        help=(
+            "enable POST /cubes/{name}/mount and /unmount; requests must "
+            "carry the token in an X-Admin-Token header (off by default)"
+        ),
+    )
+    serve.add_argument(
         "--max-age",
         type=int,
         default=60,
@@ -471,8 +479,20 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     store = PartitionedPathStore.open(args.store)
     check = not args.no_check
     if store.store_format == args.target:
-        print(f"store at {store.directory} is already in {args.target} format")
-        return 0
+        # Same format ≠ nothing to do: a binary store written by an
+        # older release may still hold generation-1 partition files
+        # (FCPART01 private string tables) or a generation-1 cell heap
+        # (FCHEAP01 JSON payloads); migrate upgrades those in place.
+        needs_upgrade = args.target == "binary" and (
+            store.partitions_need_upgrade()
+            or store.cube_store().needs_upgrade()
+        )
+        if not needs_upgrade:
+            print(
+                f"store at {store.directory} is already in "
+                f"{args.target} format"
+            )
+            return 0
     parity = "parity-checked" if check else "unchecked"
     print(f"migrating {store.directory} to {args.target} ({parity})")
 
@@ -533,6 +553,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         token=args.token,
         max_age=args.max_age,
+        admin_token=args.admin_token,
     )
 
     def ready(address: tuple[str, int]) -> None:

@@ -18,12 +18,16 @@ in one of two on-disk backends selected per store:
         cell-000000.json      one cell: coordinates + flowgraph payload
         ...
 
-Both backends store the *same* JSON cell payload (serialised with
-:func:`~repro.core.serialization.flowgraph_to_dict`) — the binary heap
-merely concatenates the payloads behind an mmap and moves the index
-into the packed ``cells.idx`` arena, so opening a million-cell cube
-costs one mmap per store instead of a million stats, and
-``cube_to_json`` output is byte-identical across backends.  A cell's
+Both backends store the *same logical* cell payload (the dict produced
+with :func:`~repro.core.serialization.flowgraph_to_dict`) — the binary
+heap packs it with the compact ``FCHEAP02`` codec
+(:func:`~repro.store.binfmt.encode_cell_payload`; legacy ``FCHEAP01``
+heaps with raw JSON payloads stay readable) and moves the index into
+the packed ``cells.idx`` arena, so opening a million-cell cube costs
+one mmap per store instead of a million stats — zero heap bytes are
+read on open, and the per-cuboid catalog masks stay lazy byte spans
+over the index map until a query ANDs them.  ``cube_to_json`` output
+is byte-identical across backends and generations.  A cell's
 flowgraph is only *materialised* (parsed and rebuilt) when a query
 first touches it; the store fronts every read with a bounded
 :class:`~repro.store.cache.LRUCache` whose hit/miss/eviction counters
@@ -146,7 +150,7 @@ class _JsonCells:
             )
         return index
 
-    def close(self) -> None:
+    def close(self, materialise: bool = True) -> None:
         pass
 
     def discard_files(self) -> None:
@@ -169,9 +173,23 @@ class _HeapCells:
     reader never sees an index pointing past the heap.  Reads go
     through ``os.pread`` on the staging handle while a build is open,
     and through one shared read-only mmap afterwards.
+
+    Two heap generations coexist behind the one ``"binary"`` format:
+    generation 1 (``FCHEAP01``) holds JSON payloads, generation 2
+    (``FCHEAP02``, the default for new heaps) holds
+    :func:`~repro.store.binfmt.encode_cell_payload` records.  The
+    generation is sniffed lazily from the heap magic on the first
+    payload read — a cold open touches ``cells.idx`` only, which is
+    itself mmap'd with the catalog masks left as
+    :class:`~repro.store.binfmt.LazyMaskMap` spans.  ``io_counters``
+    tallies heap bytes read and mask bitmaps decoded; the benchmark
+    tripwire asserts both stay zero across an open.
     """
 
     format = "binary"
+
+    #: Heap generation written by new builds.
+    LATEST_GENERATION = 2
 
     def __init__(self, directory: FsPath, n_dims: int) -> None:
         self.directory = directory
@@ -180,9 +198,18 @@ class _HeapCells:
         self._offset = 0
         self._mmap: mmap.mmap | None = None
         self._mmap_file = None
-        #: (item level, path-level id) -> per-dimension catalog masks,
-        #: decoded straight from ``cells.idx`` on load.
+        self._index_mmap: mmap.mmap | None = None
+        self._index_file = None
+        self._mask_arena: binfmt.MaskArena | None = None
+        self._generation: int | None = None
+        #: (item level, path-level id) -> per-dimension catalog masks:
+        #: lazy mmap-backed views handed out by :meth:`load`.
         self.cell_masks: dict = {}
+        #: Read-path telemetry (shared with the mask arena).
+        self.io_counters: dict[str, int] = {
+            "heap_bytes_read": 0,
+            "mask_bits_decoded": 0,
+        }
 
     @property
     def heap_path(self) -> FsPath:
@@ -196,31 +223,71 @@ class _HeapCells:
     def _staging_path(self) -> FsPath:
         return self.directory / f"{HEAP_FILENAME}.{os.getpid()}.tmp"
 
-    def begin(self) -> None:
-        """Start a fresh heap in the staging file."""
+    @staticmethod
+    def _magic_for(generation: int) -> bytes:
+        return HEAP_MAGIC if generation == 1 else binfmt.HEAP_MAGIC_V2
+
+    @property
+    def generation(self) -> int:
+        """The live heap's generation, sniffed from its magic on demand."""
+        if self._generation is None:
+            if self._staging is not None:
+                self._staging.flush()
+                magic = os.pread(self._staging.fileno(), 8, 0)
+            elif self.heap_path.exists():
+                with open(self.heap_path, "rb") as handle:
+                    magic = handle.read(8)
+            else:
+                return self.LATEST_GENERATION
+            self._generation = binfmt.heap_generation(magic)
+        return self._generation
+
+    def needs_upgrade(self) -> bool:
+        """True when the published heap predates :data:`LATEST_GENERATION`."""
+        return (
+            self.heap_path.exists()
+            and self.generation < self.LATEST_GENERATION
+        )
+
+    def begin(self, generation: int | None = None) -> None:
+        """Start a fresh heap in the staging file.
+
+        *generation* pins the heap codec (1 = JSON payloads, 2 = binary
+        records); new heaps default to :data:`LATEST_GENERATION`.
+        """
         self._drop_mmap()
         self._abort_staging()
         self.cell_masks = {}
+        self._generation = generation or self.LATEST_GENERATION
         self.directory.mkdir(parents=True, exist_ok=True)
         self._staging = open(self._staging_path, "w+b")
-        self._staging.write(HEAP_MAGIC)
-        self._offset = len(HEAP_MAGIC)
+        self._staging.write(self._magic_for(self._generation))
+        self._offset = 8
 
     def _ensure_staging(self) -> None:
-        """Open the staging file, seeding it from the live heap."""
+        """Open the staging file, seeding it from the live heap.
+
+        Appends must match the seeded heap's codec, so the generation is
+        pinned from the copied magic before the first :meth:`put`.
+        """
         if self._staging is not None:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.heap_path.exists():
+            self._generation = self.generation  # sniff before staging opens
             shutil.copyfile(self.heap_path, self._staging_path)
         else:
-            self._staging_path.write_bytes(HEAP_MAGIC)
+            self._generation = self._generation or self.LATEST_GENERATION
+            self._staging_path.write_bytes(self._magic_for(self._generation))
         self._staging = open(self._staging_path, "a+b")
         self._offset = os.path.getsize(self._staging_path)
 
     def put(self, payload: dict, n_paths: int, redundant: bool) -> Entry:
         self._ensure_staging()
-        data = json.dumps(payload).encode("utf-8")
+        if self._generation == 1:
+            data = json.dumps(payload).encode("utf-8")
+        else:
+            data = binfmt.encode_cell_payload(payload)
         self._staging.write(HEAP_LENGTH_STRUCT.pack(len(data)))
         self._staging.write(data)
         entry = (
@@ -232,7 +299,7 @@ class _HeapCells:
         self._offset += HEAP_LENGTH_STRUCT.size + len(data)
         return entry
 
-    def read(self, entry: Entry) -> dict:
+    def _raw(self, entry: Entry) -> bytes:
         offset, length = entry[0], entry[1]
         if self._staging is not None:
             # Mid-build reads (e.g. a migration parity check) hit the
@@ -245,7 +312,25 @@ class _HeapCells:
             raise StoreError(
                 f"cell heap {self.heap_path} is truncated at byte {offset}"
             )
-        return json.loads(data)
+        self.io_counters["heap_bytes_read"] += length
+        return data
+
+    def read(self, entry: Entry) -> dict:
+        generation = self.generation
+        data = self._raw(entry)
+        if generation == 1:
+            return json.loads(data)
+        return binfmt.decode_cell_payload(data)
+
+    def read_parts(self, entry: Entry):
+        """``(record_ids, redundant, flowgraph)`` for generation-2 heaps.
+
+        ``None`` for generation 1, where the caller materialises from
+        the payload dict instead.
+        """
+        if self.generation != 2:
+            return None
+        return binfmt.decode_cell_parts(self._raw(entry))
 
     def _view(self) -> mmap.mmap:
         if self._mmap is None:
@@ -285,7 +370,9 @@ class _HeapCells:
         elif not self.heap_path.exists():
             # An empty cube flushed without a single put still publishes
             # a (magic-only) heap so the pair of files stays consistent.
-            self._staging_path.write_bytes(HEAP_MAGIC)
+            self._staging_path.write_bytes(
+                self._magic_for(self._generation or self.LATEST_GENERATION)
+            )
             os.replace(self._staging_path, self.heap_path)
         index_temp = self.directory / f"{INDEX_FILENAME}.{os.getpid()}.tmp"
         index_temp.write_bytes(blob)
@@ -293,27 +380,57 @@ class _HeapCells:
         return {"n_cells": sum(len(entries) for entries in index.values())}
 
     def load(self, payload: dict, schema: PathSchema):
-        """Rebuild the whole index from ``cells.idx`` — zero heap IO."""
+        """Rebuild the whole index from ``cells.idx`` — zero heap IO.
+
+        The index file is mmap'd and stays mapped: keys and entries are
+        decoded eagerly (cheap columnar ``zip`` passes), while the
+        catalog masks remain byte spans over the map
+        (:class:`~repro.store.binfmt.LazyMaskMap`), each bitmap decoded
+        the first time a query ANDs it.
+        """
         self._drop_mmap()
         self._abort_staging()
+        self._drop_index()
+        self._generation = None
         if not self.index_path.exists():
             raise StoreError(
                 f"cube meta names the binary backend but {self.index_path} "
                 "is missing"
             )
+        try:
+            self._index_file = open(self.index_path, "rb")
+            self._index_mmap = mmap.mmap(
+                self._index_file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (OSError, ValueError) as exc:
+            self._drop_index()
+            raise StoreError(
+                f"cannot map cell index {self.index_path}: {exc}"
+            ) from None
+        self._mask_arena = binfmt.MaskArena(
+            self._index_mmap, self.io_counters
+        )
         index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
         self.cell_masks = {}
         for levels, level_id, keys, entries, masks in binfmt.unpack_cell_index(
-            self.index_path.read_bytes()
+            self._index_mmap, self._mask_arena
         ):
             coords = (ItemLevel(levels), level_id)
             index[coords] = dict(zip(keys, entries))
             self.cell_masks[coords] = masks
         return index
 
-    def close(self) -> None:
+    def close(self, materialise: bool = True) -> None:
+        """Release every map and handle.
+
+        With *materialise* (the reload path), masks still referenced by
+        live catalogs are decoded out of the index map before it is
+        closed, so an in-flight query keeps answering; a final
+        (user-initiated) close passes False and later mask reads raise.
+        """
         self._drop_mmap()
         self._abort_staging()
+        self._drop_index(materialise)
 
     def _drop_mmap(self) -> None:
         if self._mmap is not None:
@@ -323,6 +440,17 @@ class _HeapCells:
             self._mmap_file.close()
             self._mmap_file = None
 
+    def _drop_index(self, materialise: bool = True) -> None:
+        arena, self._mask_arena = self._mask_arena, None
+        if arena is not None:
+            arena.close(materialise)
+        if self._index_mmap is not None:
+            self._index_mmap.close()
+            self._index_mmap = None
+        if self._index_file is not None:
+            self._index_file.close()
+            self._index_file = None
+
     def _abort_staging(self) -> None:
         if self._staging is not None:
             self._staging.close()
@@ -330,7 +458,7 @@ class _HeapCells:
         self._staging_path.unlink(missing_ok=True)
 
     def discard_files(self) -> None:
-        self.close()
+        self.close(materialise=False)
         self.heap_path.unlink(missing_ok=True)
         self.index_path.unlink(missing_ok=True)
 
@@ -664,6 +792,45 @@ class CubeStore:
             self._load_meta(signature, text)
             return True
 
+    def close(self) -> None:
+        """Release every backend file handle and map (idempotent).
+
+        Unlike a reload (which decodes still-referenced lazy masks out
+        of the index map before dropping it), a final close drops the
+        maps outright — subsequent mask or heap reads raise
+        :class:`~repro.errors.StoreError`.  The handle itself stays
+        usable: the next :meth:`maybe_reload` / :meth:`_load_meta`
+        reopens the files.
+        """
+        with self._lock:
+            self._cells.close(materialise=False)
+            self._cache.clear()
+
+    def __enter__(self) -> "CubeStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def io_counters(self) -> dict[str, int]:
+        """Snapshot of the backend's read-path telemetry.
+
+        ``heap_bytes_read`` counts payload bytes pulled out of
+        ``cells.bin``; ``mask_bits_decoded`` counts catalog bitmaps
+        decoded from the ``cells.idx`` map.  Both stay zero across a
+        cold open — the benchmark tripwire asserts exactly that.  JSON
+        stores have no such files and report zeros.
+        """
+        counters = getattr(self._cells, "io_counters", None)
+        if counters is None:
+            return {"heap_bytes_read": 0, "mask_bits_decoded": 0}
+        return dict(counters)
+
+    def needs_upgrade(self) -> bool:
+        """Whether the cell heap predates the latest binary generation."""
+        checker = getattr(self._cells, "needs_upgrade", None)
+        return bool(checker()) if checker is not None else False
+
     # ------------------------------------------------------------------
     # format conversion
     # ------------------------------------------------------------------
@@ -672,6 +839,7 @@ class CubeStore:
         cell_format: str,
         progress=None,
         check: bool = True,
+        generation: int | None = None,
     ) -> int:
         """Rewrite the built cube's cells in *cell_format*, in place.
 
@@ -685,10 +853,15 @@ class CubeStore:
             cell_format: ``"binary"`` or ``"json"``.
             progress: Optional ``callback(done, total)`` fired per cell.
             check: Verify every payload round-trips identically.
+            generation: Target heap generation for ``"binary"``
+                (1 = ``FCHEAP01`` JSON payloads, 2 = ``FCHEAP02``
+                binary records); defaults to the latest.  Lets
+                ``migrate`` upgrade a generation-1 heap in place, and
+                tests/benchmarks write legacy heaps deliberately.
 
         Returns:
             The number of cells converted (0 when already in the target
-            format).
+            format and generation).
         """
         with self._lock:
             self._require_built()
@@ -698,10 +871,18 @@ class CubeStore:
                     f"expected one of {CELL_FORMATS}"
                 )
             old = self._cells
-            if old.format == cell_format:
+            same_format = old.format == cell_format
+            if same_format and cell_format != "binary":
                 return 0
+            if same_format:
+                target = generation or _HeapCells.LATEST_GENERATION
+                if old.generation == target:
+                    return 0
             new = self._make_backend(cell_format)
-            new.begin()
+            if isinstance(new, _HeapCells):
+                new.begin(generation)
+            else:
+                new.begin()
             total = self.n_cells()
             done = 0
             new_index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
@@ -722,7 +903,13 @@ class CubeStore:
             self._cells = new
             self._cache.clear()
             self.flush()
-            old.discard_files()
+            if same_format:
+                # A generation rewrite republished the *same* heap and
+                # index paths; dropping "old's" files would delete the
+                # fresh ones.  Just release the superseded maps.
+                old.close(materialise=False)
+            else:
+                old.discard_files()
             return done
 
     # ------------------------------------------------------------------
@@ -761,6 +948,22 @@ class CubeStore:
         key: CellKey,
         entry: Entry,
     ) -> Cell:
+        reader = getattr(self._cells, "read_parts", None)
+        if reader is not None:
+            parts = reader(entry)
+            if parts is not None:
+                # Generation-2 heaps decode straight to graph objects,
+                # skipping the payload-dict intermediate entirely.
+                record_ids, redundant, flowgraph = parts
+                return Cell(
+                    key=key,
+                    item_level=item_level,
+                    path_level=path_level,
+                    record_ids=tuple(record_ids),
+                    flowgraph=flowgraph,
+                    paths=(),
+                    redundant=redundant,
+                )
         payload = self._cells.read(entry)
         return Cell(
             key=key,
@@ -912,6 +1115,9 @@ class CubeStore:
             "min_deviation": self.min_deviation,
             "cache": self.cache_stats(),
         }
+        if self.cell_format == "binary" and self.is_built:
+            out["heap_generation"] = self._cells.generation
+            out["io"] = self.io_counters()
         if self.build_stats is not None:
             out["version"] = self.build_version
             out["build_stats"] = self.build_stats

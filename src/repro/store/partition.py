@@ -26,18 +26,25 @@ touching them.
 from __future__ import annotations
 
 import hashlib
+import mmap
 from dataclasses import dataclass, field
 from pathlib import Path as FsPath
 
 from repro.core.path_database import PathDatabase, PathSchema
 from repro.errors import StoreError
-from repro.store.binfmt import pack_partition, unpack_partition
+from repro.store.binfmt import (
+    PARTITION_MAGIC,
+    StringTable,
+    pack_partition,
+    unpack_partition,
+)
 
 __all__ = [
     "BloomSummary",
     "PartitionMeta",
     "LOCATION_SUMMARY",
     "partition_filename",
+    "partition_generation",
     "summarise_partition",
     "write_partition",
     "read_partition",
@@ -179,19 +186,63 @@ def partition_filename(partition_id: int, store_format: str) -> str:
     return f"part-{partition_id:05d}{suffix}"
 
 
-def write_partition(path: FsPath, database: PathDatabase) -> None:
-    """Persist one partition, binary (``.bin``) or CSV by suffix."""
+def write_partition(
+    path: FsPath, database: PathDatabase, strings: StringTable | None = None
+) -> None:
+    """Persist one partition, binary (``.bin``) or CSV by suffix.
+
+    With *strings*, binary partitions are written in the generation-2
+    shared-vocabulary layout (``FCPART02``); the caller is responsible
+    for saving the table (``strings.bin``) **before** the catalog points
+    at the new file.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     if path.suffix == ".bin":
-        path.write_bytes(pack_partition(database))
+        path.write_bytes(pack_partition(database, strings))
     else:
         path.write_text(database.to_csv(), encoding="utf-8")
 
 
-def read_partition(path: FsPath, schema: PathSchema) -> PathDatabase:
-    """Load one partition file back into a :class:`PathDatabase`."""
+def read_partition(
+    path: FsPath, schema: PathSchema, strings: StringTable | None = None
+) -> PathDatabase:
+    """Load one partition file back into a :class:`PathDatabase`.
+
+    Binary partitions are mmap'd and decoded through memoryview slices
+    — each arena's ``frombytes`` reads straight out of the page cache
+    with no intermediate whole-file ``bytes`` copy.  The map is
+    transient: everything the database needs is materialised before the
+    view is released, so nothing pins the file afterwards.
+    """
     if not path.exists():
         raise StoreError(f"partition file {path} is missing")
     if path.suffix == ".bin":
-        return unpack_partition(path.read_bytes(), schema)
+        with open(path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"cannot map partition file {path}: {exc}"
+                ) from None
+            try:
+                view = memoryview(mapped)
+                try:
+                    return unpack_partition(view, schema, strings)
+                finally:
+                    view.release()
+            finally:
+                mapped.close()
     return PathDatabase.from_csv(schema, path.read_text(encoding="utf-8"))
+
+
+def partition_generation(path: FsPath) -> int:
+    """Layout generation of one ``.bin`` partition file (1 or 2).
+
+    Used by ``migrate`` to spot generation-1 files that need rewriting
+    even when the store format is already ``"binary"``.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(8)
+    return 1 if magic == PARTITION_MAGIC else 2

@@ -25,6 +25,7 @@ memory, which is the contract the out-of-core builder
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable, Iterator
 from pathlib import Path as FsPath
 
@@ -32,12 +33,20 @@ from repro.core.incremental import append_batch
 from repro.core.path import PathRecord
 from repro.core.path_database import PathDatabase, PathSchema
 from repro.errors import StoreError
-from repro.store.binfmt import DEFAULT_STORE_FORMAT, STORE_FORMATS
+from repro.store.binfmt import (
+    DEFAULT_STORE_FORMAT,
+    STORE_FORMATS,
+    STRINGS_FILENAME,
+    StringTable,
+    pack_partition,
+    unpack_partition,
+)
 from repro.store.catalog import Catalog, schema_fingerprint
 from repro.store.partition import (
     LOCATION_SUMMARY,
     PartitionMeta,
     partition_filename,
+    partition_generation,
     read_partition,
     summarise_partition,
     write_partition,
@@ -49,11 +58,72 @@ PARTITIONS_DIR = "partitions"
 
 
 class PartitionedPathStore:
-    """A path database persisted as size-bounded partition files."""
+    """A path database persisted as size-bounded partition files.
+
+    Binary stores share one vocabulary across partitions: the store's
+    :class:`~repro.store.binfmt.StringTable` (``partitions/strings.bin``)
+    is mmap'd on first use, generation-2 partitions resolve their refs
+    through it, and :meth:`close` (or the context-manager exit) releases
+    the map — the store never relies on GC to drop file handles.
+    """
 
     def __init__(self, directory: FsPath, catalog: Catalog) -> None:
         self.directory = FsPath(directory)
         self.catalog = catalog
+        self._strings: StringTable | None = None
+        self._strings_loaded = False
+
+    # ------------------------------------------------------------------
+    # shared string table
+    # ------------------------------------------------------------------
+    @property
+    def _strings_path(self) -> FsPath:
+        return self.directory / PARTITIONS_DIR / STRINGS_FILENAME
+
+    @property
+    def strings(self) -> StringTable | None:
+        """The shared string table, or ``None`` when the store has none.
+
+        Loaded (mmap'd) lazily: a store whose partitions are all
+        generation 1 — or a ``"json"`` store — never opens the file.
+        """
+        if not self._strings_loaded:
+            self._strings_loaded = True
+            if self._strings_path.exists():
+                self._strings = StringTable.load(self._strings_path)
+        return self._strings
+
+    def _writable_strings(self) -> StringTable:
+        """The shared table for a write path, creating it when absent."""
+        table = self.strings
+        if table is None:
+            table = StringTable()
+            self._strings = table
+        return table
+
+    def _save_strings(self, table: StringTable) -> None:
+        """Persist the table before any file that references it.
+
+        Append-only ids make the ordering crash-safe: a saved superset
+        that no partition references yet is harmless, the reverse is
+        not.
+        """
+        if table.dirty or not self._strings_path.exists():
+            self._strings_path.parent.mkdir(parents=True, exist_ok=True)
+            table.save(self._strings_path)
+
+    def close(self) -> None:
+        """Release the string-table map (idempotent)."""
+        table, self._strings = self._strings, None
+        self._strings_loaded = False
+        if table is not None:
+            table.close()
+
+    def __enter__(self) -> "PartitionedPathStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -170,11 +240,26 @@ class PartitionedPathStore:
                 max_record_id=chunk[-1].record_id,
                 summaries=summarise_partition(database),
             )
-            write_partition(self._partition_path(meta), database)
+            self._write_partition_file(self._partition_path(meta), database)
             self.catalog.add(meta)
             written.append(meta)
         self.catalog.save()
         return written
+
+    def _write_partition_file(
+        self, path: FsPath, database: PathDatabase
+    ) -> None:
+        """Write one partition, routing binary files through the shared
+        table (which is saved *before* the partition that references it
+        hits disk)."""
+        if path.suffix == ".bin":
+            table = self._writable_strings()
+            payload = pack_partition(database, table)
+            self._save_strings(table)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(payload)
+        else:
+            write_partition(path, database)
 
     def append(
         self,
@@ -218,7 +303,9 @@ class PartitionedPathStore:
         """Load one partition's rows."""
         for meta in self.catalog.partitions:
             if meta.partition_id == partition_id:
-                return read_partition(self._partition_path(meta), self.schema)
+                return read_partition(
+                    self._partition_path(meta), self.schema, self.strings
+                )
         raise StoreError(f"no partition {partition_id} in the catalog")
 
     def iter_partitions(
@@ -230,7 +317,9 @@ class PartitionedPathStore:
         consumer advances — this is the out-of-core read path.
         """
         for meta in self.catalog.partitions:
-            yield meta, read_partition(self._partition_path(meta), self.schema)
+            yield meta, read_partition(
+                self._partition_path(meta), self.schema, self.strings
+            )
 
     def load_all(self) -> PathDatabase:
         """Concatenate every partition into one in-memory database.
@@ -291,6 +380,11 @@ class PartitionedPathStore:
         readable mixed-suffix store that a rerun finishes; the format
         flag itself flips in one final save.
 
+        A ``"binary"`` target also upgrades generation-1 (``FCPART01``,
+        private string table) files to the shared-vocabulary generation-2
+        layout: same filename, rewritten through an atomic temp+rename
+        after the shared table is saved.
+
         Args:
             store_format: ``"binary"`` or ``"json"``.
             progress: Optional ``callback(done, total, filename)`` fired
@@ -310,15 +404,42 @@ class PartitionedPathStore:
         converted = skipped = 0
         for meta in self.catalog.partitions:
             target = partition_filename(meta.partition_id, store_format)
-            if meta.filename == target:
-                skipped += 1
-                continue
             old_path = self._partition_path(meta)
-            database = read_partition(old_path, self.schema)
+            if meta.filename == target:
+                if (
+                    store_format != "binary"
+                    or partition_generation(old_path) != 1
+                ):
+                    skipped += 1
+                    continue
+                # In-place generation upgrade: decode the self-contained
+                # v1 file, re-encode against the shared table, and swap
+                # atomically (the table is saved first, so the new file
+                # never references ids the store cannot resolve).
+                database = read_partition(old_path, self.schema)
+                table = self._writable_strings()
+                payload = pack_partition(database, table)
+                self._save_strings(table)
+                if check:
+                    # Parity straight off the payload bytes (the temp
+                    # file's .tmp suffix would misdispatch a file read).
+                    replica = unpack_partition(payload, self.schema, table)
+                    if replica.to_csv() != database.to_csv():
+                        raise StoreError(
+                            f"migration parity check failed for {meta.filename}"
+                        )
+                temp = old_path.parent / (old_path.name + ".tmp")
+                temp.write_bytes(payload)
+                os.replace(temp, old_path)
+                converted += 1
+                if progress is not None:
+                    progress(converted + skipped, total, target)
+                continue
+            database = read_partition(old_path, self.schema, self.strings)
             new_path = self.directory / PARTITIONS_DIR / target
-            write_partition(new_path, database)
+            self._write_partition_file(new_path, database)
             if check:
-                replica = read_partition(new_path, self.schema)
+                replica = read_partition(new_path, self.schema, self.strings)
                 if replica.to_csv() != database.to_csv():
                     new_path.unlink(missing_ok=True)
                     raise StoreError(
@@ -335,7 +456,24 @@ class PartitionedPathStore:
                 progress(converted + skipped, total, target)
         self.catalog.store_format = store_format
         self.catalog.save()
+        if store_format == "json":
+            # No binary partition references the shared table any more.
+            table, self._strings = self._strings, None
+            self._strings_loaded = False
+            if table is not None:
+                table.close()
+            self._strings_path.unlink(missing_ok=True)
         return {"partitions": converted, "skipped": skipped}
+
+    def partitions_need_upgrade(self) -> bool:
+        """True when a ``"binary"`` store still has generation-1 files."""
+        if self.store_format != "binary":
+            return False
+        return any(
+            meta.filename.endswith(".bin")
+            and partition_generation(self._partition_path(meta)) == 1
+            for meta in self.catalog.partitions
+        )
 
     # ------------------------------------------------------------------
     # the cube side of the store
@@ -358,5 +496,27 @@ class PartitionedPathStore:
         )
 
     def describe(self) -> dict[str, object]:
-        """Catalog-level summary statistics."""
-        return self.catalog.describe()
+        """Catalog-level summary statistics.
+
+        Binary stores also report the partition-file generation split
+        (``FCPART01`` self-contained vs ``FCPART02`` shared-vocabulary)
+        and the shared string table's size, so ``flowcube-store stats``
+        shows at a glance whether a ``migrate --to binary`` upgrade
+        pass is still pending.
+        """
+        out = self.catalog.describe()
+        if self.store_format == "binary":
+            generations = {1: 0, 2: 0}
+            for meta in self.catalog.partitions:
+                if meta.filename.endswith(".bin"):
+                    generation = partition_generation(
+                        self._partition_path(meta)
+                    )
+                    generations[generation] += 1
+            out["partition_generations"] = {
+                str(generation): count
+                for generation, count in generations.items()
+            }
+            table = self.strings
+            out["shared_strings"] = len(table) if table is not None else 0
+        return out

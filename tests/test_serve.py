@@ -704,3 +704,80 @@ def test_merge_query_stats_concurrent_no_lost_increments(tmp_path):
     # No temp droppings survive a clean run.
     leftovers = [p.name for p in directory.glob("query_stats.json.*.tmp")]
     assert not leftovers
+
+
+# ----------------------------------------------------------------------
+# admin routes: runtime mount / unmount
+# ----------------------------------------------------------------------
+
+def admin_post(app, path, body=None, token=None):
+    headers = {} if token is None else {"x-admin-token": token}
+    return app.handle(
+        Request(
+            method="POST",
+            path=path,
+            query={},
+            headers=headers,
+            body=json.dumps(body or {}).encode(),
+        )
+    )
+
+
+def test_admin_routes_disabled_without_token(app):
+    response = admin_post(app, "/cubes/other/mount", {"path": "/nowhere"})
+    assert response.status == 403
+    assert b"disabled" in response.body
+
+
+def test_admin_mount_unmount_cycle(store_dir, tenant):
+    app = SlicerApp([tenant], admin_token="s3cret")
+
+    # Wrong or missing token -> 401; GET -> 405.
+    assert admin_post(app, "/cubes/x/mount", token="nope").status == 401
+    assert admin_post(app, "/cubes/x/mount").status == 401
+    response = app.handle(
+        Request(
+            method="GET",
+            path="/cubes/x/mount",
+            query={},
+            headers={"x-admin-token": "s3cret"},
+        )
+    )
+    assert response.status == 405
+
+    # Mount the same store under a second name and serve it.
+    response = admin_post(
+        app, "/cubes/wh2/mount", {"path": str(store_dir)}, token="s3cret"
+    )
+    assert response.status == 201
+    payload = json.loads(response.body)
+    assert payload["mounted"] == "wh2"
+    assert payload["cube"]["cells"] > 0
+    assert sorted(app.tenants) == ["wh", "wh2"]
+    assert body_of(get(app, "/cubes/wh2/slice"))["n_cells"] > 0
+
+    # Duplicate mounts, bad paths, and unknown unmounts fail loudly.
+    response = admin_post(
+        app, "/cubes/wh2/mount", {"path": str(store_dir)}, token="s3cret"
+    )
+    assert response.status == 409
+    response = admin_post(
+        app, "/cubes/bad/mount", {"path": str(store_dir) + "-none"},
+        token="s3cret",
+    )
+    assert response.status == 400
+    assert admin_post(
+        app, "/cubes/ghost/unmount", token="s3cret"
+    ).status == 404
+    assert admin_post(app, "/cubes/wh2/mount", token="s3cret").status == 400
+
+    # Unmount releases the tenant; its routes disappear.
+    response = admin_post(app, "/cubes/wh2/unmount", token="s3cret")
+    assert response.status == 200
+    assert json.loads(response.body) == {"unmounted": "wh2"}
+    assert sorted(app.tenants) == ["wh"]
+    assert get(app, "/cubes/wh2/slice").status == 404
+
+    # The last cube cannot be unmounted out from under the server.
+    assert admin_post(app, "/cubes/wh/unmount", token="s3cret").status == 409
+    assert body_of(get(app, "/cubes/wh/slice"))["n_cells"] > 0
