@@ -26,6 +26,13 @@ Six questions the store and perf layers have to answer honestly:
   legacy ``FCHEAP01`` (JSON-in-heap) row for the generation headline,
   and a zero-copy tripwire that *fails the run* if a cold open ever
   reads heap bytes or decodes catalog masks again;
+* what incremental maintenance buys over reconstruction: a skewed 10%
+  batch delta-merged into a prebuilt binary store (touched cells only,
+  written as append-only delta segments) vs a full out-of-core rebuild
+  of the grown database — with the appended cube asserted byte-identical
+  to the rebuild before *and* after compaction, the base ``cells.bin``
+  asserted untouched, and a cold open with pending deltas asserted
+  zero-copy (the run fails on any violation);
 * what the bitmap query kernel buys on the serving path: a cold slice
   over the cube store with the index-first kernel (predicates answered
   from the key catalog, only matching cells read) vs the seed full scan,
@@ -63,10 +70,13 @@ from repro.encoding.transactions import TransactionDatabase
 from repro.mining import shared_mine
 from repro.perf.query_kernel import CuboidKeyCatalog
 from repro.query import FlowCubeQuery, derive_cuboid, plan_derivation
+from repro.core.path import PathRecord
+from repro.core.path_database import PathDatabase
 from repro.store import (
     BuildStats,
     PartitionedPathStore,
     WorkerPool,
+    append_records,
     build_cube,
     shared_mine_store,
 )
@@ -850,6 +860,183 @@ def _formats_section(
     }
 
 
+#: Iceberg threshold for the append sweep: absolute, so the frontier does
+#: not churn as the database grows and the rows isolate maintenance cost.
+APPEND_MIN_SUPPORT = 2
+APPEND_FRACTION = 0.1
+
+
+def _skewed_batch(database, fraction: float) -> list[PathRecord]:
+    """A *fraction*-sized batch skewed into one level-1 group per dim.
+
+    A uniformly random batch touches nearly every cell, which measures a
+    rebuild in disguise; a realistic maintenance batch (one day of one
+    product family moving through one region) dirties a small corner of
+    the cube.  Records are cloned from the base database — filtered to
+    the first level-1 concept of every dimension — with fresh ids above
+    the store's high-water mark.
+    """
+    hierarchies = database.schema.dimensions
+    targets = tuple(
+        sorted(h.concepts_at_level(1))[0] for h in hierarchies
+    )
+    matches = [
+        record
+        for record in database
+        if all(
+            h.ancestor_at_level(value, 1) == target
+            for h, value, target in zip(hierarchies, record.dims, targets)
+        )
+    ]
+    if not matches:  # pathological fanout: fall back to the first record
+        matches = [next(iter(database))]
+    n_batch = max(1, round(fraction * len(database)))
+    floor = max(record.record_id for record in database) + 1
+    return [
+        PathRecord(floor + i, donor.dims, donor.path)
+        for i, donor in enumerate(
+            matches[i % len(matches)] for i in range(n_batch)
+        )
+    ]
+
+
+def _append_point(database, n_partitions: int, repeats: int) -> dict:
+    """One append-vs-rebuild row, with the contracts enforced.
+
+    The baseline is a full out-of-core rebuild of the grown database into
+    a fresh cube directory; the append run ingests the same batch into a
+    copy of the prebuilt base store and delta-merges only touched cells.
+    The row *raises* — failing the whole bench run — if the appended cube
+    is not byte-identical to the rebuild (before **and** after
+    compaction), if the append rewrote the base ``cells.bin``, or if a
+    cold open with pending delta segments reads any heap bytes.
+    """
+    hierarchies = database.schema.dimensions
+    batch = _skewed_batch(database, APPEND_FRACTION)
+    combined = PathDatabase(
+        database.schema, list(database) + batch, validate=False
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = Path(tmp) / "base"
+        base = _make_store(base_dir, database, n_partitions)
+        build_cube(
+            base,
+            min_support=APPEND_MIN_SUPPORT,
+            compute_exceptions=False,
+            into=base.cube_store(),
+        )
+
+        def rebuild(directory: Path) -> str:
+            grown = _make_store(directory, combined, n_partitions)
+            built = build_cube(
+                grown,
+                min_support=APPEND_MIN_SUPPORT,
+                compute_exceptions=False,
+                into=grown.cube_store(),
+            )
+            return cube_to_json(built)
+
+        rebuild_seconds = math.inf
+        reference = None
+        for i in range(repeats):
+            start = time.perf_counter()
+            reference = rebuild(Path(tmp) / f"rebuild{i}")
+            rebuild_seconds = min(
+                rebuild_seconds, time.perf_counter() - start
+            )
+
+        append_seconds = math.inf
+        compact_seconds = math.inf
+        result = cold_heap_bytes = n_delta_segments = None
+        for i in range(repeats):
+            run_dir = Path(tmp) / f"run{i}"
+            shutil.copytree(base_dir, run_dir)
+            run_store = PartitionedPathStore.open(run_dir)
+            heap = run_dir / "cube" / "cells.bin"
+            stat = heap.stat()
+            signature = (stat.st_mtime_ns, stat.st_size)
+            start = time.perf_counter()
+            result = append_records(run_store, batch, compact_after=0)
+            append_seconds = min(
+                append_seconds, time.perf_counter() - start
+            )
+            stat = heap.stat()
+            if (stat.st_mtime_ns, stat.st_size) != signature:
+                raise AssertionError(
+                    "append rewrote the base cell heap "
+                    f"(mtime/size changed): {heap}"
+                )
+            # Cold open with pending delta segments: the overlay index
+            # must serve the cuboid layout at zero heap bytes, exactly
+            # like a compacted store.
+            cold = run_store.cube_store(cache_size=CACHE_SIZE)
+            n_delta_segments = len(cold.delta_segments)
+            for cuboid in cold.cuboids:
+                CuboidKeyCatalog(cuboid.keys, hierarchies, cuboid.value_masks)
+            counters = cold.io_counters()
+            cold_heap_bytes = counters["heap_bytes_read"]
+            if cold_heap_bytes:
+                raise AssertionError(
+                    "cold open with pending deltas read heap bytes: "
+                    f"{counters}"
+                )
+            if cube_to_json(cold) != reference:
+                raise AssertionError(
+                    "append diverged from the from-scratch rebuild "
+                    "(pre-compaction)"
+                )
+            start = time.perf_counter()
+            cold.compact()
+            compact_seconds = min(
+                compact_seconds, time.perf_counter() - start
+            )
+            if cube_to_json(cold) != reference:
+                raise AssertionError(
+                    "compaction diverged from the from-scratch rebuild"
+                )
+            cold.close()
+    return {
+        "n_paths": len(database),
+        "n_partitions": n_partitions,
+        "min_support": APPEND_MIN_SUPPORT,
+        "batch_records": len(batch),
+        "batch_fraction": APPEND_FRACTION,
+        "append_seconds": round(append_seconds, 4),
+        "rebuild_seconds": round(rebuild_seconds, 4),
+        "speedup": round(rebuild_seconds / append_seconds, 2),
+        "compact_seconds": round(compact_seconds, 4),
+        "cells_updated": result["updated"],
+        "cells_created": result["created"],
+        "delta_segments": n_delta_segments,
+        "cold_open_heap_bytes": cold_heap_bytes,
+        "base_heap_untouched": True,
+        "byte_identical": True,
+        "byte_identical_after_compaction": True,
+    }
+
+
+def _append_section(quick: bool, repeats: int) -> dict:
+    """Append-vs-rebuild sweep: the 320-path smoke plus the 10k headline.
+
+    The small point runs in every mode (``--quick`` included) as the
+    parity smoke; the full run adds the scale point where the acceptance
+    floor lives — a 10% batch into a 10k-path binary store must cost a
+    fraction of the rebuild.
+    """
+    points = [
+        _append_point(generate_path_database(CONFIG), 4, max(repeats, 2))
+    ]
+    if not quick:
+        points.append(
+            _append_point(
+                generate_path_database(scaled_config(FORMATS_SCALE_PATHS)),
+                SCALE_PARTITIONS,
+                repeats,
+            )
+        )
+    return {"points": points}
+
+
 def _shm_segments() -> set[str]:
     """Names currently live under ``/dev/shm`` (POSIX shared memory)."""
     root = Path("/dev/shm")
@@ -979,6 +1166,10 @@ def run_suite(quick: bool = False, scales=()) -> dict:
             )
         )
     report["formats"] = formats
+    # Incremental maintenance: append-vs-rebuild parity smoke in every
+    # mode (raises on divergence or a rewritten base heap); the full run
+    # adds the 10k-path acceptance point.
+    report["append"] = _append_section(quick, repeats)
     if scales:
         report["scale"] = _scale_section(scales)
     return report
@@ -1046,6 +1237,22 @@ def test_slice_over_store(benchmark, store_db, kernel, tmp_path):
     assert cells
 
 
+def test_append_beats_rebuild_with_parity(store_db):
+    """A skewed 10% append costs less than a rebuild and stays byte-exact.
+
+    The parity / base-heap / zero-copy contracts are enforced inside
+    ``_append_point`` (it raises on any violation); the spot check here
+    is that delta maintenance actually wins at the CI size.
+    """
+    point = _append_point(store_db, n_partitions=4, repeats=2)
+    assert point["byte_identical"]
+    assert point["byte_identical_after_compaction"]
+    assert point["base_heap_untouched"]
+    assert point["cold_open_heap_bytes"] == 0
+    assert point["delta_segments"] == 1
+    assert point["speedup"] > 1.0
+
+
 def test_formats_parity_and_binary_wins(store_db):
     """Binary and JSON stores render identical cubes; binary opens faster."""
     section = _formats_section(
@@ -1094,6 +1301,12 @@ def main(argv: list[str] | None = None) -> int:
         "plus the pooled-build leak tripwire",
     )
     parser.add_argument(
+        "--append",
+        action="store_true",
+        help="run only the append-vs-rebuild sweep (both sizes) and merge "
+        "the section into an existing BENCH_store.json",
+    )
+    parser.add_argument(
         "--scale",
         nargs="?",
         const=",".join(str(n) for n in SCALE_SWEEP),
@@ -1103,6 +1316,23 @@ def main(argv: list[str] | None = None) -> int:
         f"sizes (bare --scale means {','.join(str(n) for n in SCALE_SWEEP)})",
     )
     args = parser.parse_args(argv)
+    if args.append:
+        # Refresh just the append section, merged into the existing
+        # report so the rest of the sweep need not re-run.
+        section = _append_section(quick=args.quick, repeats=REPEATS)
+        out = Path(args.out)
+        report = (
+            json.loads(out.read_text(encoding="utf-8"))
+            if out.exists()
+            else {}
+        )
+        report["append"] = section
+        out.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(json.dumps(section, indent=2))
+        print(f"\nmerged append section into {args.out}")
+        return 0
     scales = ()
     if args.scale:
         scales = tuple(int(n) for n in args.scale.split(",") if n.strip())

@@ -378,6 +378,7 @@ class SlicerApp:
         ``304 Not Modified`` before the cache is even consulted — the
         validator alone proves the client's copy is current.
         """
+        version = tenant.version  # pinned before any rendering (see below)
         etag = tenant.etag(key)
         headers = {"ETag": etag}
         if self._max_age is not None:
@@ -389,7 +390,10 @@ class SlicerApp:
         body = tenant.cached_response(key)
         if body is None:
             body = encode_json(build())
-            tenant.store_response(key, body)
+            # Store under the version observed *before* build() ran: if a
+            # writer mutated concurrently, the entry lands under the old
+            # (now unreachable) key instead of poisoning the current one.
+            tenant.store_response(key, body, version=version)
         return Response(body=body, headers=headers)
 
     def _slice(self, tenant: CubeTenant, request: Request) -> Response:

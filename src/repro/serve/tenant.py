@@ -124,8 +124,21 @@ class CubeTenant:
         """Rendered response bytes for a canonical request key, if warm."""
         return self._responses.get((self.version,) + key)
 
-    def store_response(self, key: tuple, body: bytes) -> None:
-        self._responses.put((self.version,) + key, body)
+    def store_response(
+        self, key: tuple, body: bytes, version: int | None = None
+    ) -> None:
+        """Cache rendered bytes under the store version they were built at.
+
+        *version* must be the mutation counter the caller observed
+        **before** rendering *body*.  Keying with the counter read at
+        store time instead would race concurrent writers: a body rendered
+        from pre-mutation cells could land under the post-mutation key
+        (the writer bumps and clears between the render and the put) and
+        be served as current from then on.
+        """
+        if version is None:
+            version = self.version
+        self._responses.put((version,) + key, body)
 
     def etag(self, key: tuple) -> str:
         """A strong validator for the response a canonical key denotes.

@@ -24,6 +24,7 @@ removes that assumption end to end:
 """
 
 from repro.perf.pool import PoolStats, WorkerPool, resolve_jobs
+from repro.store.append import append_records
 from repro.store.binfmt import DEFAULT_STORE_FORMAT, STORE_FORMATS
 from repro.store.builder import (
     POOL_MODES,
@@ -59,6 +60,7 @@ __all__ = [
     "PoolStats",
     "StoredCuboid",
     "WorkerPool",
+    "append_records",
     "build_cube",
     "resolve_jobs",
     "schema_fingerprint",

@@ -1,0 +1,493 @@
+"""Incremental store append: delta-merge maintenance of a persisted cube.
+
+:func:`append_records` ingests a batch of new path records into a
+:class:`~repro.store.pathstore.PartitionedPathStore` and folds them into
+the store's *persisted* cube without rebuilding it:
+
+* **Algebraic counters** (Lemma 4.2) — each touched cell's flowgraph is
+  updated by :meth:`~repro.core.flowgraph.FlowGraph.merge`-ing a delta
+  graph built from the batch's aggregated paths; untouched cells are
+  never read, let alone rewritten.
+* **Iceberg frontier** — promotion candidates (batch keys the cube does
+  not hold) are membership-counted through the partition catalog: with
+  exceptions off the scan is Bloom-pruned to the partitions that might
+  hold a candidate's members (:meth:`select_partitions`); with
+  exceptions on the sweep is a single full pass (Lemma 4.3 needs the
+  touched cells' complete path multisets anyway).  A *fractional* δ
+  resolves against the grown record count, so untouched cells can fall
+  below the frontier — they are demoted from the index without any
+  heap IO, exactly as a rebuild would drop them.
+* **Exceptions** (Lemma 4.3, holistic) — re-mined only for the dirty
+  cells, through the same per-cell kernel and
+  :class:`~repro.perf.pool.WorkerPool` fan-out the builder uses, so an
+  appended cube is byte-identical (``cube_to_json``) to a from-scratch
+  rebuild over the extended store.
+* **Durability** — on the binary backend, dirty cells land in an
+  append-only ``cells.delta.NNN.bin`` segment plus a full index overlay
+  (``cells.delta.idx``); the base ``cells.bin`` is never rewritten.
+  The meta publish is the commit point.  Once ``compact_after``
+  segments pile up, :meth:`CubeStore.compact` folds them back into a
+  clean base heap.
+
+The in-memory counterpart (a :class:`~repro.core.flowcube.FlowCube`
+updated in place) is :func:`repro.core.incremental.append_batch`; this
+module follows the same promotion / demotion / ordering rules against
+the on-disk index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+from repro.core.aggregation import aggregate_path, weight_paths
+from repro.core.flowcube import Cell, CellKey
+from repro.core.flowgraph import FlowGraph
+from repro.core.flowgraph_exceptions import (
+    resolve_min_support,
+    serial_exception_pass,
+)
+from repro.core.lattice import ItemLattice, ItemLevel
+from repro.core.path import Path, PathRecord
+from repro.errors import StoreError
+from repro.store.cube_store import CubeStore, _new_append_stats
+
+__all__ = ["append_records"]
+
+
+def _roll_up(dims, item_level: ItemLevel, hierarchies) -> CellKey:
+    return tuple(
+        hierarchy.ancestor_at_level(value, level)
+        for hierarchy, value, level in zip(hierarchies, dims, item_level)
+    )
+
+
+def _require_fresh(cube: CubeStore, store) -> dict:
+    """The cube's build-stats snapshot, verified against the store.
+
+    A crashed or out-of-band ingest leaves the store ahead of the cube;
+    appending on top would bake the divergence into every later batch,
+    so the mismatch is refused up front (before this batch's ingest).
+    """
+    if not cube.is_built:
+        raise StoreError(
+            f"no cube has been built at {cube.directory} "
+            "(run `flowcube-store build` first)"
+        )
+    stats = cube.build_stats
+    if stats is None or "records" not in stats:
+        raise StoreError(
+            "cube carries no build stats; rebuild it once before appending"
+        )
+    if int(stats["records"]) != len(store):
+        raise StoreError(
+            f"cube covers {stats['records']} records but the store holds "
+            f"{len(store)}; the cube is stale — rebuild before appending"
+        )
+    return stats
+
+
+def append_records(
+    store,
+    records: Iterable[PathRecord],
+    *,
+    cube: CubeStore | None = None,
+    recompute_exceptions: bool = True,
+    kernel: str = "bitmap",
+    jobs: int = 1,
+    pool=None,
+    compact_after: int | None = 16,
+) -> dict:
+    """Ingest *records* and delta-merge them into the store's cube.
+
+    Args:
+        store: The :class:`~repro.store.pathstore.PartitionedPathStore`.
+        records: New path records; ids must be strictly greater than the
+            store's high-water mark (the ingest invariant).
+        cube: An open :class:`CubeStore` handle over ``store/cube``, or
+            ``None`` to open (and close) one for this call.
+        recompute_exceptions: Re-mine (ε, δ) exceptions in dirty cells.
+            Forced off when the cube was built without exceptions, so an
+            append never diverges from what a rebuild would produce.
+        kernel: Exception kernel, ``"bitmap"`` or ``"scan"``.
+        jobs: Fan the dirty-cell exception pass over a worker pool of
+            this size (``1`` = serial).
+        pool: An already-running :class:`~repro.perf.pool.WorkerPool`
+            to reuse instead of forking one (overrides *jobs*).
+        compact_after: Fold delta segments into a clean base heap once
+            this many are pending (``0``/``None`` disables).
+
+    Returns:
+        Statistics: records/partitions ingested, cells updated /
+        created / promoted / demoted, candidates still below δ, pending
+        delta segments, and cells compacted (0 unless the threshold
+        tripped).
+
+    Raises:
+        StoreError: On id collisions, a missing or stale cube, or a
+            cube predating build-stats provenance.
+    """
+    rows = list(records)
+    owned_cube = cube is None
+    if owned_cube:
+        cube = store.cube_store()
+    try:
+        build_stats = _require_fresh(cube, store)
+        if not rows:
+            return {
+                "ingested": 0,
+                "partitions": 0,
+                "updated": 0,
+                "created": 0,
+                "promoted": 0,
+                "demoted": 0,
+                "still_below_delta": 0,
+                "delta_segments": len(cube.delta_segments),
+                "compacted": 0,
+            }
+        # The cube was built with exceptions iff the build ran that
+        # phase; re-mining cells of an exception-free cube would add
+        # exceptions a rebuild (with the same flags) would not have.
+        mine = recompute_exceptions and (
+            "exceptions" in build_stats.get("phase_seconds", {})
+        )
+        store.ingest(rows)  # raises before the cube is touched
+        result = _merge_batch(
+            store, cube, rows, build_stats, mine, kernel, jobs, pool
+        )
+        result["compacted"] = 0
+        if compact_after and len(cube.delta_segments) >= compact_after:
+            result["compacted"] = cube.compact()
+        result["delta_segments"] = len(cube.delta_segments)
+        return result
+    finally:
+        if owned_cube:
+            cube.close()
+
+
+def _merge_batch(
+    store, cube, rows, build_stats, mine, kernel, jobs, pool
+) -> dict:
+    schema = store.schema
+    hierarchies = schema.dimensions
+    lattice = cube.path_lattice
+    levels = cube.item_levels
+    if levels is None:
+        # Cubes persisted before the build's item levels were recorded:
+        # assume the full lattice (the builder's default).
+        levels = list(ItemLattice([h.depth for h in hierarchies]))
+    threshold = resolve_min_support(cube.min_support, len(store))
+    index = cube._index  # noqa: SLF001 - same-package maintenance path
+
+    # ------------------------------------------------------------------
+    # classify the batch per item level
+    # ------------------------------------------------------------------
+    batch_groups: list[dict[CellKey, list[PathRecord]]] = []
+    for item_level in levels:
+        groups: dict[CellKey, list[PathRecord]] = {}
+        for record in rows:
+            key = _roll_up(record.dims, item_level, hierarchies)
+            groups.setdefault(key, []).append(record)
+        batch_groups.append(groups)
+
+    # Existing key order and sizes per item level (identical across the
+    # level's path-level cuboids — membership is path-level independent).
+    existing_order: list[list[CellKey]] = []
+    sizes: list[dict[CellKey, int]] = []
+    for item_level in levels:
+        order: list[CellKey] = []
+        size: dict[CellKey, int] = {}
+        for level_id in range(len(lattice)):
+            entries = index.get((item_level, level_id))
+            if entries:
+                order = list(entries)
+                size = {key: entry[-2] for key, entry in entries.items()}
+                break
+        existing_order.append(order)
+        sizes.append(size)
+
+    updated_keys: list[set[CellKey]] = []
+    candidate_keys: list[set[CellKey]] = []
+    for i in range(len(levels)):
+        existing = sizes[i]
+        updated_keys.append({k for k in batch_groups[i] if k in existing})
+        candidate_keys.append({k for k in batch_groups[i] if k not in existing})
+
+    # ------------------------------------------------------------------
+    # one partition sweep: candidate membership + the paths dirty cells
+    # will need (all touched-cell members with exceptions on; candidate
+    # members only — Bloom-pruned — with exceptions off)
+    # ------------------------------------------------------------------
+    members: dict[tuple[int, CellKey], list[int]] = {}
+    paths: dict[int, Path] = {}
+    first_seen: dict[int, dict[CellKey, None]] = {}
+    sweep_levels = [
+        i
+        for i in range(len(levels))
+        if candidate_keys[i] or (mine and updated_keys[i])
+    ]
+    if sweep_levels:
+        if mine:
+            selected = None  # full pass: Lemma 4.3 needs every member path
+        else:
+            dim_names = schema.dimension_names
+            chosen: set[int] = set()
+            for i in sweep_levels:
+                for key in candidate_keys[i]:
+                    constraints = {
+                        name: part
+                        for name, part, depth in zip(
+                            dim_names, key, levels[i]
+                        )
+                        if depth > 0
+                    }
+                    chosen.update(store.select_partitions(**constraints))
+            selected = sorted(chosen)
+
+        # Per distinct dims tuple: whether the record's path is needed,
+        # its candidate hits, and its key per swept level (for the
+        # first-seen cell ordering a rebuild would produce).
+        classify_cache: dict[tuple, tuple] = {}
+
+        def classify(dims: tuple) -> tuple:
+            info = classify_cache.get(dims)
+            if info is None:
+                needs = False
+                hits: list[tuple[int, CellKey]] = []
+                keys: list[tuple[int, CellKey]] = []
+                for i in sweep_levels:
+                    key = _roll_up(dims, levels[i], hierarchies)
+                    keys.append((i, key))
+                    if key in candidate_keys[i]:
+                        hits.append((i, key))
+                        needs = True
+                    elif key in updated_keys[i]:
+                        needs = mine or needs
+                info = (needs, tuple(hits), tuple(keys))
+                classify_cache[dims] = info
+            return info
+
+        if selected is None:
+            databases = (db for _, db in store.iter_partitions())
+        else:
+            databases = (store.load_partition(pid) for pid in selected)
+        full_scan = selected is None
+        for database in databases:
+            for record in database:
+                needs, hits, keys = classify(record.dims)
+                if full_scan:
+                    for i, key in keys:
+                        if candidate_keys[i]:
+                            first_seen.setdefault(i, {}).setdefault(key)
+                if needs:
+                    paths.setdefault(record.record_id, record.path)
+                for i, key in hits:
+                    members.setdefault((i, key), []).append(record.record_id)
+
+    # Batch paths are always at hand, scan or no scan.
+    for record in rows:
+        paths.setdefault(record.record_id, record.path)
+
+    # ------------------------------------------------------------------
+    # resolve the frontier per item level
+    # ------------------------------------------------------------------
+    promoted: list[dict[CellKey, list[int]]] = []
+    below = 0
+    for i in range(len(levels)):
+        crossed: dict[CellKey, list[int]] = {}
+        for key in batch_groups[i]:
+            if key not in candidate_keys[i]:
+                continue
+            member_ids = members.get((i, key), ())
+            if len(member_ids) >= threshold:
+                crossed[key] = list(member_ids)
+            else:
+                below += 1
+        promoted.append(crossed)
+
+    demoted_cells = 0
+    final_order: list[list[CellKey]] = []
+    merged_sizes: list[dict[CellKey, int]] = []
+    for i in range(len(levels)):
+        survivors: dict[CellKey, int] = {}
+        n_levels_present = sum(
+            1
+            for level_id in range(len(lattice))
+            if index.get((levels[i], level_id))
+        )
+        for key, n_paths in sizes[i].items():
+            if key in updated_keys[i]:
+                n_paths += len(batch_groups[i][key])
+            if n_paths >= threshold:
+                survivors[key] = n_paths
+            else:
+                demoted_cells += n_levels_present
+                if key in updated_keys[i]:
+                    updated_keys[i].discard(key)
+        for key, member_ids in promoted[i].items():
+            survivors[key] = len(member_ids)
+        merged_sizes.append(survivors)
+
+        if promoted[i]:
+            if i in first_seen:
+                # Full sweep: the rebuild's membership order, verbatim.
+                order = [k for k in first_seen[i] if k in survivors]
+            else:
+                # Pruned sweep: recover each surviving cell's first
+                # member id (ids ascend across ingests, so first-seen
+                # key order ≡ ascending first-id order).
+                first_ids: dict[CellKey, int] = {
+                    key: ids[0] for key, ids in promoted[i].items()
+                }
+                if existing_order[i]:
+                    ref_level = next(
+                        level_id
+                        for level_id in range(len(lattice))
+                        if index.get((levels[i], level_id))
+                    )
+                    for key in existing_order[i]:
+                        if key in survivors and key not in first_ids:
+                            cell = cube.cell(
+                                levels[i], key, lattice[ref_level]
+                            )
+                            first_ids[key] = cell.record_ids[0]
+                order = sorted(survivors, key=first_ids.__getitem__)
+        else:
+            order = [k for k in existing_order[i] if k in survivors]
+        final_order.append(order)
+
+    # ------------------------------------------------------------------
+    # materialise the dirty cells, in canonical cuboid order
+    # ------------------------------------------------------------------
+    agg_cache: dict[tuple[int, int], Path] = {}
+
+    def aggregated(record_id: int, level_id: int) -> Path:
+        memo_key = (record_id, level_id)
+        path = agg_cache.get(memo_key)
+        if path is None:
+            path = aggregate_path(paths[record_id], lattice[level_id])
+            agg_cache[memo_key] = path
+        return path
+
+    dirty: dict[tuple[ItemLevel, int, CellKey], Cell] = {}
+    layout: list[tuple[ItemLevel, int, list[CellKey]]] = []
+    triples: list[tuple[FlowGraph, tuple, None]] = []
+    updated_cells = created_cells = 0
+    for i, item_level in enumerate(levels):
+        for level_id in range(len(lattice)):
+            layout.append((item_level, level_id, final_order[i]))
+            path_level = lattice[level_id]
+            for key in final_order[i]:
+                if key in updated_keys[i]:
+                    old = cube.cell(item_level, key, path_level)
+                    batch_records = batch_groups[i][key]
+                    delta = FlowGraph()
+                    for record in batch_records:
+                        delta.add_path(
+                            aggregated(record.record_id, level_id)
+                        )
+                    merged_ids = old.record_ids + tuple(
+                        r.record_id for r in batch_records
+                    )
+                    cell = Cell(
+                        key=key,
+                        item_level=item_level,
+                        path_level=path_level,
+                        record_ids=merged_ids,
+                        flowgraph=old.flowgraph.merge([delta]),
+                        paths=(),
+                        redundant=False,
+                    )
+                    updated_cells += 1
+                elif key in promoted[i]:
+                    member_ids = promoted[i][key]
+                    weighted = weight_paths(
+                        aggregated(rid, level_id) for rid in member_ids
+                    )
+                    graph = FlowGraph()
+                    for path, weight in weighted:
+                        graph.add_path(path, weight)
+                    cell = Cell(
+                        key=key,
+                        item_level=item_level,
+                        path_level=path_level,
+                        record_ids=tuple(member_ids),
+                        flowgraph=graph,
+                        paths=(),
+                        redundant=False,
+                    )
+                    created_cells += 1
+                else:
+                    continue  # untouched: keep the existing entry verbatim
+                dirty[(item_level, level_id, key)] = cell
+                if mine:
+                    weighted = weight_paths(
+                        aggregated(rid, level_id)
+                        for rid in cell.record_ids
+                    )
+                    triples.append((cell.flowgraph, weighted, None))
+
+    # ------------------------------------------------------------------
+    # re-mine exceptions in the dirty cells only (Lemma 4.3)
+    # ------------------------------------------------------------------
+    if mine and triples:
+        from repro.store.builder import _ensure_pool, _pooled_exception_pass
+
+        run_pool, owned_pool = _ensure_pool(
+            store, lattice, jobs, pool, None
+        )
+        try:
+            if run_pool is not None:
+                run = _pooled_exception_pass(
+                    run_pool, cube.min_support, cube.min_deviation, kernel
+                )
+            else:
+                run = serial_exception_pass(
+                    cube.min_support, cube.min_deviation, kernel=kernel
+                )
+            run(triples)
+        finally:
+            if owned_pool:
+                run_pool.close()
+
+    # ------------------------------------------------------------------
+    # publish: delta segment -> index overlay -> meta (the commit point)
+    # ------------------------------------------------------------------
+    engaged = False
+    if dirty:
+        engaged = cube.begin_delta()
+    if dirty or demoted_cells:
+        cube.merge_cells(dirty, layout)
+
+    counters = build_stats.setdefault("append", _new_append_stats())
+    counters["batches"] += 1
+    counters["records_appended"] += len(rows)
+    counters["cells_updated"] += updated_cells
+    counters["cells_created"] += created_cells
+    counters["cells_promoted"] += sum(len(p) for p in promoted)
+    counters["cells_demoted"] += demoted_cells
+    counters["still_below_delta"] += below
+    counters["delta_segments"] = len(cube.delta_segments) + (
+        1 if engaged else 0
+    )
+    build_stats["records"] = len(store)
+    build_stats["partitions"] = len(store.catalog.partitions)
+    build_stats["cells"] = cube.n_cells()
+    seed = (
+        f"{build_stats.get('version')}:append:{counters['batches']}:"
+        f"{build_stats['records']}:{build_stats['cells']}"
+    )
+    build_stats["version"] = hashlib.sha1(
+        seed.encode("utf-8")
+    ).hexdigest()[:12]
+    cube.flush()
+
+    return {
+        "ingested": len(rows),
+        "partitions": len(store.catalog.partitions),
+        "updated": updated_cells,
+        "created": created_cells,
+        "promoted": sum(len(p) for p in promoted),
+        "demoted": demoted_cells,
+        "still_below_delta": below,
+    }

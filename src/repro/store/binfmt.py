@@ -89,6 +89,8 @@ __all__ = [
     "heap_generation",
     "pack_cell_index",
     "pack_partition",
+    "pack_segment_offset",
+    "split_segment_offset",
     "unpack_cell_index",
     "unpack_partition",
 ]
@@ -138,7 +140,37 @@ ORDER_TAG = 0x0102030405060708
 #: for recovery tools walking the blob).
 HEAP_LENGTH_STRUCT = struct.Struct("<q")
 
+#: Delta-segment addressing: an index offset is a plain i64, so the high
+#: bits carry the segment id — segment 0 is the base ``cells.bin`` heap,
+#: segment *n* ≥ 1 the append-only ``cells.delta.{n:03d}.bin`` file.
+#: 48 bits of local offset (256 TiB per segment) and 15 usable segment
+#: bits keep the packed value positive in an i64.
+SEGMENT_SHIFT = 48
+SEGMENT_OFFSET_MASK = (1 << SEGMENT_SHIFT) - 1
+MAX_SEGMENT_ID = (1 << (63 - SEGMENT_SHIFT)) - 1
+
 _I64 = 8
+
+
+def pack_segment_offset(segment_id: int, offset: int) -> int:
+    """Tag a heap-local *offset* with its delta *segment_id*.
+
+    Segment 0 round-trips to the bare offset, so base-heap entries are
+    bit-identical to the pre-delta layout and old readers of fully
+    compacted stores see nothing new.
+    """
+    if not 0 <= segment_id <= MAX_SEGMENT_ID:
+        raise StoreError(
+            f"delta segment id {segment_id} out of range (compact first)"
+        )
+    if not 0 <= offset <= SEGMENT_OFFSET_MASK:
+        raise StoreError(f"heap offset {offset} exceeds the segment span")
+    return (segment_id << SEGMENT_SHIFT) | offset
+
+
+def split_segment_offset(packed: int) -> tuple[int, int]:
+    """Inverse of :func:`pack_segment_offset`: ``(segment_id, offset)``."""
+    return packed >> SEGMENT_SHIFT, packed & SEGMENT_OFFSET_MASK
 
 
 def _pad8(n: int) -> int:

@@ -1229,7 +1229,9 @@ def _build_cube_direct(
     build_stats.add_phase("membership", time.perf_counter() - phase)
 
     if into is not None:
-        into.create(path_lattice, min_support, min_deviation)
+        into.create(
+            path_lattice, min_support, min_deviation, item_levels=levels
+        )
         cube = None
     else:
         cube = FlowCube(
@@ -1403,7 +1405,9 @@ def _build_cube_rollup(
     build_stats.add_phase("aggregate", time.perf_counter() - phase)
 
     if into is not None:
-        into.create(path_lattice, min_support, min_deviation)
+        into.create(
+            path_lattice, min_support, min_deviation, item_levels=levels
+        )
         cube = None
     else:
         cube = FlowCube(

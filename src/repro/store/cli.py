@@ -5,6 +5,8 @@ A thin operational shell around the partitioned store::
     flowcube-store init ./wh --synthetic --partition-size 250
     flowcube-store ingest ./wh --synthetic --n-paths 1000 --seed 7
     flowcube-store build ./wh --min-support 0.05 --jobs 4
+    flowcube-store append ./wh --synthetic --n-paths 100 --seed 8
+    flowcube-store compact ./wh
     flowcube-store query ./wh -d d0=d0_0
     flowcube-store stats ./wh
     flowcube-store migrate ./wh --to json
@@ -17,7 +19,12 @@ example, or the Section 6.1 generator (whose configuration ``init``
 recorded in the catalog, so later ingests reuse the same hierarchies);
 ``build`` materialises the iceberg cube out-of-core into the store's
 ``cube/`` directory, scanning partitions on ``--jobs`` worker processes
-when asked; ``query`` renders a cell's flowgraph measure — with
+when asked; ``append`` ingests a batch *and* delta-merges it into the
+built cube (:mod:`repro.store.append`) — touched cells land in
+append-only ``cells.delta.NNN.bin`` segments instead of a heap rewrite,
+auto-compacting once ``--compact-after`` segments pile up; ``compact``
+folds pending delta segments back into a clean base heap on demand;
+``query`` renders a cell's flowgraph measure — with
 ``--derive``, coordinates whose cuboid was not materialised are merged
 from the cheapest materialised descendant (the roll-up planner), and the
 query-cache counters are folded into ``cube/query_stats.json`` so
@@ -127,6 +134,65 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     ingest.add_argument("--n-paths", type=int, default=1000)
     ingest.add_argument("--seed", type=int, default=7)
+
+    append = sub.add_parser(
+        "append",
+        help="ingest a batch and delta-merge it into the built cube",
+    )
+    append.add_argument("store")
+    batch_source = append.add_mutually_exclusive_group(required=True)
+    batch_source.add_argument(
+        "--csv", metavar="FILE", help="PathDatabase CSV file"
+    )
+    batch_source.add_argument(
+        "--example",
+        action="store_true",
+        help="append the built-in example records (ids shifted)",
+    )
+    batch_source.add_argument(
+        "--synthetic",
+        action="store_true",
+        help="generate records with the schema the store was initialised with",
+    )
+    append.add_argument("--n-paths", type=int, default=100)
+    append.add_argument("--seed", type=int, default=7)
+    append.add_argument(
+        "--no-exceptions",
+        action="store_true",
+        help="skip re-mining exceptions in the touched cells",
+    )
+    append.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan the dirty-cell exception pass over N worker processes "
+            "(default 1: serial; 0: cpu_count - 1)"
+        ),
+    )
+    append.add_argument(
+        "--kernel",
+        choices=("bitmap", "scan"),
+        default="bitmap",
+        help="per-cell exception kernel (identical output)",
+    )
+    append.add_argument(
+        "--compact-after",
+        type=int,
+        default=16,
+        metavar="N",
+        help=(
+            "fold delta segments into a clean base heap once N are "
+            "pending (0 disables auto-compaction)"
+        ),
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold pending cube delta segments into a clean base heap",
+    )
+    compact.add_argument("store")
 
     build = sub.add_parser(
         "build", help="materialise the iceberg cube (out-of-core)"
@@ -374,6 +440,83 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_records(
+    store: PartitionedPathStore, args: argparse.Namespace
+) -> list[PathRecord]:
+    """Resolve an append batch from ``--csv`` / ``--example`` / ``--synthetic``."""
+    floor = store.catalog.max_record_id
+    if args.csv:
+        text = FsPath(args.csv).read_text(encoding="utf-8")
+        return list(PathDatabase.from_csv(store.schema, text))
+    if args.example:
+        return _shift_ids(example_path_database(), floor)
+    generator = store.catalog.extra.get("generator")
+    if generator is None:
+        raise StoreError(
+            "this store was not initialised with --synthetic "
+            "(no generator configuration in the catalog)"
+        )
+    config = GeneratorConfig(
+        n_paths=args.n_paths,
+        seed=args.seed,
+        dim_fanouts=tuple(generator["dim_fanouts"]),
+        **{k: generator[k] for k in _GENERATOR_KEYS if k != "dim_fanouts"},
+    )
+    return _shift_ids(generate_path_database(config), floor)
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    jobs = resolve_jobs(args.jobs)
+    if jobs != args.jobs:
+        print(f"--jobs 0 resolved to {jobs} (cpu_count - 1)", file=sys.stderr)
+    rows = _batch_records(store, args)
+    cube_store = store.cube_store()
+    result = store.append_into_cube(
+        rows,
+        cube=cube_store,
+        recompute_exceptions=not args.no_exceptions,
+        kernel=args.kernel,
+        jobs=jobs,
+        compact_after=args.compact_after,
+    )
+    print(
+        f"appended {result['ingested']} records into the cube at "
+        f"{cube_store.directory}: {result['updated']} cell(s) updated, "
+        f"{result['created']} created ({result['promoted']} key(s) crossed "
+        f"the iceberg frontier), {result['demoted']} demoted, "
+        f"{result['still_below_delta']} candidate(s) still below delta"
+    )
+    if result["compacted"]:
+        print(
+            f"compacted {result['compacted']} cell(s) into a clean heap "
+            f"(threshold {args.compact_after} delta segments)"
+        )
+    else:
+        print(f"{result['delta_segments']} delta segment(s) pending")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    store = PartitionedPathStore.open(args.store)
+    cube_store = store.cube_store()
+    if not cube_store.is_built:
+        raise StoreError(
+            f"no cube has been built at {store.directory} "
+            "(run `flowcube-store build` first)"
+        )
+    pending = len(cube_store.delta_segments)
+    folded = cube_store.compact()
+    if folded:
+        print(
+            f"folded {pending} delta segment(s) ({folded} cells) into a "
+            f"clean base heap at {cube_store.directory}"
+        )
+    else:
+        print("no delta segments pending; nothing to compact")
+    return 0
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     store = PartitionedPathStore.open(args.store)
     if len(store) == 0:
@@ -583,6 +726,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "init": _cmd_init,
     "ingest": _cmd_ingest,
+    "append": _cmd_append,
+    "compact": _cmd_compact,
     "build": _cmd_build,
     "query": _cmd_query,
     "stats": _cmd_stats,

@@ -49,6 +49,7 @@ import os
 import shutil
 import threading
 from collections.abc import Callable, Iterator
+from datetime import datetime, timezone
 from pathlib import Path as FsPath
 
 from repro.core.flowcube import Cell, CellKey
@@ -71,6 +72,30 @@ META_FILENAME = "cube.json"
 CELLS_DIR = "cells"
 HEAP_FILENAME = "cells.bin"
 INDEX_FILENAME = "cells.idx"
+#: Full cell index over base heap + delta segments; authoritative (and
+#: present) exactly when the meta file lists ``delta_segments``.
+DELTA_INDEX_FILENAME = "cells.delta.idx"
+
+
+def delta_segment_filename(segment_id: int) -> str:
+    """File name of append-only delta segment *segment_id* (≥ 1)."""
+    return f"cells.delta.{segment_id:03d}.bin"
+
+
+def _new_append_stats() -> dict:
+    """Fresh append/compaction counters for ``build_stats["append"]``."""
+    return {
+        "batches": 0,
+        "records_appended": 0,
+        "cells_updated": 0,
+        "cells_created": 0,
+        "cells_promoted": 0,
+        "cells_demoted": 0,
+        "still_below_delta": 0,
+        "delta_segments": 0,
+        "compactions": 0,
+        "last_compaction": None,
+    }
 
 #: Cube cell backends; same names as the store-level formats.
 CELL_FORMATS = binfmt.STORE_FORMATS
@@ -202,6 +227,13 @@ class _HeapCells:
         self._index_file = None
         self._mask_arena: binfmt.MaskArena | None = None
         self._generation: int | None = None
+        #: Published delta segment ids, in append order (meta-sourced).
+        self.delta_segments: list[int] = []
+        self._delta_staging = None
+        self._delta_segment: int | None = None
+        self._delta_offset = 0
+        #: segment id -> (file handle, read-only mmap), opened lazily.
+        self._segment_views: dict[int, tuple] = {}
         #: (item level, path-level id) -> per-dimension catalog masks:
         #: lazy mmap-backed views handed out by :meth:`load`.
         self.cell_masks: dict = {}
@@ -222,6 +254,17 @@ class _HeapCells:
     @property
     def _staging_path(self) -> FsPath:
         return self.directory / f"{HEAP_FILENAME}.{os.getpid()}.tmp"
+
+    @property
+    def overlay_path(self) -> FsPath:
+        return self.directory / DELTA_INDEX_FILENAME
+
+    @property
+    def _delta_staging_path(self) -> FsPath:
+        return self.directory / f"cells.delta.bin.{os.getpid()}.tmp"
+
+    def delta_path(self, segment_id: int) -> FsPath:
+        return self.directory / delta_segment_filename(segment_id)
 
     @staticmethod
     def _magic_for(generation: int) -> bytes:
@@ -257,12 +300,55 @@ class _HeapCells:
         """
         self._drop_mmap()
         self._abort_staging()
+        self._abort_delta_staging()
         self.cell_masks = {}
         self._generation = generation or self.LATEST_GENERATION
         self.directory.mkdir(parents=True, exist_ok=True)
         self._staging = open(self._staging_path, "w+b")
         self._staging.write(self._magic_for(self._generation))
         self._offset = 8
+
+    def begin_delta(self) -> int:
+        """Start an append-only delta segment over the published heap.
+
+        Subsequent :meth:`put` calls land in a staged
+        ``cells.delta.NNN.bin`` file instead of rewriting ``cells.bin``;
+        their index entries carry the segment id in the offset's high
+        bits (:func:`~repro.store.binfmt.pack_segment_offset`).
+        Returns the new segment's id.
+        """
+        if self._staging is not None:
+            raise StoreError(
+                "cannot stage a delta segment while a full heap rebuild "
+                "is in progress"
+            )
+        if not self.heap_path.exists():
+            raise StoreError(
+                f"cell heap {self.heap_path} is missing; "
+                "build the cube before appending"
+            )
+        self._abort_delta_staging()
+        # Delta payloads must match the base heap's codec.
+        self._generation = self.generation
+        self._delta_segment = self._next_segment_id()
+        self._delta_staging = open(self._delta_staging_path, "w+b")
+        self._delta_staging.write(self._magic_for(self._generation))
+        self._delta_offset = 8
+        return self._delta_segment
+
+    def _next_segment_id(self) -> int:
+        """One past the highest referenced *or on-disk* segment id.
+
+        Scanning the directory (not just the meta-referenced list) skips
+        over orphan segments left by a crash between the segment rename
+        and the meta publish.
+        """
+        highest = max(self.delta_segments, default=0)
+        for path in self.directory.glob("cells.delta.*.bin"):
+            stem = path.name.split(".")[2]
+            if stem.isdigit():
+                highest = max(highest, int(stem))
+        return highest + 1
 
     def _ensure_staging(self) -> None:
         """Open the staging file, seeding it from the live heap.
@@ -282,12 +368,34 @@ class _HeapCells:
         self._staging = open(self._staging_path, "a+b")
         self._offset = os.path.getsize(self._staging_path)
 
-    def put(self, payload: dict, n_paths: int, redundant: bool) -> Entry:
-        self._ensure_staging()
+    def _encode(self, payload: dict) -> bytes:
         if self._generation == 1:
-            data = json.dumps(payload).encode("utf-8")
-        else:
-            data = binfmt.encode_cell_payload(payload)
+            return json.dumps(payload).encode("utf-8")
+        return binfmt.encode_cell_payload(payload)
+
+    def put(self, payload: dict, n_paths: int, redundant: bool) -> Entry:
+        data = self._encode(payload)
+        if self._delta_staging is not None:
+            self._delta_staging.write(HEAP_LENGTH_STRUCT.pack(len(data)))
+            self._delta_staging.write(data)
+            entry = (
+                binfmt.pack_segment_offset(
+                    self._delta_segment,
+                    self._delta_offset + HEAP_LENGTH_STRUCT.size,
+                ),
+                len(data),
+                int(n_paths),
+                bool(redundant),
+            )
+            self._delta_offset += HEAP_LENGTH_STRUCT.size + len(data)
+            return entry
+        self._ensure_staging()
+        return self.put_raw(data, n_paths, redundant)
+
+    def put_raw(self, data: bytes, n_paths: int, redundant: bool) -> Entry:
+        """Byte-exact append of an already-encoded payload (compaction)."""
+        if self._staging is None:
+            raise StoreError("put_raw requires a staged heap (begin first)")
         self._staging.write(HEAP_LENGTH_STRUCT.pack(len(data)))
         self._staging.write(data)
         entry = (
@@ -299,15 +407,40 @@ class _HeapCells:
         self._offset += HEAP_LENGTH_STRUCT.size + len(data)
         return entry
 
+    def raw_payload(self, entry: Entry) -> bytes:
+        """The entry's encoded payload bytes, verbatim."""
+        return self._raw(entry)
+
+    def _segment_view(self, segment_id: int) -> mmap.mmap:
+        pair = self._segment_views.get(segment_id)
+        if pair is None:
+            path = self.delta_path(segment_id)
+            if not path.exists():
+                raise StoreError(f"delta segment {path} is missing")
+            handle = open(path, "rb")
+            pair = (handle, mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ))
+            self._segment_views[segment_id] = pair
+        return pair[1]
+
     def _raw(self, entry: Entry) -> bytes:
-        offset, length = entry[0], entry[1]
-        if self._staging is not None:
-            # Mid-build reads (e.g. a migration parity check) hit the
-            # staging file; pread leaves the append position alone.
-            self._staging.flush()
-            data = os.pread(self._staging.fileno(), length, offset)
+        packed, length = entry[0], entry[1]
+        segment_id, offset = binfmt.split_segment_offset(packed)
+        if segment_id == 0:
+            if self._staging is not None:
+                # Mid-build reads (e.g. a migration parity check) hit the
+                # staging file; pread leaves the append position alone.
+                self._staging.flush()
+                data = os.pread(self._staging.fileno(), length, offset)
+            else:
+                data = self._view()[offset : offset + length]
+        elif (
+            self._delta_staging is not None
+            and segment_id == self._delta_segment
+        ):
+            self._delta_staging.flush()
+            data = os.pread(self._delta_staging.fileno(), length, offset)
         else:
-            data = self._view()[offset : offset + length]
+            data = self._segment_view(segment_id)[offset : offset + length]
         if len(data) != length:
             raise StoreError(
                 f"cell heap {self.heap_path} is truncated at byte {offset}"
@@ -342,13 +475,7 @@ class _HeapCells:
             )
         return self._mmap
 
-    def finalise(self, index) -> dict:
-        """Write ``cells.idx``, publish the staged heap, return meta fields.
-
-        Rename order — heap, then index, then (by the caller) the meta
-        file — keeps every published index consistent with a heap that
-        already contains its payloads.
-        """
+    def _index_blob(self, index) -> bytes:
         def cuboid_rows():
             for (item_level, level_id), entries in index.items():
                 yield (
@@ -360,7 +487,39 @@ class _HeapCells:
                     ),
                 )
 
-        blob = binfmt.pack_cell_index(cuboid_rows(), self.n_dims)
+        return binfmt.pack_cell_index(cuboid_rows(), self.n_dims)
+
+    @staticmethod
+    def _referenced_segments(index) -> list[int]:
+        """Delta segment ids the index entries still address, sorted."""
+        seen: set[int] = set()
+        for entries in index.values():
+            for entry in entries.values():
+                segment_id = entry[0] >> binfmt.SEGMENT_SHIFT
+                if segment_id:
+                    seen.add(segment_id)
+        return sorted(seen)
+
+    def finalise(self, index) -> dict:
+        """Publish the staged writes, return meta fields.
+
+        With a staged *delta segment*: rename the segment, then rewrite
+        the full index into the ``cells.delta.idx`` overlay, and report
+        ``delta_segments`` for the meta file — the meta publish (by the
+        caller, last) is the commit point, so a crash anywhere before it
+        leaves readers on the previous build exactly.
+
+        Otherwise (a full heap build): rename order — heap, then index,
+        then (by the caller) the meta file — keeps every published index
+        consistent with a heap that already contains its payloads.  When
+        the fresh heap supersedes every delta segment, the segments and
+        overlay are unlinked; when entries still address deltas (e.g. a
+        metadata-only flush of a delta-bearing cube), the index goes to
+        the overlay and the segments stay.
+        """
+        if self._delta_staging is not None:
+            return self._finalise_delta(index)
+        blob = self._index_blob(index)
         self.directory.mkdir(parents=True, exist_ok=True)
         if self._staging is not None:
             self._staging.close()
@@ -374,10 +533,42 @@ class _HeapCells:
                 self._magic_for(self._generation or self.LATEST_GENERATION)
             )
             os.replace(self._staging_path, self.heap_path)
-        index_temp = self.directory / f"{INDEX_FILENAME}.{os.getpid()}.tmp"
-        index_temp.write_bytes(blob)
-        os.replace(index_temp, self.index_path)
-        return {"n_cells": sum(len(entries) for entries in index.values())}
+        out = {"n_cells": sum(len(entries) for entries in index.values())}
+        referenced = self._referenced_segments(index)
+        if referenced:
+            self.delta_segments = referenced
+            self._replace_file(self.overlay_path, blob)
+            out["delta_segments"] = list(referenced)
+        else:
+            self._replace_file(self.index_path, blob)
+            # Superseded segments are swept by the caller *after* the
+            # meta commit — the previous meta still references them.
+            self.delta_segments = []
+        return out
+
+    def sweep_stale_deltas(self) -> None:
+        """Unlink delta files no published meta references any more."""
+        self._discard_delta_files()
+
+    def _finalise_delta(self, index) -> dict:
+        segment_id = self._delta_segment
+        staging, self._delta_staging = self._delta_staging, None
+        self._delta_segment = None
+        staging.close()
+        blob = self._index_blob(index)
+        os.replace(self._delta_staging_path, self.delta_path(segment_id))
+        self._replace_file(self.overlay_path, blob)
+        if segment_id not in self.delta_segments:
+            self.delta_segments = [*self.delta_segments, segment_id]
+        return {
+            "n_cells": sum(len(entries) for entries in index.values()),
+            "delta_segments": list(self.delta_segments),
+        }
+
+    def _replace_file(self, destination: FsPath, blob: bytes) -> None:
+        temp = self.directory / f"{destination.name}.{os.getpid()}.tmp"
+        temp.write_bytes(blob)
+        os.replace(temp, destination)
 
     def load(self, payload: dict, schema: PathSchema):
         """Rebuild the whole index from ``cells.idx`` — zero heap IO.
@@ -387,25 +578,40 @@ class _HeapCells:
         catalog masks remain byte spans over the map
         (:class:`~repro.store.binfmt.LazyMaskMap`), each bitmap decoded
         the first time a query ANDs it.
+
+        When the meta payload lists ``delta_segments``, the
+        ``cells.delta.idx`` overlay *is* the index — same codec, same
+        laziness — and segment-tagged entries resolve through per-delta
+        mmaps on first touch, so a cold open of a delta-bearing store
+        still reads zero heap bytes.
         """
         self._drop_mmap()
         self._abort_staging()
+        self._abort_delta_staging()
+        self._drop_segments()
         self._drop_index()
         self._generation = None
-        if not self.index_path.exists():
+        self.delta_segments = [
+            int(segment_id)
+            for segment_id in payload.get("delta_segments", [])
+        ]
+        index_path = (
+            self.overlay_path if self.delta_segments else self.index_path
+        )
+        if not index_path.exists():
             raise StoreError(
-                f"cube meta names the binary backend but {self.index_path} "
+                f"cube meta names the binary backend but {index_path} "
                 "is missing"
             )
         try:
-            self._index_file = open(self.index_path, "rb")
+            self._index_file = open(index_path, "rb")
             self._index_mmap = mmap.mmap(
                 self._index_file.fileno(), 0, access=mmap.ACCESS_READ
             )
         except (OSError, ValueError) as exc:
             self._drop_index()
             raise StoreError(
-                f"cannot map cell index {self.index_path}: {exc}"
+                f"cannot map cell index {index_path}: {exc}"
             ) from None
         self._mask_arena = binfmt.MaskArena(
             self._index_mmap, self.io_counters
@@ -430,7 +636,31 @@ class _HeapCells:
         """
         self._drop_mmap()
         self._abort_staging()
+        self._abort_delta_staging()
+        self._drop_segments()
         self._drop_index(materialise)
+
+    def _drop_segments(self) -> None:
+        views, self._segment_views = self._segment_views, {}
+        for handle, view in views.values():
+            view.close()
+            handle.close()
+
+    def _abort_delta_staging(self) -> None:
+        if self._delta_staging is not None:
+            self._delta_staging.close()
+            self._delta_staging = None
+        self._delta_segment = None
+        self._delta_staging_path.unlink(missing_ok=True)
+
+    def _discard_delta_files(self) -> None:
+        """Unlink every delta segment, overlay, and staging temp."""
+        self._drop_segments()
+        self._abort_delta_staging()
+        if self.directory.exists():
+            for stale in self.directory.glob("cells.delta.*"):
+                stale.unlink(missing_ok=True)
+        self.delta_segments = []
 
     def _drop_mmap(self) -> None:
         if self._mmap is not None:
@@ -461,6 +691,7 @@ class _HeapCells:
         self.close(materialise=False)
         self.heap_path.unlink(missing_ok=True)
         self.index_path.unlink(missing_ok=True)
+        self._discard_delta_files()
 
 
 class StoredCuboid:
@@ -542,6 +773,10 @@ class CubeStore:
         self.min_support: float | None = None
         self.min_deviation: float | None = None
         self.path_lattice: PathLattice | None = None
+        #: The item levels the build materialised (``None`` for cubes
+        #: persisted before this was recorded = the full item lattice).
+        #: Appends need it to know which cuboids a promotion may enter.
+        self.item_levels: list[ItemLevel] | None = None
         #: :meth:`BuildStats.as_dict` snapshot of the build that produced
         #: the persisted cube, when the builder passed one to :meth:`flush`.
         self.build_stats: dict | None = None
@@ -612,17 +847,23 @@ class CubeStore:
         min_support: float,
         min_deviation: float,
         cell_format: str | None = None,
+        item_levels=None,
     ) -> "CubeStore":
         """Start a fresh cube, discarding any previously indexed cells.
 
         Args:
             cell_format: Backend for the new cube; defaults to the
                 handle's configured format.
+            item_levels: The item levels this build materialises;
+                persisted so later appends know the cube's extent.
         """
         with self._lock:
             self.path_lattice = path_lattice
             self.min_support = min_support
             self.min_deviation = min_deviation
+            self.item_levels = (
+                None if item_levels is None else list(item_levels)
+            )
             self.build_stats = None
             self._index.clear()
             self._cache.clear()
@@ -677,6 +918,139 @@ class CubeStore:
         for cell in cuboid:
             self.put_cell(cell)
 
+    # ------------------------------------------------------------------
+    # incremental maintenance (delta segments)
+    # ------------------------------------------------------------------
+    @property
+    def delta_segments(self) -> list[int]:
+        """Published delta segment ids pending compaction (binary only)."""
+        return list(getattr(self._cells, "delta_segments", ()))
+
+    def begin_delta(self) -> bool:
+        """Stage subsequent cell writes as an append-only delta segment.
+
+        Returns whether delta staging is engaged: True for the binary
+        backend (writes land in ``cells.delta.NNN.bin`` instead of a
+        rewritten ``cells.bin``), False for the JSON backend, whose
+        per-cell files are naturally append-only (updated cells get
+        fresh file names; the old files are orphaned until the next
+        rebuild sweeps them).
+        """
+        with self._lock:
+            self._require_built()
+            starter = getattr(self._cells, "begin_delta", None)
+            if starter is None:
+                return False
+            starter()
+            return True
+
+    def merge_cells(self, cells, layout) -> None:
+        """Write *cells* and swap the index to the merged *layout*.
+
+        Args:
+            cells: ``{(item_level, path-level id, key): Cell}`` — the
+                dirty (updated / promoted / created) cells to persist.
+            layout: Iterable of ``(item_level, path-level id, keys)``
+                giving every surviving cuboid's final key order, in
+                canonical cuboid order.  Keys absent from *cells* keep
+                their existing index entries verbatim (zero heap IO);
+                existing keys missing from *layout* are demoted.
+
+        The swap is in-memory until :meth:`flush` publishes it.
+        """
+        with self._lock:
+            lattice = self._require_built()
+            written: dict[Coords, Entry] = {}
+            for (item_level, level_id, key), cell in cells.items():
+                payload = {
+                    "key": list(key),
+                    "item_level": list(item_level.levels),
+                    "path_level": level_id,
+                    "record_ids": list(cell.record_ids),
+                    "redundant": cell.redundant,
+                    "flowgraph": flowgraph_to_dict(cell.flowgraph),
+                }
+                written[(item_level, level_id, key)] = self._cells.put(
+                    payload, cell.n_paths, cell.redundant
+                )
+            new_index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
+            for item_level, level_id, keys in layout:
+                if not keys:
+                    continue
+                old_entries = self._index.get((item_level, level_id), {})
+                entries: dict[CellKey, Entry] = {}
+                for key in keys:
+                    entry = written.get((item_level, level_id, key))
+                    entries[key] = (
+                        old_entries[key] if entry is None else entry
+                    )
+                new_index[(item_level, level_id)] = entries
+            self._index = new_index
+            # The catalog masks decoded from the superseded index no
+            # longer describe the merged layout; drop them so catalogs
+            # derive from keys until the next load maps the overlay.
+            self._cells.cell_masks = {}
+            self._cache.clear()
+            self._bump_version()
+
+    def compact(self, progress=None) -> int:
+        """Fold pending delta segments back into a clean base heap.
+
+        Every index entry's payload is copied byte-exact (no codec
+        round-trip) into a freshly staged heap in index order, then
+        published heap → ``cells.idx`` → meta — the same ordering as a
+        build, so a crash mid-compaction leaves the delta-bearing cube
+        fully readable.  The superseded segments and overlay are
+        unlinked only after the meta commit.
+
+        Returns the number of cells copied (0 when nothing is pending).
+        """
+        with self._lock:
+            self._require_built()
+            old = self._cells
+            pending = list(getattr(old, "delta_segments", ()))
+            if not isinstance(old, _HeapCells) or not pending:
+                return 0
+            new = self._make_backend("binary")
+            new.begin(old.generation)
+            total = self.n_cells()
+            done = 0
+            new_index: dict[tuple[ItemLevel, int], dict[CellKey, Entry]] = {}
+            for coords, entries in self._index.items():
+                fresh: dict[CellKey, Entry] = {}
+                for key, entry in entries.items():
+                    fresh[key] = new.put_raw(
+                        old.raw_payload(entry), entry[-2], entry[-1]
+                    )
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+                new_index[coords] = fresh
+            self._index = new_index
+            self._cells = new
+            self._cache.clear()
+            if self.build_stats is not None:
+                counters = self.build_stats.setdefault(
+                    "append", _new_append_stats()
+                )
+                counters["compactions"] = (
+                    int(counters.get("compactions", 0)) + 1
+                )
+                counters["delta_segments"] = 0
+                counters["last_compaction"] = {
+                    "at": datetime.now(timezone.utc).isoformat(
+                        timespec="seconds"
+                    ),
+                    "folded_segments": len(pending),
+                    "cells": done,
+                }
+            self.flush()
+            # Same story as a same-format convert: the heap and index
+            # paths were republished in place; only release the
+            # superseded maps (finalise already unlinked the segments).
+            old.close(materialise=False)
+            return done
+
     def flush(self, build_stats=None) -> None:
         """Publish the build: cell data first, then the meta file, atomically.
 
@@ -699,6 +1073,10 @@ class CubeStore:
                     path_level_to_dict(level) for level in lattice
                 ],
             }
+            if self.item_levels is not None:
+                payload["item_levels"] = [
+                    list(level.levels) for level in self.item_levels
+                ]
             payload.update(self._cells.finalise(self._index))
             if self.build_stats is not None:
                 payload["build_stats"] = self.build_stats
@@ -717,6 +1095,12 @@ class CubeStore:
                 stat = os.fstat(handle.fileno())
             temp.replace(meta)
             self._meta_signature = (stat.st_mtime_ns, stat.st_size)
+            if "delta_segments" not in payload:
+                # The committed meta references no delta segments: any
+                # on disk are now unreachable and safe to sweep.
+                sweeper = getattr(self._cells, "sweep_stale_deltas", None)
+                if sweeper is not None:
+                    sweeper()
             self._bump_version()
 
     def _read_meta(self) -> tuple[tuple[int, int] | None, str | None]:
@@ -767,6 +1151,12 @@ class CubeStore:
                 for level in payload["path_lattice"]
             )
             self.build_stats = payload.get("build_stats")
+            raw_levels = payload.get("item_levels")
+            self.item_levels = (
+                None
+                if raw_levels is None
+                else [ItemLevel(levels) for levels in raw_levels]
+            )
             self._cells.close()
             self._cells = self._make_backend(payload.get("format", "json"))
             self._cache.clear()
@@ -1117,6 +1507,7 @@ class CubeStore:
         }
         if self.cell_format == "binary" and self.is_built:
             out["heap_generation"] = self._cells.generation
+            out["delta_segments"] = len(self.delta_segments)
             out["io"] = self.io_counters()
         if self.build_stats is not None:
             out["version"] = self.build_version

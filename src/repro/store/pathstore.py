@@ -296,6 +296,51 @@ class PartitionedPathStore:
             )
         return stats
 
+    def append_into_cube(
+        self,
+        records: Iterable[PathRecord],
+        cube=None,
+        recompute_exceptions: bool = True,
+        kernel: str = "bitmap",
+        jobs: int = 1,
+        pool=None,
+        compact_after: int | None = 16,
+    ) -> dict:
+        """Ingest a batch and delta-merge it into the *persisted* cube.
+
+        The store-backed counterpart of :meth:`append`: instead of
+        maintaining an in-memory :class:`~repro.core.flowcube.FlowCube`,
+        the batch is folded into the cube under ``<store>/cube`` as an
+        append-only delta segment (see :mod:`repro.store.append`), so a
+        small batch costs a fraction of a rebuild.
+
+        Args:
+            records: New path records (ids above the high-water mark).
+            cube: An open :class:`~repro.store.cube_store.CubeStore`
+                handle to update, or ``None`` to open one for the call.
+            recompute_exceptions: Re-mine exceptions in dirty cells.
+            kernel: Exception kernel (``"bitmap"`` / ``"scan"``).
+            jobs: Worker-pool width for the dirty-cell exception pass.
+            pool: An already-running pool to reuse (overrides *jobs*).
+            compact_after: Fold delta segments into a clean heap once
+                this many pile up (``0``/``None`` disables).
+
+        Returns:
+            :func:`repro.store.append.append_records` statistics.
+        """
+        from repro.store.append import append_records
+
+        return append_records(
+            self,
+            records,
+            cube=cube,
+            recompute_exceptions=recompute_exceptions,
+            kernel=kernel,
+            jobs=jobs,
+            pool=pool,
+            compact_after=compact_after,
+        )
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------

@@ -1,0 +1,368 @@
+"""Incremental store append (repro.store.append): delta-merge parity.
+
+The load-bearing contract: appending a batch to a persisted cube and
+querying it is **byte-identical** (``cube_to_json``) to rebuilding the
+cube from scratch over the extended store — across both build engines,
+both exception kernels, both storage formats, and serial/pooled
+re-mining; before *and* after compaction; warm handle and cold reopen.
+
+The durability contracts ride along: appends never rewrite the base
+``cells.bin``; a crash between the delta-segment publish and the meta
+commit leaves the old cube fully readable and the next append refuses
+the now-stale cube; a rebuild sweeps crash orphans; fresh segment ids
+skip over orphaned files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.path import Path, PathRecord
+from repro.core.path_database import PathDatabase
+from repro.core.serialization import cube_to_json
+from repro.errors import StoreError
+from repro.store import (
+    BuildStats,
+    PartitionedPathStore,
+    append_records,
+    build_cube,
+)
+from repro.store.cli import main
+from repro.synth import GeneratorConfig, generate_path_database
+
+CONFIG = GeneratorConfig(
+    n_paths=150,
+    n_dims=2,
+    dim_fanouts=(2, 3),
+    n_location_groups=3,
+    locations_per_group=2,
+    n_sequences=8,
+    max_path_length=4,
+    max_duration=3,
+    seed=5,
+)
+MIN_SUPPORT = 0.05
+PARTITION_SIZE = 40
+BASE_ROWS = 120  # appends get the remaining 30 (a 25% batch)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_path_database(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def split(database):
+    rows = list(database)
+    return rows[:BASE_ROWS], rows[BASE_ROWS:]
+
+
+def _base_store(directory, database, rows, fmt, engine, **build_kwargs):
+    store = PartitionedPathStore.init(
+        directory,
+        database.schema,
+        partition_size=PARTITION_SIZE,
+        store_format=fmt,
+    )
+    store.ingest(PathDatabase(database.schema, rows, validate=False))
+    cube = store.cube_store()
+    build_cube(
+        store,
+        min_support=build_kwargs.pop("min_support", MIN_SUPPORT),
+        into=cube,
+        stats=BuildStats(),
+        engine=engine,
+        **build_kwargs,
+    )
+    return store, cube
+
+
+@pytest.fixture(scope="module")
+def rebuilt_reference(tmp_path_factory, database):
+    """``cube_to_json`` of a from-scratch rebuild, cached per (engine, fmt)."""
+    root = tmp_path_factory.mktemp("append-reference")
+    cache: dict[tuple, str] = {}
+
+    def reference(engine: str, fmt: str, **build_kwargs) -> str:
+        key = (engine, fmt, tuple(sorted(build_kwargs.items())))
+        if key not in cache:
+            directory = root / f"ref-{len(cache)}"
+            _, cube = _base_store(
+                directory, database, list(database), fmt, engine,
+                **build_kwargs,
+            )
+            cache[key] = cube_to_json(cube)
+        return cache[key]
+
+    return reference
+
+
+# ----------------------------------------------------------------------
+# the parity grid
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("engine", ["rollup", "direct"])
+@pytest.mark.parametrize("kernel", ["bitmap", "scan"])
+@pytest.mark.parametrize("fmt", ["binary", "json"])
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_append_matches_rebuild_byte_identical(
+    tmp_path, database, split, rebuilt_reference, engine, kernel, fmt, jobs
+):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, fmt, engine)
+    stats = append_records(
+        store, batch, cube=cube, kernel=kernel, jobs=jobs, compact_after=0
+    )
+    assert stats["ingested"] == len(batch)
+    assert stats["updated"] > 0
+    expected = rebuilt_reference(engine, fmt)
+    assert cube_to_json(cube) == expected
+
+    # Cold reopen reads the delta overlay, not stale base state.
+    cube.close()
+    cold = store.cube_store()
+    assert cube_to_json(cold) == expected
+    if fmt == "binary":
+        assert cold.delta_segments == [1]
+
+    # Compaction folds the segments without changing a byte.
+    folded = cold.compact()
+    assert (folded > 0) == (fmt == "binary")
+    assert cube_to_json(cold) == expected
+    assert cold.delta_segments == []
+    assert cube_to_json(store.cube_store()) == expected
+
+
+def test_append_never_rewrites_the_base_heap(tmp_path, database, split):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    heap = store.directory / "cube" / "cells.bin"
+    before = (heap.stat().st_mtime_ns, heap.stat().st_size, heap.read_bytes())
+    append_records(store, batch, cube=cube, compact_after=0)
+    after = (heap.stat().st_mtime_ns, heap.stat().st_size, heap.read_bytes())
+    assert before == after
+    assert (store.directory / "cube" / "cells.delta.001.bin").exists()
+    assert (store.directory / "cube" / "cells.delta.idx").exists()
+
+
+def test_append_without_exceptions_matches_rebuild(
+    tmp_path, database, split, rebuilt_reference
+):
+    """Bloom-pruned promotion path: no full sweep, still byte-identical."""
+    base, batch = split
+    store, cube = _base_store(
+        tmp_path / "wh", database, base, "binary", "rollup",
+        compute_exceptions=False, min_support=6,
+    )
+    stats = append_records(store, batch, cube=cube, compact_after=0)
+    assert stats["created"] > 0  # this split promotes keys at δ=6
+    expected = rebuilt_reference(
+        "rollup", "binary", compute_exceptions=False, min_support=6
+    )
+    assert cube_to_json(cube) == expected
+    cube.compact()
+    assert cube_to_json(cube) == expected
+
+
+def test_fractional_delta_append_demotes_to_rebuild_state(
+    tmp_path, database, split, rebuilt_reference
+):
+    base, batch = split
+    store, cube = _base_store(
+        tmp_path / "wh", database, base, "binary", "rollup",
+        min_support=0.08,
+    )
+    stats = append_records(store, batch, cube=cube, compact_after=0)
+    assert stats["demoted"] > 0
+    expected = rebuilt_reference("rollup", "binary", min_support=0.08)
+    assert cube_to_json(cube) == expected
+
+
+def test_iceberg_promotion_lands_in_rebuild_order(
+    tmp_path, database, split, rebuilt_reference
+):
+    base, batch = split
+    store, cube = _base_store(
+        tmp_path / "wh", database, base, "binary", "rollup", min_support=6
+    )
+    stats = append_records(store, batch, cube=cube, compact_after=0)
+    assert stats["created"] > 0 and stats["promoted"] > 0
+    expected = rebuilt_reference("rollup", "binary", min_support=6)
+    assert cube_to_json(cube) == expected
+
+
+def test_auto_compaction_trips_at_threshold(tmp_path, database, split):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    first, second = batch[:15], batch[15:]
+    r1 = append_records(store, first, cube=cube, compact_after=2)
+    assert r1["compacted"] == 0 and cube.delta_segments == [1]
+    r2 = append_records(store, second, cube=cube, compact_after=2)
+    assert r2["compacted"] > 0 and cube.delta_segments == []
+    counters = cube.build_stats["append"]
+    assert counters["batches"] == 2
+    assert counters["compactions"] == 1
+    assert counters["delta_segments"] == 0
+    assert counters["last_compaction"]["folded_segments"] == 2
+
+
+# ----------------------------------------------------------------------
+# counters and guardrails
+# ----------------------------------------------------------------------
+
+def test_append_counters_persist_and_surface_in_stats(
+    tmp_path, capsys, database, split
+):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    append_records(store, batch, cube=cube, compact_after=0)
+    cube.close()
+
+    meta = json.loads(
+        (store.directory / "cube" / "cube.json").read_text(encoding="utf-8")
+    )
+    counters = meta["build_stats"]["append"]
+    assert counters["batches"] == 1
+    assert counters["records_appended"] == len(batch)
+    assert counters["delta_segments"] == 1
+    assert meta["build_stats"]["records"] == len(store)
+
+    assert main(["stats", str(store.directory)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["cube"]["build_stats"]["append"]["batches"] == 1
+    assert report["cube"]["delta_segments"] == 1
+
+
+def test_append_bumps_the_build_version(tmp_path, database, split):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    before = cube.build_version
+    append_records(store, batch, cube=cube, compact_after=0)
+    assert cube.build_version != before
+
+
+def test_id_collision_rejected_before_touching_the_cube(
+    tmp_path, database, split
+):
+    base, _ = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    snapshot = cube_to_json(cube)
+    colliding = [PathRecord(0, base[0].dims, base[0].path)]
+    with pytest.raises(StoreError, match="high-water mark"):
+        append_records(store, colliding, cube=cube)
+    assert len(store) == BASE_ROWS
+    assert cube_to_json(cube) == snapshot
+    assert cube.delta_segments == []
+
+
+def test_stale_cube_refused(tmp_path, database, split):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    store.ingest(
+        PathDatabase(database.schema, batch[:5], validate=False)
+    )  # out-of-band ingest the cube never saw
+    with pytest.raises(StoreError, match="stale"):
+        append_records(store, batch[5:], cube=cube)
+
+
+def test_unbuilt_cube_refused(tmp_path, database, split):
+    base, batch = split
+    store = PartitionedPathStore.init(
+        tmp_path / "wh", database.schema, partition_size=PARTITION_SIZE
+    )
+    store.ingest(PathDatabase(database.schema, base, validate=False))
+    with pytest.raises(StoreError, match="no cube has been built"):
+        append_records(store, batch)
+
+
+def test_empty_batch_is_a_noop(tmp_path, database, split):
+    base, _ = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    snapshot = cube_to_json(cube)
+    stats = append_records(store, [], cube=cube)
+    assert stats["ingested"] == 0 and stats["updated"] == 0
+    assert cube_to_json(cube) == snapshot
+
+
+# ----------------------------------------------------------------------
+# crash consistency
+# ----------------------------------------------------------------------
+
+def test_interrupted_append_leaves_old_cube_readable(
+    tmp_path, database, split, rebuilt_reference
+):
+    """Crash between the delta/overlay publish and the meta commit.
+
+    The meta file is the commit point: restoring the pre-append
+    ``cube.json`` (= the crash happened before the rename) must leave
+    the old cube byte-identical on a cold open, make the next append
+    refuse the stale cube, and let a rebuild sweep the orphans.
+    """
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    before_json = cube_to_json(cube)
+    meta_path = store.directory / "cube" / "cube.json"
+    old_meta = meta_path.read_bytes()
+
+    append_records(store, batch, cube=cube, compact_after=0)
+    cube.close()
+    meta_path.write_bytes(old_meta)  # "crash" before the meta rename
+
+    # Orphaned segment + overlay on disk, but the old state serves.
+    assert (store.directory / "cube" / "cells.delta.001.bin").exists()
+    cold = store.cube_store()
+    assert cold.delta_segments == []
+    assert cube_to_json(cold) == before_json
+
+    # The store moved on without the cube: appends refuse to pile on.
+    with pytest.raises(StoreError, match="stale"):
+        append_records(
+            store,
+            [PathRecord(10_000, base[0].dims, base[0].path)],
+            cube=cold,
+        )
+
+    # A rebuild recovers: orphans swept, parity restored.
+    rebuilt = store.cube_store()
+    build_cube(
+        store, min_support=MIN_SUPPORT, into=rebuilt, stats=BuildStats()
+    )
+    assert not list((store.directory / "cube").glob("cells.delta.*"))
+    assert cube_to_json(rebuilt) == rebuilt_reference("rollup", "binary")
+
+
+def test_fresh_segment_ids_skip_crash_orphans(tmp_path, database, split):
+    base, batch = split
+    store, cube = _base_store(tmp_path / "wh", database, base, "binary", "rollup")
+    orphan = store.directory / "cube" / "cells.delta.007.bin"
+    orphan.write_bytes(b"FCHEAP02")  # a crashed append's leftover
+    append_records(store, batch, cube=cube, compact_after=0)
+    assert cube.delta_segments == [8]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_append_and_compact_round_trip(tmp_path, capsys):
+    directory = str(tmp_path / "wh")
+    assert main([
+        "init", directory, "--synthetic", "--n-dims", "2",
+        "--fanouts", "2,3", "--partition-size", "60",
+    ]) == 0
+    assert main([
+        "ingest", directory, "--synthetic", "--n-paths", "120", "--seed", "3",
+    ]) == 0
+    assert main(["build", directory, "--min-support", "0.1"]) == 0
+    assert main([
+        "append", directory, "--synthetic", "--n-paths", "12", "--seed", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cell(s) updated" in out
+    assert "1 delta segment(s) pending" in out
+    assert main(["compact", directory]) == 0
+    assert "folded 1 delta segment(s)" in capsys.readouterr().out
+    assert main(["compact", directory]) == 0
+    assert "nothing to compact" in capsys.readouterr().out

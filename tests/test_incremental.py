@@ -28,7 +28,12 @@ class TestAppendBatch:
     def test_empty_batch_is_noop(self, cube):
         before = cube.describe()
         stats = append_batch(cube, [])
-        assert stats == {"updated": 0, "created": 0, "still_below_delta": 0}
+        assert stats == {
+            "updated": 0,
+            "created": 0,
+            "still_below_delta": 0,
+            "demoted": 0,
+        }
         assert cube.describe() == before
 
     def test_updated_cell_matches_rebuild(self, cube):
@@ -70,6 +75,28 @@ class TestAppendBatch:
         cell = cube.cell(ItemLevel((3, 0)), ("shirt", "*"), level)
         assert cell.n_paths == 2
         assert set(cell.record_ids) == {4, 200}
+
+    def test_promoted_cell_slots_in_rebuild_order(self, cube):
+        # A promoted cell must land where a rebuild would place it
+        # (first-seen record order), not be appended at the end.
+        append_batch(cube, [new_record(200, dims=("shirt", "adidas"))])
+        rebuilt = FlowCube.build(cube.database, min_support=2)
+        for cuboid in cube.cuboids:
+            counterpart = rebuilt.cuboid(cuboid.item_level, cuboid.path_level)
+            assert list(cuboid.cells) == list(counterpart.cells)
+
+    def test_fractional_delta_demotes_untouched_cells(self):
+        # With a fractional δ the resolved threshold grows with the
+        # database, so a big batch can push untouched cells below it.
+        database = example_path_database()
+        cube = FlowCube.build(database, min_support=0.25)
+        batch = [new_record(600 + i) for i in range(8)]
+        stats = append_batch(cube, batch)
+        assert stats["demoted"] > 0
+        rebuilt = FlowCube.build(cube.database, min_support=0.25)
+        for cuboid in cube.cuboids:
+            counterpart = rebuilt.cuboid(cuboid.item_level, cuboid.path_level)
+            assert list(cuboid.cells) == list(counterpart.cells)
 
     def test_brand_new_value_below_delta_not_created(self, cube):
         stats = append_batch(cube, [new_record(300, dims=("sandals", "adidas"))])

@@ -653,6 +653,95 @@ def test_maybe_reload_notices_external_flush(tmp_path, database):
     assert tenant.refresh() is False
 
 
+def test_cross_process_append_refreshes_etag_and_serves_new_cell(
+    tmp_path, database
+):
+    """An out-of-process ``flowcube-store append`` reaches live tenants.
+
+    The append bumps the persisted build version, so after
+    ``maybe_reload`` the tenant must serve the newly promoted cell, mint
+    a fresh ETag, and answer a request carrying the *old* validator with
+    a full 200 — never a stale 304.
+    """
+    import os
+    import subprocess
+    import sys
+    from collections import Counter
+
+    from repro.core.flowgraph_exceptions import resolve_min_support
+    from repro.core.path import PathRecord
+    from repro.core.path_database import PathDatabase
+
+    directory = tmp_path / "wh"
+    store = PartitionedPathStore.init(directory, database.schema)
+    store.ingest(database)
+    build_cube(store, min_support=MIN_SUPPORT, into=store.cube_store())
+    tenant = CubeTenant.mount("wh", directory)
+    app = SlicerApp([tenant])
+
+    # A leaf key below the frontier: its most-detailed cell is absent.
+    counts = Counter(record.dims for record in database)
+    base_threshold = resolve_min_support(MIN_SUPPORT, len(database))
+    donor_dims = next(
+        dims for dims, count in counts.items() if count < base_threshold
+    )
+    donor = next(r for r in database if r.dims == donor_dims)
+    cut = f"d0:{donor_dims[0]}|d1:{donor_dims[1]}"
+
+    before = get(app, "/cubes/wh/slice", {"cut": cut})
+    assert before.status == 200
+    assert body_of(before)["cells"] == []
+    old_etag = before.headers["ETag"]
+
+    # Another process appends enough same-key records to promote it.
+    batch = [
+        PathRecord(10_000 + i, donor.dims, donor.path) for i in range(15)
+    ]
+    csv_path = tmp_path / "batch.csv"
+    csv_path.write_text(
+        PathDatabase(database.schema, batch, validate=False).to_csv(),
+        encoding="utf-8",
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.store.cli",
+            "append", str(directory), "--csv", str(csv_path),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "created" in result.stdout
+
+    # The live handle notices the external meta rewrite...
+    assert tenant.refresh() is True
+
+    # ...serves the promoted cell with a fresh validator...
+    after = get(app, "/cubes/wh/slice", {"cut": cut})
+    assert after.status == 200
+    payload = body_of(after)
+    assert len(payload["cells"]) == 1
+    grown_threshold = resolve_min_support(MIN_SUPPORT, len(database) + 15)
+    assert payload["cells"][0]["n_paths"] >= grown_threshold
+    assert after.headers["ETag"] != old_etag
+
+    # ...and the old validator revalidates to a full 200, never 304.
+    stale = app.handle(
+        Request(
+            method="GET",
+            path="/cubes/wh/slice",
+            query={"cut": cut},
+            headers={"if-none-match": old_etag},
+        )
+    )
+    assert stale.status == 200
+    assert json.loads(stale.body)["cells"]
+
+
 # ----------------------------------------------------------------------
 # atomic query-stats persistence (satellite)
 # ----------------------------------------------------------------------

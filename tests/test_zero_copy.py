@@ -29,6 +29,7 @@ import os
 
 import pytest
 
+from repro.core.path import PathRecord
 from repro.core.serialization import cube_to_json
 from repro.errors import StoreError
 from repro.perf.query_kernel import CuboidKeyCatalog
@@ -126,6 +127,51 @@ def test_cold_open_reads_zero_heap_bytes_and_masks(built_dir):
     assert cells
     assert cube.io_counters()["heap_bytes_read"] > 0
     cube.close()
+    store.close()
+
+
+def test_cold_open_with_pending_deltas_reads_zero_heap_bytes(
+    built_dir, database
+):
+    """The overlay extends the zero-copy contract to delta-bearing cubes.
+
+    A store with pending ``cells.delta.NNN.bin`` segments routes its
+    index through the ``cells.delta.idx`` overlay — which must be just
+    as lazy as ``cells.idx``: the cold open mmaps it, decodes no masks,
+    and reads zero heap bytes from the base heap *or* any segment.
+    """
+    from repro.store import append_records
+
+    store = PartitionedPathStore.open(built_dir)
+    rows = list(database)
+    batch = [
+        PathRecord(1000 + i, record.dims, record.path)
+        for i, record in enumerate(rows[:12])
+    ]
+    append_records(store, batch, cube=store.cube_store(), compact_after=0)
+
+    cold = store.cube_store()
+    assert cold.delta_segments == [1]
+    assert cold.io_counters() == {"heap_bytes_read": 0, "mask_bits_decoded": 0}
+
+    cuboids = cold.cuboids
+    biggest = max(cuboids, key=len)
+    catalog = CuboidKeyCatalog(
+        biggest.keys, store.schema.dimensions, biggest.value_masks
+    )
+    assert cold.io_counters() == {"heap_bytes_read": 0, "mask_bits_decoded": 0}
+    assert catalog.match_mask([(0, biggest.keys[0][0])]) != 0
+    counters = cold.io_counters()
+    assert counters["mask_bits_decoded"] > 0
+    assert counters["heap_bytes_read"] == 0
+
+    # Materialising a delta-resident cell pays segment IO, per cell.
+    query = FlowCubeQuery(cold)
+    cells = query.slice_cells(None)
+    assert cells
+    assert cold.io_counters()["heap_bytes_read"] > 0
+    assert cold.describe()["delta_segments"] == 1
+    cold.close()
     store.close()
 
 
